@@ -1,0 +1,23 @@
+"""Benchmark support: every benchmark renders its table/figure to
+``benchmarks/out/`` so the regenerated evaluation artifacts survive the
+run even when pytest captures stdout."""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir():
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def save_artifact(artifact_dir):
+    def save(name: str, text: str) -> None:
+        (artifact_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+    return save

@@ -1,0 +1,15 @@
+"""Benchmark: the §5.4 invariant-based failure localization case study."""
+
+import pytest
+
+from repro.evaluation.casestudy import run_casestudy
+
+
+@pytest.mark.benchmark(group="casestudy")
+def test_mimic_case_study(benchmark, save_artifact):
+    """MIMIC finds the same root causes from ER output as from the
+    original failing test (od and pr)."""
+    result = benchmark.pedantic(run_casestudy, rounds=1, iterations=1)
+    save_artifact("casestudy", result.render())
+    assert result.all_match
+    assert {r.program for r in result.rows} == {"od", "pr"}

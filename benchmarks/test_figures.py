@@ -1,0 +1,34 @@
+"""Benchmarks: regenerate Figures 1, 5 and 6."""
+
+import pytest
+
+from repro.evaluation.figure1 import run_figure1
+from repro.evaluation.figure5 import run_figure5
+from repro.evaluation.figure6 import run_figure6
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1(benchmark, save_artifact):
+    result = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    save_artifact("figure1", result.render())
+    assert result.clears_all() == ["ER"]
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5(benchmark, save_artifact):
+    """Symbex progress with 0/1st/2nd-iteration data values (PHP-74194)."""
+    result = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    save_artifact("figure5", result.render())
+    assert result.strictly_improving          # paper: 11468 > 5006 > 1800 s
+    assert result.speedup() > 2.0             # paper: 6.4x
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6(benchmark, save_artifact):
+    """Monitoring overhead, ER vs rr, 10 runs with error bars."""
+    result = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
+    save_artifact("figure6", result.render())
+    assert result.er_average < 0.011          # paper: 0.3% avg, 1.1% max
+    assert result.er_max < 0.02
+    assert 0.2 < result.rr_average < 1.5      # paper: 48% avg
+    assert result.rr_max > result.er_max * 20

@@ -1,0 +1,31 @@
+"""Benchmarks: the §5.2 studies — accuracy vs REPT, selection vs random."""
+
+import pytest
+
+from repro.evaluation.accuracy import run_accuracy
+from repro.evaluation.random_cmp import run_random_comparison
+
+
+@pytest.mark.benchmark(group="accuracy")
+def test_accuracy_vs_rept(benchmark, save_artifact):
+    """ER replays exactly; REPT's recovery degrades with trace length."""
+    result = benchmark.pedantic(run_accuracy, rounds=1, iterations=1)
+    save_artifact("accuracy", result.render())
+    assert result.er_always_exact
+    assert result.rept_error_grows_with_length()
+    nontrivial = [r for r in result.rows if r.trace_length > 500]
+    assert all(r.rept_error_rate > 0.1 for r in nontrivial)
+
+
+@pytest.mark.benchmark(group="random-selection")
+def test_random_selection_ablation(benchmark, save_artifact):
+    """Key-data-value selection vs same-budget random recording."""
+    result = benchmark.pedantic(run_random_comparison, rounds=1,
+                                iterations=1)
+    save_artifact("random_selection", result.render())
+    needing = result.needing_data
+    assert needing, "most workloads need data recording"
+    er_ok = sum(1 for r in needing if r.er_success)
+    random_ok = sum(1 for r in needing if r.random_success)
+    assert er_ok == len(needing)      # ER reproduces everything
+    assert random_ok < er_ok          # random misses some (paper: 10/11)

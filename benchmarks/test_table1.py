@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table 1 (the 13-bug reproduction study)."""
+
+import pytest
+
+from repro.evaluation.table1 import run_table1, run_workload
+from repro.workloads import all_workloads
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_full(benchmark, save_artifact):
+    """End-to-end reconstruction of all 13 Table-1 bugs."""
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    save_artifact("table1", result.render())
+    assert result.all_reproduced
+    assert 1.5 <= result.mean_occurrences <= 5.0     # paper ~3.5
+    assert result.single_occurrence_count == 2        # paper: 2
+
+
+@pytest.mark.benchmark(group="table1")
+@pytest.mark.parametrize("workload", all_workloads(),
+                         ids=[w.name for w in all_workloads()])
+def test_table1_per_bug(benchmark, workload):
+    """Per-bug reconstruction latency (the offline cost of one failure)."""
+    row = benchmark.pedantic(run_workload, args=(workload,),
+                             rounds=1, iterations=1)
+    assert row.verified

@@ -1,0 +1,107 @@
+"""Benchmark: substrate throughput at scale.
+
+Not a paper experiment; a guard that the simulator stack stays usable as
+traces grow — a ~200 K-instruction execution through the whole pipeline
+(interpret + encode, decode, shepherded replay).
+"""
+
+import pytest
+
+from repro.interp.env import Environment
+from repro.interp.interpreter import Interpreter
+from repro.ir.builder import ModuleBuilder
+from repro.symex.engine import ShepherdedSymex
+from repro.trace.decoder import decode
+from repro.trace.encoder import PTEncoder
+from repro.trace.ringbuffer import RingBuffer
+
+
+def big_module(outer=2000):
+    """~100 instructions per outer iteration: hashing + table updates.
+
+    The hot loop is concrete (symbolic state would make this a *stall*
+    scenario, which benchmarks/test_ablations.py covers); a symbolic
+    check at the end keeps the run a real shepherded replay.
+    """
+    b = ModuleBuilder("big")
+    b.global_("T", 4096)
+    f = b.function("main", [])
+    f.block("entry")
+    g = f.global_addr("T", dest="%T")
+    f.const(0x9E3779B9, dest="%h")
+    f.const(0, dest="%i")
+    f.jmp("outer")
+    f.block("outer")
+    done = f.cmp("uge", "%i", outer)
+    f.br(done, "fin", "work")
+    f.block("work")
+    f.const(0, dest="%j")
+    f.jmp("inner")
+    f.block("inner")
+    idone = f.cmp("uge", "%j", 10)
+    f.br(idone, "store", "ibody")
+    f.block("ibody")
+    sh = f.shl("%h", 1, width=32)
+    x = f.xor(sh, "%j", width=32)
+    f.add(x, "%i", width=32, dest="%h")
+    f.add("%j", 1, dest="%j")
+    f.jmp("inner")
+    f.block("store")
+    slot = f.and_("%h", 4095)
+    p = f.gep("%T", slot, 1)
+    f.store(p, "%i", 1)
+    f.add("%i", 1, dest="%i")
+    f.jmp("outer")
+    f.block("fin")
+    tag = f.input("stdin", 1, dest="%tag")
+    ok = f.cmp("ne", "%tag", 0xEE, width=8)
+    f.assert_(ok, "poison tag")
+    f.output("stdout", "%h", 4)
+    f.ret(0)
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def big():
+    return big_module()
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_interpret_and_trace(benchmark, big):
+    def run():
+        encoder = PTEncoder(RingBuffer())
+        env = Environment({"stdin": b"\x01\x02\x03\x04"})
+        result = Interpreter(big, env, tracer=encoder).run()
+        return result, encoder
+
+    result, encoder = benchmark(run)
+    assert result.failure is None
+    assert result.instr_count > 150_000
+    # PT efficiency: well under one trace byte per instruction
+    assert encoder.bytes_emitted < result.instr_count / 4
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_decode(benchmark, big):
+    encoder = PTEncoder(RingBuffer())
+    env = Environment({"stdin": b"\x01\x02\x03\x04"})
+    run = Interpreter(big, env, tracer=encoder).run()
+
+    trace = benchmark(lambda: decode(encoder.buffer))
+    assert trace.instr_count == run.instr_count
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_shepherded_replay(benchmark, big):
+    encoder = PTEncoder(RingBuffer())
+    env = Environment({"stdin": b"\x01\x02\x03\x04"})
+    run = Interpreter(big, env, tracer=encoder).run()
+    trace = decode(encoder.buffer)
+
+    def replay():
+        return ShepherdedSymex(big, trace, None,
+                               work_limit=100_000_000).run()
+
+    result = benchmark.pedantic(replay, rounds=1, iterations=1)
+    assert result.completed
+    assert result.stats.instrs_executed == run.instr_count

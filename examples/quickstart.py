@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Quickstart: reproduce a production failure end to end.
+
+We build a small program with a latent bug (a table write at an
+attacker-influenced index followed by a dependent check), simulate a
+production deployment where the failure keeps reoccurring, and let ER
+iterate: trace -> shepherded symbolic execution -> stall -> key data
+value selection -> instrument -> redeploy -> ... -> verified test case.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Environment, Interpreter, ModuleBuilder
+from repro.core import ExecutionReconstructor, ProductionSite
+
+
+def build_program():
+    """A service that bins request sizes into a histogram.
+
+    The bug: the bin index is ``(size_a + size_b) % 300`` but the
+    histogram has only 256 slots — certain request pairs write out of
+    bounds.  (Classic 'two fields, one check' bug.)
+    """
+    b = ModuleBuilder("histogram-service")
+    b.global_("histogram", 256)
+
+    f = b.function("main", [])
+    f.block("entry")
+    f.jmp("request")
+
+    f.block("request")
+    tag = f.input("net", 1, dest="%tag")
+    alive = f.cmp("ne", "%tag", 0, width=8)
+    f.br(alive, "handle", "out")
+
+    f.block("handle")
+    size_a = f.input("net", 1, dest="%a")
+    size_b = f.input("net", 1, dest="%b")
+    total = f.add("%a", "%b", dest="%total")
+    bin_index = f.urem("%total", 300, dest="%bin")   # BUG: 300 > 256
+    hist = f.global_addr("histogram", dest="%hist")
+    slot = f.gep("%hist", "%bin", 1)
+    count = f.load(slot, 1, dest="%count")
+    f.add("%count", 1, dest="%count")
+    f.store(slot, "%count", 1)
+    f.jmp("request")
+
+    f.block("out")
+    f.ret(0)
+    return b.build()
+
+
+def request(size_a, size_b):
+    return bytes((1, size_a, size_b))
+
+
+def main():
+    module = build_program()
+
+    # --- production: the failure reoccurs with slightly different noise
+    def failing_env(occurrence):
+        import random
+
+        rng = random.Random(occurrence)
+        benign = b"".join(request(rng.randint(0, 100), rng.randint(0, 100))
+                          for _ in range(5))
+        crash = request(200, 90)  # 290 % 300 = 290 -> out of bounds
+        return Environment({"net": benign + crash + b"\x00"})
+
+    # sanity: it really crashes in production
+    crash_run = Interpreter(module, failing_env(1)).run()
+    print(f"production failure: {crash_run.failure}\n")
+
+    # --- ER: iterate until a verified test case exists
+    er = ExecutionReconstructor(module, work_limit=20_000)
+    report = er.reconstruct(ProductionSite(failing_env))
+
+    print(report.summary())
+    print()
+
+    # --- the developer's view: a concrete, replayable test case
+    test_env = report.test_case.environment()
+    replay = Interpreter(module, test_env).run()
+    print(f"replayed test case -> {replay.failure}")
+    assert replay.failure is not None
+    assert replay.failure.matches(crash_run.failure)
+    print("\nsame failure, reproduced deterministically — happy debugging!")
+
+
+if __name__ == "__main__":
+    main()

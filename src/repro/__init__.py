@@ -1,0 +1,51 @@
+"""Execution Reconstruction (ER) — PLDI 2021 reproduction.
+
+ER reproduces production failures by combining always-on hardware
+control-flow tracing with iteratively-selected key data values and
+shepherded symbolic execution.  See DESIGN.md for the system inventory and
+README.md for a quickstart.
+
+Top-level convenience re-exports cover the end-to-end workflow::
+
+    from repro import ModuleBuilder, Environment, ExecutionReconstructor
+
+    module = ...                 # build a program
+    production = ...             # a ProductionSite that reproduces a failure
+    er = ExecutionReconstructor(module)
+    report = er.reconstruct(production)
+    print(report.test_case)
+"""
+
+__version__ = "1.0.0"
+
+from .errors import (
+    GuestFailure,
+    IRError,
+    ReconstructionError,
+    ReproError,
+    SolverTimeout,
+    TraceDivergence,
+    UnsatError,
+)
+from .interp import Environment, FailureInfo, FailureKind, Interpreter, RunResult
+from .ir import Module, ModuleBuilder, format_module, parse_module
+
+__all__ = [
+    "__version__",
+    "GuestFailure",
+    "IRError",
+    "ReconstructionError",
+    "ReproError",
+    "SolverTimeout",
+    "TraceDivergence",
+    "UnsatError",
+    "Environment",
+    "FailureInfo",
+    "FailureKind",
+    "Interpreter",
+    "RunResult",
+    "ModuleBuilder",
+    "Module",
+    "parse_module",
+    "format_module",
+]

@@ -1,0 +1,14 @@
+"""Comparators: rr record/replay, REPT reverse execution, random recording."""
+
+from .random_selection import random_selection
+from .rept import ReptAnalyzer, ReptReport, TraceStep
+from .rr import RRBaseline, RRRecording
+
+__all__ = [
+    "random_selection",
+    "ReptAnalyzer",
+    "ReptReport",
+    "TraceStep",
+    "RRBaseline",
+    "RRRecording",
+]

@@ -1,0 +1,57 @@
+"""Random data-recording baseline (§5.2 'Key Data Value Selection
+Effectiveness').
+
+Records the *same number of bytes* as ER's key-data-value selection would,
+but picks the values uniformly at random among all recordable nodes of
+the constraint graph.  The paper reports that this strategy reproduces
+only 1 of the 11 failures that need data recording; the ablation harness
+(``repro.evaluation.random_cmp``) measures the same comparison here.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.constraint_graph import ConstraintGraph
+from ..core.selection import (RecordingPlan, _unit_of,
+                              select_key_values)
+from ..symex.result import StallInfo
+
+
+def random_selection(seed: Optional[int] = None):
+    """A selection function choosing random recordable values.
+
+    Returns a callable with the same signature as
+    :func:`repro.core.selection.select_key_values`, suitable for
+    ``ExecutionReconstructor(selection=...)``.
+    """
+    rng = random.Random(seed)
+
+    def select(stall: StallInfo,
+               already_recorded: frozenset = frozenset()) -> RecordingPlan:
+        er_plan = select_key_values(stall, already_recorded)
+        budget_bytes = max(er_plan.total_cost, 1)
+        graph = ConstraintGraph.from_stall(stall)
+        units = []
+        seen = set()
+        for node in graph.nodes:
+            unit = _unit_of(node)
+            if unit is not None and unit not in seen and \
+                    (unit.point.func, unit.register) not in already_recorded:
+                seen.add(unit)
+                units.append(unit)
+        rng.shuffle(units)
+        chosen = []
+        spent = 0
+        for unit in units:
+            if spent >= budget_bytes:
+                break
+            chosen.append(unit)
+            spent += unit.cost(stall.exec_counts)
+        return RecordingPlan(items=sorted(chosen),
+                             bottleneck=er_plan.bottleneck,
+                             graph_nodes=graph.node_count,
+                             total_cost=spent)
+
+    return select

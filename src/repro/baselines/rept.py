@@ -1,0 +1,408 @@
+"""REPT-style reverse-execution baseline (§2, §5.2 accuracy comparison).
+
+REPT reconstructs data values from (a) the control-flow trace and (b) the
+memory/register dump at the failure, by executing the instruction
+sequence *backwards* with error-correcting forward passes.  It is
+best-effort: when a store's target address is unknown it assumes
+no-alias and keeps stale memory knowledge — the unsound guess that makes
+REPT's recovered values *incorrect* (not just missing) on long traces,
+which is exactly the behaviour the paper measures (15–60 % wrong beyond
+100 K instructions).
+
+The trace replayer here reuses the interpreter to enumerate the executed
+instruction sequence; that sequence is fully determined by the PT trace
+(branch bits + deterministic calls/returns), so this is equivalent to
+decoding, without duplicating the control-flow walker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..interp.env import Environment
+from ..interp.interpreter import Interpreter
+from ..ir import instructions as ins
+from ..ir.module import Module, ProgramPoint
+from ..ir.ops import apply_binop, apply_cmp
+from ..ir.types import mask
+
+RegKey = Tuple[int, str]  # (frame id, register)
+
+
+@dataclass
+class TraceStep:
+    """One executed instruction with its dynamic context."""
+
+    index: int
+    tid: int
+    frame: int
+    point: ProgramPoint
+    instr: ins.Instr
+    #: ground truth: value of the destination register after the step
+    truth: Optional[int] = None
+    #: branch outcome for Br steps
+    taken: Optional[bool] = None
+    #: concrete address for memory steps (derivable control info is not,
+    #: but kept for scoring store-alias mistakes)
+    ground_addr: Optional[int] = None
+    caller_frame: Optional[int] = None
+    ret_reg: Optional[str] = None
+
+
+@dataclass
+class ReptReport:
+    """Recovery-accuracy summary for one analyzed execution."""
+
+    total_defs: int
+    correct: int
+    incorrect: int
+    unknown: int
+    #: (distance-from-failure bucket upper bound, fraction wrong-or-missing)
+    by_distance: List[Tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def error_rate(self) -> float:
+        if self.total_defs == 0:
+            return 0.0
+        return (self.incorrect + self.unknown) / self.total_defs
+
+    @property
+    def incorrect_rate(self) -> float:
+        if self.total_defs == 0:
+            return 0.0
+        return self.incorrect / self.total_defs
+
+
+class _Collector:
+    """Runs the program once, collecting the step sequence + ground truth."""
+
+    def __init__(self, module: Module, env: Environment):
+        self.module = module
+        self.env = env
+        self.steps: List[TraceStep] = []
+        self._frame_ids: Dict[int, int] = {}
+        self._next_frame = 0
+        self._pending: Dict[int, TraceStep] = {}  # tid -> last step w/ dest
+
+    def collect(self):
+        interp = Interpreter(self.module, self.env, on_step=self._on_step)
+        result = interp.run()
+        self._interp = interp
+        # resolve any still-pending destination truths
+        for tid, step in self._pending.items():
+            thread = interp.threads[tid]
+            for frame in thread.frames:
+                if self._frame_ids.get(id(frame)) == step.frame:
+                    dest = step.instr.dest_register()
+                    step.truth = frame.regs.get(dest)
+        return result, self.steps
+
+    def _frame_id(self, frame) -> int:
+        key = id(frame)
+        if key not in self._frame_ids:
+            self._frame_ids[key] = self._next_frame
+            self._next_frame += 1
+        return self._frame_ids[key]
+
+    def _on_step(self, thread, point, instr):
+        frame = thread.frame
+        fid = self._frame_id(frame)
+        # resolve the previous step's destination value for this thread
+        pending = self._pending.pop(thread.tid, None)
+        if pending is not None:
+            dest = pending.instr.dest_register()
+            for fr in thread.frames:
+                if self._frame_ids.get(id(fr)) == pending.frame:
+                    pending.truth = fr.regs.get(dest)
+                    break
+        step = TraceStep(index=len(self.steps), tid=thread.tid, frame=fid,
+                         point=point, instr=instr)
+        if isinstance(instr, ins.Br):
+            value = frame.regs.get(instr.cond) if isinstance(instr.cond, str) \
+                else instr.cond
+            step.taken = bool(value)
+        if isinstance(instr, (ins.Load, ins.Store, ins.HeapFree)):
+            addr = frame.regs.get(instr.addr) if isinstance(instr.addr, str) \
+                else instr.addr
+            step.ground_addr = addr
+        if isinstance(instr, ins.Ret) and len(thread.frames) >= 2:
+            step.caller_frame = self._frame_id(thread.frames[-2])
+            step.ret_reg = frame.ret_reg
+        if instr.dest_register() is not None:
+            self._pending[thread.tid] = step
+        self.steps.append(step)
+
+
+class ReptAnalyzer:
+    """Reverse+forward data recovery over a failing execution."""
+
+    def __init__(self, passes: int = 2):
+        self.passes = passes
+
+    def analyze(self, module: Module, env: Environment) -> ReptReport:
+        result, steps = self._collect(module, env)
+        if result.failure is None:
+            raise ValueError("REPT analyzes failing executions")
+        recovered = self._recover(module, steps, result)
+        return self._score(steps, recovered)
+
+    # -- data collection -------------------------------------------------
+
+    def _collect(self, module, env):
+        collector = _Collector(module, env)
+        result, steps = collector.collect()
+        self._final_interp = collector._interp
+        return result, steps
+
+    # -- recovery ----------------------------------------------------------
+
+    def _recover(self, module: Module, steps: List[TraceStep],
+                 result) -> Dict[int, int]:
+        interp = self._final_interp
+        # core dump: final memory + registers of the failing thread's stack
+        mem: Dict[int, int] = {}
+        for base, data in interp.memory.snapshot().items():
+            for i, byte in enumerate(data):
+                mem[base + i] = byte
+        regs: Dict[RegKey, int] = {}
+        fail_tid = result.failure.tid
+        thread = interp.threads[fail_tid]
+        recovered: Dict[int, int] = {}
+        # frame ids were assigned in call order; recover mapping by
+        # replaying frame identity through the steps themselves:
+        # the last step of each frame tells us which frames are live.
+        # Simpler: seed the dump registers via the steps' frame ids by
+        # matching on function name from the failing thread's frames.
+        live_frames = {}
+        for step in reversed(steps):
+            if step.tid != fail_tid:
+                continue
+            if step.frame not in live_frames:
+                live_frames[step.frame] = step.point.func
+        for fr in thread.frames:
+            for fid, func in live_frames.items():
+                if func == fr.func.name and not any(
+                        k[0] == fid for k in regs):
+                    for reg, value in fr.regs.items():
+                        regs[(fid, reg)] = value
+                    break
+
+        for _ in range(self.passes):
+            self._backward_pass(steps, dict(regs), dict(mem), recovered)
+            self._forward_pass(module, steps, recovered)
+        return recovered
+
+    def _backward_pass(self, steps, regs: Dict[RegKey, int],
+                       mem: Dict[int, int], recovered: Dict[int, int]):
+        for step in reversed(steps):
+            instr = step.instr
+            frame = step.frame
+            dest = instr.dest_register()
+            dest_after = regs.get((frame, dest)) if dest else None
+            if dest is not None and dest_after is not None:
+                recovered.setdefault(step.index, dest_after)
+
+            if isinstance(instr, ins.Br):
+                if isinstance(instr.cond, str) and step.taken is not None:
+                    regs[(frame, instr.cond)] = int(step.taken)
+                continue
+            if isinstance(instr, ins.Store):
+                addr = self._operand(regs, frame, instr.addr)
+                if addr is not None:
+                    if isinstance(instr.value, str):
+                        value = self._load_mem(mem, addr, instr.size)
+                        if value is not None:
+                            regs[(frame, instr.value)] = value
+                    for i in range(instr.size):
+                        mem.pop(addr + i, None)
+                # addr unknown: REPT's no-alias gamble — keep memory as-is
+                continue
+            if dest is None:
+                continue
+            # crossing the definition: the register's prior value is lost
+            regs.pop((frame, dest), None)
+            if isinstance(instr, ins.Const):
+                recovered[step.index] = mask(instr.value)
+            elif isinstance(instr, ins.BinOp) and dest_after is not None:
+                self._invert_binop(regs, frame, instr, dest_after)
+            elif isinstance(instr, ins.Gep) and dest_after is not None:
+                base = self._operand(regs, frame, instr.base)
+                index = self._operand(regs, frame, instr.index)
+                if base is None and index is not None and \
+                        isinstance(instr.base, str):
+                    regs[(frame, instr.base)] = mask(
+                        dest_after - index * instr.scale)
+                elif index is None and base is not None and instr.scale == 1 \
+                        and isinstance(instr.index, str):
+                    regs[(frame, instr.index)] = mask(dest_after - base)
+            elif isinstance(instr, ins.Load) and dest_after is not None:
+                addr = self._operand(regs, frame, instr.addr)
+                if addr is not None:
+                    for i in range(instr.size):
+                        mem[addr + i] = (dest_after >> (8 * i)) & 0xFF
+
+    def _forward_pass(self, module: Module, steps, recovered: Dict[int, int]):
+        regs: Dict[RegKey, int] = {}
+        mem: Dict[int, int] = {}
+        # data section is known statically
+        from ..interp.memory import Memory
+
+        layout = Memory(module)
+        for base, data in layout.snapshot().items():
+            for i, byte in enumerate(data):
+                mem[base + i] = byte
+        alloc = _AllocReplayer(layout)
+        call_stack: Dict[int, List[Tuple[int, Optional[str]]]] = {}
+
+        for step in steps:
+            instr = step.instr
+            frame = step.frame
+            dest = instr.dest_register()
+            value: Optional[int] = None
+            if isinstance(instr, ins.Const):
+                value = mask(instr.value)
+            elif isinstance(instr, ins.BinOp):
+                lhs = self._operand(regs, frame, instr.lhs)
+                rhs = self._operand(regs, frame, instr.rhs)
+                if lhs is not None and rhs is not None and not (
+                        instr.op in ("udiv", "sdiv", "urem", "srem")
+                        and mask(rhs, instr.width) == 0):
+                    value = apply_binop(instr.op, lhs, rhs, instr.width)
+            elif isinstance(instr, ins.Cmp):
+                lhs = self._operand(regs, frame, instr.lhs)
+                rhs = self._operand(regs, frame, instr.rhs)
+                if lhs is not None and rhs is not None:
+                    value = apply_cmp(instr.op, lhs, rhs, instr.width)
+                elif step.taken is not None:
+                    pass
+            elif isinstance(instr, (ins.GlobalAddr, ins.FrameAlloc,
+                                    ins.HeapAlloc)):
+                value = alloc.address_of(step)
+            elif isinstance(instr, ins.Gep):
+                base = self._operand(regs, frame, instr.base)
+                index = self._operand(regs, frame, instr.index)
+                if base is not None and index is not None:
+                    value = mask(base + index * instr.scale)
+            elif isinstance(instr, ins.Load):
+                addr = self._operand(regs, frame, instr.addr)
+                if addr is not None:
+                    value = self._load_mem(mem, addr, instr.size)
+            elif isinstance(instr, ins.Store):
+                addr = self._operand(regs, frame, instr.addr)
+                stored = self._operand(regs, frame, instr.value)
+                if addr is not None:
+                    for i in range(instr.size):
+                        if stored is None:
+                            mem.pop(addr + i, None)
+                        else:
+                            mem[addr + i] = (stored >> (8 * i)) & 0xFF
+                # unknown addr: no-alias assumption again (stale memory)
+            elif isinstance(instr, ins.Br):
+                if isinstance(instr.cond, str) and step.taken is not None:
+                    regs.setdefault((frame, instr.cond), int(step.taken))
+
+            if dest is not None:
+                if value is not None:
+                    regs[(frame, dest)] = value
+                    recovered.setdefault(step.index, value)
+                else:
+                    regs.pop((frame, dest), None)
+
+    # -- helpers ----------------------------------------------------------
+
+    @staticmethod
+    def _operand(regs, frame, operand) -> Optional[int]:
+        if isinstance(operand, str):
+            return regs.get((frame, operand))
+        return mask(operand)
+
+    @staticmethod
+    def _load_mem(mem: Dict[int, int], addr: int, size: int) -> Optional[int]:
+        value = 0
+        for i in range(size):
+            byte = mem.get(addr + i)
+            if byte is None:
+                return None
+            value |= byte << (8 * i)
+        return value
+
+    def _invert_binop(self, regs, frame, instr, dest_after):
+        lhs = self._operand(regs, frame, instr.lhs)
+        rhs = self._operand(regs, frame, instr.rhs)
+        invertible = instr.op in ("add", "sub", "xor")
+        if not invertible:
+            return
+        if lhs is None and rhs is not None and isinstance(instr.lhs, str) \
+                and instr.lhs != instr.dest:
+            if instr.op == "add":
+                regs[(frame, instr.lhs)] = mask(dest_after - rhs, instr.width)
+            elif instr.op == "sub":
+                regs[(frame, instr.lhs)] = mask(dest_after + rhs, instr.width)
+            else:
+                regs[(frame, instr.lhs)] = mask(dest_after ^ rhs, instr.width)
+        elif rhs is None and lhs is not None and isinstance(instr.rhs, str) \
+                and instr.rhs != instr.dest:
+            if instr.op == "add":
+                regs[(frame, instr.rhs)] = mask(dest_after - lhs, instr.width)
+            elif instr.op == "sub":
+                regs[(frame, instr.rhs)] = mask(lhs - dest_after, instr.width)
+            else:
+                regs[(frame, instr.rhs)] = mask(dest_after ^ lhs, instr.width)
+
+    # -- scoring -----------------------------------------------------------
+
+    def _score(self, steps: List[TraceStep],
+               recovered: Dict[int, int]) -> ReptReport:
+        defs = [s for s in steps if s.instr.dest_register() is not None
+                and s.truth is not None]
+        correct = incorrect = unknown = 0
+        mistakes: List[Tuple[int, bool]] = []  # (distance from end, bad?)
+        end = len(steps)
+        for step in defs:
+            value = recovered.get(step.index)
+            distance = end - step.index
+            if value is None:
+                unknown += 1
+                mistakes.append((distance, True))
+            elif value == step.truth:
+                correct += 1
+                mistakes.append((distance, False))
+            else:
+                incorrect += 1
+                mistakes.append((distance, True))
+        report = ReptReport(total_defs=len(defs), correct=correct,
+                            incorrect=incorrect, unknown=unknown)
+        if defs:
+            buckets = [64, 256, 1024, 4096, 16384, 1 << 30]
+            for bound in buckets:
+                in_bucket = [bad for dist, bad in mistakes if dist <= bound]
+                if in_bucket:
+                    report.by_distance.append(
+                        (bound, sum(in_bucket) / len(in_bucket)))
+        return report
+
+
+class _AllocReplayer:
+    """Re-derives deterministic allocation addresses in trace order."""
+
+    def __init__(self, layout):
+        self._layout = layout
+        self._cache: Dict[int, int] = {}
+
+    def address_of(self, step: TraceStep) -> Optional[int]:
+        if step.index in self._cache:
+            return self._cache[step.index]
+        instr = step.instr
+        if isinstance(instr, ins.GlobalAddr):
+            addr = self._layout.global_addrs.get(instr.name)
+        elif isinstance(instr, ins.FrameAlloc):
+            addr = self._layout.alloc_stack(
+                f"rept.{instr.name}", instr.size).base
+        elif isinstance(instr, ins.HeapAlloc):
+            size = instr.size if isinstance(instr.size, int) else 0
+            addr = self._layout.alloc_heap(size).base
+        else:
+            addr = None
+        self._cache[step.index] = addr
+        return addr

@@ -1,0 +1,83 @@
+"""rr-style full record/replay baseline (§5.3 comparison).
+
+Records every non-deterministic event of an execution — all environment
+stream reads (the syscall analog) and the scheduler parameters — and can
+re-execute the program deterministically from the log.  Its runtime cost
+is modelled per intercepted event (see ``repro.trace.overhead``), which
+is why rr's overhead is 1–2 orders of magnitude above ER's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ReproError
+from ..interp.env import EnvEvent, Environment
+from ..interp.failures import FailureInfo
+from ..interp.interpreter import Interpreter, RunResult
+from ..ir.module import Module
+
+
+@dataclass
+class RRRecording:
+    """A full record/replay log: every non-deterministic event, in order."""
+
+    events: List[EnvEvent]
+    quantum: int
+    failure: Optional[FailureInfo]
+    instr_count: int
+
+    @property
+    def event_count(self) -> int:
+        return len(self.events)
+
+    def log_bytes(self) -> int:
+        """Size of the recorded log (events + headers)."""
+        return sum(len(e.data) + 16 for e in self.events)
+
+
+class _ReplayEnvironment(Environment):
+    """Serves recorded event data instead of live non-determinism."""
+
+    def __init__(self, recording: RRRecording):
+        super().__init__({}, quantum=recording.quantum)
+        self._log = list(recording.events)
+        self._cursor = 0
+
+    def read(self, stream: str, size: int) -> bytes:
+        if self._cursor >= len(self._log):
+            raise ReproError("replay log exhausted")
+        event = self._log[self._cursor]
+        self._cursor += 1
+        if event.stream != stream or len(event.data) != size:
+            raise ReproError(
+                f"replay divergence: expected {event.stream}[{len(event.data)}], "
+                f"program asked for {stream}[{size}]")
+        self.events.append(event)
+        return event.data
+
+
+class RRBaseline:
+    """Record an execution; replay it bit-exactly."""
+
+    def record(self, module: Module, env: Environment,
+               max_steps: int = 20_000_000) -> RRRecording:
+        result = Interpreter(module, env, max_steps=max_steps).run()
+        return RRRecording(events=list(env.events), quantum=env.quantum,
+                           failure=result.failure,
+                           instr_count=result.instr_count)
+
+    def replay(self, module: Module, recording: RRRecording,
+               max_steps: int = 20_000_000) -> RunResult:
+        env = _ReplayEnvironment(recording)
+        return Interpreter(module, env, max_steps=max_steps).run()
+
+    def replay_matches(self, module: Module,
+                       recording: RRRecording) -> bool:
+        result = self.replay(module, recording)
+        if recording.failure is None:
+            return result.failure is None
+        return (result.failure is not None
+                and result.failure.matches(recording.failure)
+                and result.instr_count == recording.instr_count)

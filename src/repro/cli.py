@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    The Table-1 workload registry.
+``reproduce WORKLOAD``
+    Run the full iterative reconstruction for one workload and print
+    the report (occurrences, recorded values, generated inputs).
+``run FILE.eir``
+    Execute a textual-IR program against streams given on the command
+    line (``--stream name=hex`` or ``name=@path``).
+``trace FILE.eir``
+    Execute under the PT tracer and dump the decoded trace.
+``report``
+    Regenerate every evaluation table/figure into one markdown file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+from .core import ExecutionReconstructor, ProductionSite
+from .errors import ReproError
+from .evaluation.formatting import render_table
+from .interp.env import Environment
+from .interp.interpreter import Interpreter
+from .ir import parse_module, verify_module
+from .trace.decoder import decode
+from .trace.encoder import PTEncoder
+from .trace.inspect import format_trace
+from .trace.ringbuffer import RingBuffer
+from .workloads import all_workloads, get_workload
+
+
+def _parse_streams(pairs: List[str]) -> Dict[str, bytes]:
+    streams: Dict[str, bytes] = {}
+    for pair in pairs or ():
+        name, _, value = pair.partition("=")
+        if not name or not value:
+            raise SystemExit(f"bad --stream {pair!r}: want name=hex or "
+                             "name=@file")
+        if value.startswith("@"):
+            streams[name] = pathlib.Path(value[1:]).read_bytes()
+        elif value.startswith("text:"):
+            streams[name] = value[len("text:"):].encode() + b"\x00"
+        else:
+            streams[name] = bytes.fromhex(value)
+    return streams
+
+
+def _load_module(path: str):
+    text = pathlib.Path(path).read_text()
+    module = parse_module(text)
+    verify_module(module)
+    return module
+
+
+# ----------------------------------------------------------------------
+# commands
+
+def cmd_list(args) -> int:
+    rows = []
+    for workload in all_workloads():
+        rows.append([workload.name, workload.app, workload.bug_type,
+                     "Y" if workload.multithreaded else "N",
+                     workload.paper_occurrences, workload.work_limit])
+    print(render_table(
+        ["name", "application", "bug type", "MT", "paper #Occur",
+         "work limit"], rows, "Table-1 workloads"))
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    workload = get_workload(args.workload)
+    module = workload.fresh_module()
+    reconstructor = ExecutionReconstructor(
+        module,
+        work_limit=args.work_limit or workload.work_limit,
+        max_occurrences=args.max_occurrences or workload.max_occurrences)
+    site = ProductionSite(workload.failing_env,
+                          trace_after=args.trace_after)
+    report = reconstructor.reconstruct(site)
+    print(report.summary())
+    if report.success and args.minimize:
+        from .core.minimize import minimize_test_case
+
+        minimized = minimize_test_case(workload.fresh_module(),
+                                       report.test_case, report.failure)
+        print("\nminimized test case:")
+        for stream, data in sorted(minimized.streams.items()):
+            print(f"  input {stream!r}: {data!r}")
+    return 0 if report.success else 1
+
+
+def cmd_run(args) -> int:
+    module = _load_module(args.file)
+    env = Environment(_parse_streams(args.stream), quantum=args.quantum)
+    result = Interpreter(module, env).run()
+    for stream, data in sorted(result.outputs.items()):
+        print(f"output {stream!r}: {data.hex()} ({data!r})")
+    print(f"{result.instr_count} instructions, "
+          f"{result.branch_count} branches, "
+          f"{result.thread_count} thread(s)")
+    if result.failure is not None:
+        print(f"FAILURE: {result.failure}")
+        return 1
+    print(f"exit value: {result.return_value}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    module = _load_module(args.file)
+    env = Environment(_parse_streams(args.stream), quantum=args.quantum)
+    encoder = PTEncoder(RingBuffer())
+    result = Interpreter(module, env, tracer=encoder).run()
+    trace = decode(encoder.buffer)
+    print(format_trace(trace, max_chunks=args.max_chunks))
+    print(f"\ntrace bytes: {encoder.bytes_emitted}")
+    if result.failure is not None:
+        print(f"run failed: {result.failure}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .evaluation.report import run_full_report
+
+    text = run_full_report(only=args.only,
+                           echo=lambda m: print(m, file=sys.stderr))
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Execution Reconstruction (PLDI 2021) — reproduce "
+                    "production failures from traces + reoccurrences")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the Table-1 workloads")
+
+    p = sub.add_parser("reproduce",
+                       help="reconstruct one workload's failure")
+    p.add_argument("workload")
+    p.add_argument("--work-limit", type=int, default=None,
+                   help="solver budget per query (the 30s-timeout analog)")
+    p.add_argument("--max-occurrences", type=int, default=None)
+    p.add_argument("--trace-after", type=int, default=0,
+                   help="enable tracing only after N untraced failures")
+    p.add_argument("--minimize", action="store_true",
+                   help="ddmin-shrink the generated test case")
+
+    for name, fn_help in (("run", "execute a textual-IR (.eir) program"),
+                          ("trace", "execute and dump the decoded PT "
+                                    "trace")):
+        p = sub.add_parser(name, help=fn_help)
+        p.add_argument("file")
+        p.add_argument("--stream", action="append", default=[],
+                       metavar="NAME=HEX|NAME=@FILE|NAME=text:STR",
+                       help="environment stream contents")
+        p.add_argument("--quantum", type=int, default=50)
+        if name == "trace":
+            p.add_argument("--max-chunks", type=int, default=50)
+
+    p = sub.add_parser("report",
+                       help="regenerate every evaluation table/figure")
+    p.add_argument("-o", "--output", default=None)
+    p.add_argument("--only", action="append", default=None,
+                   metavar="KEYWORD",
+                   help="run only sections whose title contains KEYWORD")
+
+    return parser
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "reproduce": cmd_reproduce,
+    "run": cmd_run,
+    "trace": cmd_trace,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except (ReproError, FileNotFoundError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,128 @@
+"""Constraint graph construction and bottleneck analysis (§3.2–3.3).
+
+The constraint graph's nodes are the (hash-consed) terms reachable from
+the stalled query: path constraints, the stalling terms, and the write
+chains of every object with symbolic stores.  Edges are the term argument
+relation; store nodes additionally distinguish *address* dependencies
+(their index argument) from value dependencies, matching Fig. 4.
+
+Bottleneck analysis finds the two structures the paper identifies as the
+key contributors to constraint complexity:
+
+1. the **longest symbolic write chain**, and
+2. the **write chain updating the largest symbolic memory object**,
+
+and collects the symbolic values read/written by the stores in those
+chains — the *bottleneck set*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from ..solver.terms import Term, base_array, iter_nodes
+from ..symex.result import StallInfo
+
+
+@dataclass
+class WriteChain:
+    """One maximal store chain, top (most recent) first."""
+
+    stores: List[Term]
+
+    def __len__(self) -> int:
+        return len(self.stores)
+
+    @property
+    def top(self) -> Term:
+        return self.stores[0]
+
+    @property
+    def base(self) -> Term:
+        return base_array(self.stores[-1])
+
+    @property
+    def object_size(self) -> int:
+        return self.base.width
+
+    def symbolic_members(self) -> List[Term]:
+        """Symbolic indices and values of the chain's stores, top first."""
+        out: List[Term] = []
+        seen: Set[Term] = set()
+        for store_node in self.stores:
+            _, index, value = store_node.args
+            for term in (index, value):
+                if not term.is_const and term not in seen:
+                    seen.add(term)
+                    out.append(term)
+        return out
+
+
+class ConstraintGraph:
+    """The dependency graph over a stalled query's terms."""
+
+    def __init__(self, roots: List[Term]):
+        self.roots = roots
+        self.nodes: List[Term] = list(iter_nodes(roots))
+        self._node_set: Set[Term] = set(self.nodes)
+
+    @classmethod
+    def from_stall(cls, stall: StallInfo) -> "ConstraintGraph":
+        roots = list(stall.constraints) + list(stall.stall_terms) + \
+            [c for c in stall.chains if c is not None]
+        return cls(roots)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    # -- chain discovery ---------------------------------------------------
+
+    def write_chains(self) -> List[WriteChain]:
+        """All maximal store chains in the graph."""
+        store_nodes = [n for n in self.nodes if n.op == "store"]
+        children = {n.args[0] for n in store_nodes
+                    if n.args[0].op == "store"}
+        chains: List[WriteChain] = []
+        for top in store_nodes:
+            if top in children:
+                continue  # not a chain top
+            stores = []
+            node = top
+            while node.op == "store":
+                stores.append(node)
+                node = node.args[0]
+            chains.append(WriteChain(stores))
+        return chains
+
+    def longest_chain(self) -> Optional[WriteChain]:
+        chains = self.write_chains()
+        if not chains:
+            return None
+        return max(chains, key=len)
+
+    def largest_object_chain(self) -> Optional[WriteChain]:
+        chains = self.write_chains()
+        if not chains:
+            return None
+        return max(chains, key=lambda c: c.object_size)
+
+    # -- bottleneck set ------------------------------------------------------
+
+    def bottleneck_set(self) -> List[Term]:
+        """Symbolic values involved in the two bottleneck chains (§3.3.2).
+
+        Returns terms in deterministic (chain, position) order; the two
+        chains may coincide, in which case members appear once.
+        """
+        selected: List[Term] = []
+        seen: Set[Term] = set()
+        for chain in (self.longest_chain(), self.largest_object_chain()):
+            if chain is None:
+                continue
+            for term in chain.symbolic_members():
+                if term not in seen:
+                    seen.add(term)
+                    selected.append(term)
+        return selected

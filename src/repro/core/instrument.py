@@ -1,0 +1,67 @@
+"""Instrumentation pass: insert ``ptwrite`` after selected program points.
+
+Models the paper's 156-LoC LLVM pass (§4): given a recording plan, emit a
+new module (the 'redeployed' binary) where each selected register is
+recorded into the PT trace right after it is defined.  Inserting shifts
+instruction indices, so insertions are applied per block in descending
+index order, and the pass returns the updated points for bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import IRError
+from ..ir import instructions as ins
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+from .selection import RecordingItem
+
+
+@dataclass
+class InstrumentationResult:
+    """The redeployed module plus tag bookkeeping."""
+
+    module: Module
+    #: ptwrite tag -> the recording item it implements
+    tag_map: Dict[int, RecordingItem] = field(default_factory=dict)
+    next_tag: int = 0
+
+
+def instrument(module: Module, items: List[RecordingItem],
+               next_tag: int = 0) -> InstrumentationResult:
+    """Return a new module with one ``ptwrite`` per recording item.
+
+    Items must reference points in ``module``; the defining instruction's
+    destination register must match the item's register.
+    """
+    new_module = module.clone()
+    tag_map: Dict[int, RecordingItem] = {}
+
+    by_block: Dict[Tuple[str, str], List[RecordingItem]] = {}
+    for item in items:
+        by_block.setdefault((item.point.func, item.point.block),
+                            []).append(item)
+
+    for (func_name, block_label), block_items in by_block.items():
+        block = new_module.function(func_name).block(block_label)
+        # descending index keeps earlier indices valid while inserting
+        for item in sorted(block_items, key=lambda i: i.point.index,
+                           reverse=True):
+            index = item.point.index
+            if index >= len(block.instrs):
+                raise IRError(f"recording point {item.point} out of range")
+            defining = block.instrs[index]
+            if defining.dest_register() != item.register:
+                raise IRError(
+                    f"recording point {item.point} defines "
+                    f"{defining.dest_register()!r}, not {item.register!r}")
+            tag = next_tag
+            next_tag += 1
+            tag_map[tag] = item
+            block.instrs.insert(index + 1, ins.PtWrite(item.register, tag))
+
+    verify_module(new_module)
+    return InstrumentationResult(module=new_module, tag_map=tag_map,
+                                 next_tag=next_tag)

@@ -1,0 +1,112 @@
+"""Test-case minimization: delta debugging on ER's generated inputs.
+
+ER guarantees its generated test case follows the recorded control flow,
+which can make it long (it replays the whole production session, benign
+requests included).  For debugging, a *shorter* input that still triggers
+the same failure signature is often preferable — the classic ddmin
+problem (Zeller & Hildebrandt, cited by the paper as input
+simplification).
+
+:func:`minimize_test_case` shrinks each stream with ddmin (the failure
+signature, not the control flow, is the oracle: minimization may legally
+leave the recorded path) and then normalizes surviving bytes toward
+zero.  Every candidate is validated by a full replay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..interp.env import Environment
+from ..interp.failures import FailureInfo
+from ..interp.interpreter import Interpreter
+from ..ir.module import Module
+from .report import TestCase
+
+
+def _reproduces(module: Module, streams: Dict[str, bytes], quantum: int,
+                failure: FailureInfo, max_steps: int) -> bool:
+    env = Environment(dict(streams), quantum=quantum)
+    result = Interpreter(module, env, max_steps=max_steps).run()
+    return result.failure is not None and result.failure.matches(failure)
+
+
+def ddmin(data: bytes, still_fails: Callable[[bytes], bool],
+          max_tests: int = 2000) -> bytes:
+    """Classic ddmin over a byte string.
+
+    ``still_fails(candidate)`` is the oracle; the input itself must fail.
+    """
+    assert still_fails(data), "ddmin needs a failing input"
+    granularity = 2
+    tests = 0
+    while len(data) >= 2:
+        chunk = max(1, len(data) // granularity)
+        reduced = False
+        start = 0
+        while start < len(data):
+            candidate = data[:start] + data[start + chunk:]
+            tests += 1
+            if tests > max_tests:
+                return data
+            if candidate != data and still_fails(candidate):
+                data = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                # retry at the same offset: the next chunk shifted here
+            else:
+                start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(len(data), granularity * 2)
+    return data
+
+
+def _zero_normalize(data: bytes, still_fails: Callable[[bytes], bool],
+                    max_tests: int = 512) -> bytes:
+    """Second pass: flip surviving bytes to zero where possible."""
+    out = bytearray(data)
+    tests = 0
+    for index in range(len(out)):
+        if out[index] == 0:
+            continue
+        tests += 1
+        if tests > max_tests:
+            break
+        candidate = bytes(out[:index]) + b"\x00" + bytes(out[index + 1:])
+        if still_fails(candidate):
+            out[index] = 0
+    return bytes(out)
+
+
+def minimize_test_case(module: Module, test_case: TestCase,
+                       failure: FailureInfo, *,
+                       max_steps: int = 20_000_000,
+                       normalize: bool = True) -> TestCase:
+    """A smaller test case that reproduces the same failure signature."""
+    streams = {name: bytes(data)
+               for name, data in test_case.streams.items()}
+
+    for name in sorted(streams):
+        def oracle(candidate: bytes, _name=name) -> bool:
+            trial = dict(streams)
+            trial[_name] = candidate
+            return _reproduces(module, trial, test_case.quantum, failure,
+                               max_steps)
+
+        if not oracle(streams[name]):
+            # this stream interacts with others in a way the per-stream
+            # oracle cannot see; leave it alone
+            continue
+        reduced = ddmin(streams[name], oracle)
+        if normalize:
+            reduced = _zero_normalize(reduced, oracle)
+        streams[name] = reduced
+
+    minimized = TestCase(streams=streams, quantum=test_case.quantum,
+                         description=test_case.description
+                         + " (minimized)")
+    assert _reproduces(module, minimized.streams, minimized.quantum,
+                       failure, max_steps)
+    return minimized

@@ -1,0 +1,183 @@
+"""The iterative reconstruction loop (§3, Fig. 2).
+
+Each iteration: wait for the failure to reoccur in production, ship the
+trace, run shepherded symbolic execution, and either
+
+* **complete** — solve for inputs, build a test case, verify it by
+  replaying the deployed module, and return; or
+* **stall** — run key data value selection on the constraint graph,
+  instrument the program with ``ptwrite``s for the recording set, and
+  redeploy for the next occurrence.
+
+The loop is guaranteed to make progress for reoccurring failures because
+every recorded value strictly concretizes part of the constraint graph.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import dataclasses
+
+from ..errors import ReconstructionError
+from ..interp.failures import FailureInfo
+from ..interp.interpreter import Interpreter
+from ..ir import instructions as ins
+from ..ir.module import Module, ProgramPoint
+from ..solver.budget import DEFAULT_WORK_LIMIT, WORK_PER_SECOND
+from ..symex.engine import ShepherdedSymex
+from ..symex.result import StallInfo
+from .instrument import instrument
+from .production import ProductionSite
+from .report import IterationRecord, ReconstructionReport, TestCase
+from .selection import RecordingPlan, select_key_values
+
+SelectionFn = Callable[[StallInfo, frozenset], RecordingPlan]
+
+
+def _exact_driver(module, trace, failure, **kwargs):
+    return ShepherdedSymex(module, trace, failure, **kwargs).run()
+
+
+def _recovering_driver(module, trace, failure, **kwargs):
+    """Driver tolerating lost TNT bits and ambiguous chunk orders.
+
+    Gap search runs inside each candidate chunk order; for exact traces
+    this collapses to a single plain replay.
+    """
+    from ..symex.gaps import replay_with_gap_recovery
+    from ..symex.ordering import ambiguous_groups, candidate_orders
+    from ..trace.decoder import DecodedTrace
+
+    if not ambiguous_groups(trace.chunks):
+        return replay_with_gap_recovery(module, trace, failure, **kwargs)
+    last = None
+    for chunks in candidate_orders(trace.chunks):
+        candidate = DecodedTrace(chunks=chunks, truncated=trace.truncated)
+        result = replay_with_gap_recovery(module, candidate, failure,
+                                          **kwargs)
+        if result.status != "diverged":
+            return result
+        last = result
+    return last
+
+
+class ExecutionReconstructor:
+    """End-to-end ER: reproduces a reoccurring production failure."""
+
+    def __init__(self, module: Module, *,
+                 work_limit: int = DEFAULT_WORK_LIMIT,
+                 max_occurrences: int = 20,
+                 verify: bool = True,
+                 selection: SelectionFn = select_key_values,
+                 trace_recovery: bool = False):
+        self.module = module
+        self.work_limit = work_limit
+        self.max_occurrences = max_occurrences
+        self.verify = verify
+        self.selection = selection
+        #: tolerate degraded traces (lost TNT bits, timestamp-merged
+        #: chunk order) by searching during replay — see DESIGN.md
+        self.symex_driver = (_recovering_driver if trace_recovery
+                             else _exact_driver)
+
+    # ------------------------------------------------------------------
+
+    def reconstruct(self, production: ProductionSite) -> ReconstructionReport:
+        deployed = self.module.clone()
+        next_tag = 0
+        signature: Optional[FailureInfo] = None
+        iterations: List[IterationRecord] = []
+        already_recorded: set = set()
+
+        for occurrence_no in range(1, self.max_occurrences + 1):
+            occurrence = production.run_once(deployed)
+            normalized = _normalize_failure(deployed, occurrence.failure)
+            if signature is None:
+                signature = normalized
+            elif not signature.matches(normalized):
+                # a different bug: keep waiting for ours (paper matches
+                # failures on PC + call stack)
+                continue
+
+            result = self.symex_driver(deployed, occurrence.trace,
+                                       occurrence.failure,
+                                       work_limit=self.work_limit)
+            record = IterationRecord(
+                occurrence=occurrence_no,
+                status=result.status,
+                instr_count=occurrence.run.instr_count,
+                trace_bytes=occurrence.trace_bytes,
+                symex_wall_seconds=result.stats.wall_seconds,
+                symex_modelled_seconds=result.stats.solver_work
+                / WORK_PER_SECOND,
+                solver_calls=result.stats.solver_calls,
+            )
+            iterations.append(record)
+
+            if result.completed:
+                test_case = TestCase(
+                    streams=result.model.streams(),
+                    quantum=occurrence.run.env.quantum,
+                    description=f"generated for {occurrence.failure}",
+                )
+                verified = (self._verify(deployed, test_case,
+                                         occurrence.failure)
+                            if self.verify else False)
+                if self.verify and not verified:
+                    raise ReconstructionError(
+                        "generated test case failed replay verification")
+                return ReconstructionReport(
+                    success=True, failure=occurrence.failure,
+                    test_case=test_case, occurrences=occurrence_no,
+                    iterations=iterations, verified=verified,
+                    final_module=deployed)
+
+            if result.status == "diverged":
+                raise ReconstructionError(
+                    f"shepherded symbolic execution diverged: "
+                    f"{result.divergence_reason}")
+
+            # stalled: select key data values and redeploy
+            plan = self.selection(result.stall, frozenset(already_recorded))
+            record.recorded_items = list(plan.items)
+            record.recording_cost = plan.total_cost
+            record.graph_nodes = plan.graph_nodes
+            record.stall_point = str(result.stall.point)
+            if not plan.items:
+                raise ReconstructionError(
+                    "stalled but nothing recordable was selected")
+            instrumented = instrument(deployed, plan.items, next_tag)
+            deployed = instrumented.module
+            next_tag = instrumented.next_tag
+            already_recorded.update(
+                (item.point.func, item.register) for item in plan.items)
+
+        return ReconstructionReport(
+            success=False, failure=signature, test_case=None,
+            occurrences=self.max_occurrences, iterations=iterations,
+            final_module=deployed)
+
+    # ------------------------------------------------------------------
+
+    def _verify(self, deployed: Module, test_case: TestCase,
+                failure: FailureInfo) -> bool:
+        """Replay the generated input: must hit the same failure."""
+        result = Interpreter(deployed, test_case.environment()).run()
+        return (result.failure is not None
+                and result.failure.matches(failure))
+
+
+def _normalize_failure(module: Module, failure: FailureInfo) -> FailureInfo:
+    """Map a failure point back to pre-instrumentation coordinates.
+
+    Inserted ``ptwrite`` instructions shift indices within a block, so
+    failure signatures are compared after discounting them — the analog
+    of REPT/ER matching failures across binary versions by symbolized PC.
+    """
+    block = module.function(failure.point.func).block(failure.point.block)
+    upto = block.instrs[: failure.point.index]
+    shift = sum(1 for instr in upto if isinstance(instr, ins.PtWrite))
+    point = ProgramPoint(failure.point.func, failure.point.block,
+                         failure.point.index - shift)
+    return dataclasses.replace(failure, point=point)

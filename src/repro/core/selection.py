@@ -1,0 +1,185 @@
+"""Key data value selection (§3.3.2): bottleneck set → recording set.
+
+Every symbolic term may carry *provenance*: the program point (and
+destination register) that defined it, plus the value's size in bytes.
+Recording a provenanced term costs ``size × dynamic-execution-count`` —
+the paper's ``C_i = sizeof(E_i) × Count(E_i)``.
+
+The recording set starts as the bottleneck set and is minimized with the
+paper's depth-first search: an element is replaced by a cheaper set of
+recordable descendants whenever those determine it.  Determinacy follows
+the constraint-graph structure — ``Read(arr, idx)`` is determined when
+both the chain and the index are, constants are always determined, and
+an input variable only by recording it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional
+
+from ..ir.module import ProgramPoint
+from ..solver.terms import Term, term_size
+from ..symex.result import StallInfo
+from .constraint_graph import ConstraintGraph
+
+#: bytes of PTW packet framing per recorded value (kind + tag varint);
+#: recording cost is per *packet*, so low-execution-count values beat
+#: per-byte-cheap but hot ones
+PTW_HEADER_BYTES = 2
+
+
+@dataclass(frozen=True, order=True)
+class RecordingItem:
+    """One value to record: insert a ``ptwrite`` after ``point``."""
+
+    point: ProgramPoint
+    register: str
+    size: int
+
+    def cost(self, exec_counts) -> int:
+        """The paper's C_i = sizeof(E_i) x Count(E_i), at PTW-packet
+        granularity: every recorded value costs its payload plus the
+        packet header each time the point executes."""
+        return ((self.size + PTW_HEADER_BYTES)
+                * max(1, exec_counts.get(self.point, 1)))
+
+
+@dataclass
+class RecordingPlan:
+    """The outcome of one key-data-value-selection round."""
+
+    items: List[RecordingItem]
+    bottleneck: List[Term]
+    graph_nodes: int
+    total_cost: int
+
+    def __bool__(self) -> bool:
+        return bool(self.items)
+
+
+def _unit_of(term: Term) -> Optional[RecordingItem]:
+    if term.prov is None:
+        return None
+    point, register, size = term.prov
+    return RecordingItem(point, register, size)
+
+
+class _MinCostSearch:
+    """Memoized min-cost determining-set computation over the graph."""
+
+    def __init__(self, exec_counts, chosen: set, excluded: frozenset):
+        self.exec_counts = exec_counts
+        self.chosen = chosen  # units already selected: marginal cost 0
+        #: (func, register) pairs recorded in earlier iterations that did
+        #: not unblock solving: re-recording them cannot help, so the
+        #: search must go deeper (toward the inputs) instead
+        self.excluded = excluded
+        self._memo: Dict[int, Optional[FrozenSet[RecordingItem]]] = {}
+
+    def cost_of(self, units: FrozenSet[RecordingItem]) -> int:
+        return sum(u.cost(self.exec_counts) for u in units
+                   if u not in self.chosen)
+
+    def determining_set(self, term: Term) -> Optional[FrozenSet[RecordingItem]]:
+        """Cheapest unit set that makes ``term`` concrete, or None."""
+        key = id(term)
+        if key in self._memo:
+            return self._memo[key]
+        self._memo[key] = None  # cycle guard (terms are acyclic, but safe)
+        result = self._compute(term)
+        self._memo[key] = result
+        return result
+
+    def _usable_unit(self, term: Term) -> Optional[RecordingItem]:
+        unit = _unit_of(term)
+        if unit is None:
+            return None
+        if (unit.point.func, unit.register) in self.excluded:
+            return None
+        return unit
+
+    def _compute(self, term: Term) -> Optional[FrozenSet[RecordingItem]]:
+        if term.is_const or term.op == "array":
+            return frozenset()
+        if term.op == "var":
+            # a free input byte is determined only by recording it (its
+            # provenance points at the Input instruction's register)
+            unit = self._usable_unit(term)
+            return frozenset((unit,)) if unit is not None else None
+        unit = self._usable_unit(term)
+        child_terms = [a for a in term.args if isinstance(a, Term)]
+        children: Optional[FrozenSet[RecordingItem]] = frozenset()
+        for child in child_terms:
+            child_set = self.determining_set(child)
+            if child_set is None:
+                children = None
+                break
+            children = children | child_set
+        if unit is None:
+            return children
+        unit_set = frozenset((unit,))
+        if children is None:
+            return unit_set
+        if self.cost_of(children) < self.cost_of(unit_set):
+            return children
+        return unit_set
+
+
+def select_key_values(stall: StallInfo,
+                      already_recorded: frozenset = frozenset()
+                      ) -> RecordingPlan:
+    """The paper's key-data-value-selection algorithm (§3.3.2).
+
+    1. Build the constraint graph from the stall.
+    2. Compute the bottleneck set (longest chain + largest-object chain).
+    3. Minimize the recording cost: replace each element by a cheaper
+       determining set of recordable descendants where possible.
+
+    ``already_recorded`` holds (func, register) pairs instrumented in
+    earlier iterations; they are excluded so the search digs deeper
+    (ultimately to the raw inputs) when a recorded value was not enough.
+    """
+    graph = ConstraintGraph.from_stall(stall)
+    bottleneck = graph.bottleneck_set()
+    if not bottleneck:
+        # No symbolic write chain: the stall came from the query itself
+        # (a bounds check over a complex index) or from the final solve.
+        # Fall back to the stalled query's terms, then the constraints.
+        fallback = stall.stall_terms if stall.stall_terms \
+            else stall.constraints
+        seen = set()
+        for term in fallback:
+            if isinstance(term, Term) and not term.is_const \
+                    and term not in seen:
+                seen.add(term)
+                bottleneck.append(term)
+    exec_counts = stall.exec_counts
+
+    # Process cheap elements first so expensive ones can reuse them;
+    # break cost ties toward structurally simpler terms (inputs before
+    # derived reads), which keeps the Fig. 3/4 walkthrough's outcome.
+    def element_key(term: Term):
+        unit = _unit_of(term)
+        cost = unit.cost(exec_counts) if unit else 1 << 30
+        return (cost, term_size(term))
+
+    ordered = sorted(bottleneck, key=element_key)
+    chosen: set = set()
+    for term in ordered:
+        search = _MinCostSearch(exec_counts, chosen, already_recorded)
+        det = search.determining_set(term)
+        if det is not None:
+            chosen.update(det)
+        else:
+            unit = _unit_of(term)
+            if unit is not None and \
+                    (unit.point.func, unit.register) not in already_recorded:
+                chosen.add(unit)
+            # else: not recordable at all; skip (another element may
+            # cover it, or the next iteration stalls differently)
+
+    items = sorted(chosen)
+    total = sum(item.cost(exec_counts) for item in items)
+    return RecordingPlan(items=items, bottleneck=bottleneck,
+                         graph_nodes=graph.node_count, total_cost=total)

@@ -1,0 +1,31 @@
+"""Harnesses that regenerate every table and figure of the evaluation."""
+
+from .accuracy import AccuracyResult, run_accuracy
+from .casestudy import CaseStudyResult, run_casestudy
+from .figure1 import Figure1Result, run_figure1
+from .figure5 import Figure5Result, run_figure5
+from .figure6 import Figure6Result, measure_workload, run_figure6
+from .random_cmp import RandomCmpResult, run_random_comparison
+from .report import run_full_report
+from .table1 import Table1Result, Table1Row, run_table1, run_workload
+
+__all__ = [
+    "AccuracyResult",
+    "run_accuracy",
+    "CaseStudyResult",
+    "run_casestudy",
+    "Figure1Result",
+    "run_figure1",
+    "Figure5Result",
+    "run_figure5",
+    "Figure6Result",
+    "measure_workload",
+    "run_figure6",
+    "RandomCmpResult",
+    "run_random_comparison",
+    "run_full_report",
+    "Table1Result",
+    "Table1Row",
+    "run_table1",
+    "run_workload",
+]

@@ -1,0 +1,103 @@
+"""Figure 1: prior techniques on the efficiency/effectiveness/accuracy
+spectra.
+
+The figure is qualitative in the paper; here it is generated from a
+registry of technique properties (each scored 0..10 per axis with the
+usability boundary at 5), so the motivating claim — *no prior system
+clears all three boundaries; ER does* — is checkable programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .formatting import render_table
+
+#: position of the usability boundary on every axis
+BOUNDARY = 5
+
+
+@dataclass(frozen=True)
+class Technique:
+    name: str
+    #: (min, max) position per axis; a range models configurable systems
+    efficiency: Tuple[int, int]
+    effectiveness: Tuple[int, int]
+    accuracy: Tuple[int, int]
+    note: str = ""
+
+    def clears(self, axis: str) -> bool:
+        """Some configuration of the technique clears this axis."""
+        lo, hi = getattr(self, axis)
+        return hi > BOUNDARY
+
+    def clears_all(self) -> bool:
+        """One *single* configuration clears every axis.
+
+        Ranged systems (hybrid RR, BugRedux) trade the axes against each
+        other — their efficient configurations are the inaccurate ones —
+        so simultaneous clearance requires the conservative (low) end of
+        each range to sit past the boundary.
+        """
+        return all(getattr(self, a)[0] > BOUNDARY for a in
+                   ("efficiency", "effectiveness", "accuracy"))
+
+
+#: the systems §2 places on the spectra
+TECHNIQUES: List[Technique] = [
+    Technique("Full RR", (0, 1), (9, 10), (9, 10),
+              "records everything; up to 2x overhead"),
+    Technique("Efficient RR", (7, 8), (2, 3), (9, 10),
+              "cannot replay data races"),
+    Technique("Hybrid RR", (2, 7), (3, 8), (4, 8),
+              "granularity-dependent (PRES/ODR)"),
+    Technique("BugRedux", (1, 4), (2, 4), (6, 7),
+              "call-sequence vs full tracing"),
+    Technique("ESD", (9, 10), (2, 3), (6, 7),
+              "purely offline; solver may time out"),
+    Technique("RDE", (9, 10), (2, 4), (6, 7),
+              "guides symbex with logs"),
+    Technique("REPT", (8, 9), (3, 4), (1, 3),
+              "inaccurate beyond 100K instructions"),
+    Technique("POMP", (8, 9), (3, 4), (2, 4),
+              "core-dump reverse execution"),
+    Technique("ER", (8, 9), (7, 8), (6, 8),
+              "this paper: clears every boundary"),
+]
+
+
+@dataclass
+class Figure1Result:
+    techniques: List[Technique]
+
+    def usable(self, axis: str) -> List[str]:
+        return [t.name for t in self.techniques if t.clears(axis)]
+
+    def clears_all(self) -> List[str]:
+        return [t.name for t in self.techniques if t.clears_all()]
+
+    def render(self) -> str:
+        headers = ["Technique", "Efficiency", "Effectiveness", "Accuracy",
+                   "Clears all?", "Note"]
+
+        def bar(span: Tuple[int, int]) -> str:
+            lo, hi = span
+            cells = ["·"] * 11
+            for i in range(lo, hi + 1):
+                cells[i] = "█"
+            cells.insert(BOUNDARY + 1, "|")
+            return "".join(cells)
+
+        rows = [[t.name, bar(t.efficiency), bar(t.effectiveness),
+                 bar(t.accuracy), "YES" if t.clears_all() else "no",
+                 t.note] for t in self.techniques]
+        legend = ("\n('|' is the usability boundary; a technique is usable "
+                  "on an axis when its range crosses it)")
+        return render_table(
+            headers, rows,
+            "Figure 1 — failure-reproduction property spectra") + legend
+
+
+def run_figure1() -> Figure1Result:
+    return Figure1Result(list(TECHNIQUES))

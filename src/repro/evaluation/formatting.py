@@ -1,0 +1,36 @@
+"""Plain-text table/series rendering for the evaluation harnesses."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Column-aligned text table (the harnesses' human-readable output)."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, points: Sequence, x_label: str,
+                  y_label: str) -> str:
+    """Render an (x, y) series as indented text (figure data)."""
+    lines = [f"{title}  [{x_label} -> {y_label}]"]
+    for x, y in points:
+        lines.append(f"  {x:>12}  {y}")
+    return "\n".join(lines)
+
+
+def percent(value: float, digits: int = 2) -> str:
+    return f"{value * 100:.{digits}f}%"

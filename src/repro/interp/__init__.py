@@ -1,0 +1,23 @@
+"""Concrete interpreter: the simulated production runtime."""
+
+from .env import CLOCK_STREAM, EnvEvent, Environment
+from .failures import FailureInfo, FailureKind, MemoryFault
+from .interpreter import Interpreter, NullTracer, RunResult
+from .memory import GLOBAL_BASE, HEAP_BASE, STACK_BASE, Memory, MemoryObject
+
+__all__ = [
+    "CLOCK_STREAM",
+    "EnvEvent",
+    "Environment",
+    "FailureInfo",
+    "FailureKind",
+    "MemoryFault",
+    "Interpreter",
+    "NullTracer",
+    "RunResult",
+    "Memory",
+    "MemoryObject",
+    "GLOBAL_BASE",
+    "HEAP_BASE",
+    "STACK_BASE",
+]

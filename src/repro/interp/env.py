@@ -1,0 +1,87 @@
+"""Environment model: the sources of non-determinism a guest program sees.
+
+A guest reads from named byte streams (``stdin``, ``net``, ``file:cfg``,
+...) via the ``input`` instruction.  The special ``clock`` stream returns a
+monotonically increasing counter.  Streams that run dry return zero bytes,
+so executions stay deterministic for a given :class:`Environment`.
+
+The environment also carries the scheduler parameters (quantum, rotation)
+because thread interleaving is environment non-determinism too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+CLOCK_STREAM = "clock"
+
+#: bytes of stream input covered by one buffered read(2) call
+IO_CHUNK = 64
+
+
+@dataclass
+class EnvEvent:
+    """One non-deterministic event, as a record/replay system sees it."""
+
+    stream: str
+    offset: int
+    data: bytes
+
+
+class Environment:
+    """Concrete environment: named byte streams plus a virtual clock."""
+
+    def __init__(self, streams: Dict[str, bytes] = None, *,
+                 clock_start: int = 1_000_000, clock_step: int = 7,
+                 quantum: int = 50):
+        self.streams: Dict[str, bytes] = dict(streams or {})
+        self.clock_start = clock_start
+        self.clock_step = clock_step
+        #: scheduler quantum in instructions (thread interleaving knob)
+        self.quantum = quantum
+        self._cursors: Dict[str, int] = {}
+        self._clock = clock_start
+        self.events: List[EnvEvent] = []
+
+    def clone(self) -> "Environment":
+        """A fresh environment with the same contents and cursors reset."""
+        return Environment(dict(self.streams), clock_start=self.clock_start,
+                           clock_step=self.clock_step, quantum=self.quantum)
+
+    def read(self, stream: str, size: int) -> bytes:
+        """Read ``size`` bytes; dry streams yield zeros."""
+        if stream == CLOCK_STREAM:
+            value = self._clock
+            self._clock += self.clock_step
+            data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+            self.events.append(EnvEvent(stream, value, data))
+            return data
+        cursor = self._cursors.get(stream, 0)
+        content = self.streams.get(stream, b"")
+        data = content[cursor:cursor + size]
+        if len(data) < size:
+            data = data + b"\x00" * (size - len(data))
+        self._cursors[stream] = cursor + size
+        self.events.append(EnvEvent(stream, cursor, data))
+        return data
+
+    def bytes_consumed(self, stream: str) -> int:
+        return self._cursors.get(stream, 0)
+
+    def event_count(self) -> int:
+        """Number of non-deterministic events (rr's recording unit)."""
+        return len(self.events)
+
+    def syscall_estimate(self) -> int:
+        """Estimated syscalls for this execution's I/O.
+
+        Programs read input through buffered stdio, so one read(2)
+        covers :data:`IO_CHUNK` bytes of a stream; clock reads are one
+        syscall each.  This is the unit rr pays its per-event cost on.
+        """
+        clock_reads = sum(1 for e in self.events
+                          if e.stream == CLOCK_STREAM)
+        stream_reads = sum((cursor + IO_CHUNK - 1) // IO_CHUNK
+                           for cursor in self._cursors.values())
+        return clock_reads + stream_reads + 2  # +2: spawn/exit

@@ -1,0 +1,65 @@
+"""Failure classification for guest programs.
+
+A *failure* is the observable event ER reproduces: a memory-safety trap, a
+failed assertion, an explicit abort, a division by zero, or a detected
+hang.  :class:`FailureInfo` carries enough to match reoccurrences of the
+same failure (the paper matches on program counter + call stack).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..ir.module import ProgramPoint
+
+
+class FailureKind(enum.Enum):
+    NULL_DEREF = "null-pointer-dereference"
+    OUT_OF_BOUNDS = "out-of-bounds-access"
+    USE_AFTER_FREE = "use-after-free"
+    DOUBLE_FREE = "double-free"
+    DIV_BY_ZERO = "division-by-zero"
+    ASSERT = "assertion-failure"
+    ABORT = "abort"
+    STACK_OVERFLOW = "stack-overflow"
+    HANG = "hang"
+
+
+@dataclass(frozen=True)
+class FailureInfo:
+    """Identity of a failure occurrence.
+
+    Two occurrences are 'the same failure' when kind, point, and call stack
+    match — the matching rule the paper's prototype uses.
+    """
+
+    kind: FailureKind
+    point: ProgramPoint
+    call_stack: Tuple[str, ...] = ()
+    message: str = ""
+    tid: int = 0
+    address: Optional[int] = None
+
+    def matches(self, other: "FailureInfo") -> bool:
+        """Same failure signature (ignores tid and faulting address)."""
+        return (self.kind == other.kind
+                and self.point == other.point
+                and self.call_stack == other.call_stack)
+
+    def __str__(self) -> str:
+        stack = " < ".join(reversed(self.call_stack)) or "?"
+        extra = f" addr=0x{self.address:x}" if self.address is not None else ""
+        return (f"{self.kind.value} at {self.point} [{stack}]"
+                f"{': ' + self.message if self.message else ''}{extra}")
+
+
+class MemoryFault(Exception):
+    """Internal signal raised by the memory model; converted to FailureInfo."""
+
+    def __init__(self, kind: FailureKind, address: int, message: str = ""):
+        self.kind = kind
+        self.address = address
+        self.message = message
+        super().__init__(f"{kind.value} at 0x{address:x} {message}")

@@ -1,0 +1,15 @@
+"""Likely-invariant inference (Daikon-lite) and MIMIC localization."""
+
+from .daikon import (Invariant, InvariantMiner, Sample, SampleCollector,
+                     check_invariants)
+from .mimic import Localization, MimicLocalizer
+
+__all__ = [
+    "Invariant",
+    "InvariantMiner",
+    "Sample",
+    "SampleCollector",
+    "check_invariants",
+    "Localization",
+    "MimicLocalizer",
+]

@@ -1,0 +1,224 @@
+"""Daikon-lite: likely program invariants from observed executions.
+
+Samples variable values at function entries and returns, and infers the
+classic Daikon unary/binary invariant templates over them:
+
+* ``x == c`` (constant), ``x in {a, b, c}`` (one-of small sets),
+  ``lo <= x <= hi`` (range), ``x != 0`` (non-zero),
+  ``x ≡ r (mod m)`` (modulus)
+* ``x == y``, ``x <= y``, ``x - y == c`` over same-scope pairs
+
+An invariant is *likely* when it held on every passing sample.  MIMIC
+(§5.4) feeds a failing execution through the same sampler and reports the
+violated invariants as candidate root causes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..interp.env import Environment
+from ..interp.interpreter import Interpreter, RunResult
+from ..ir import instructions as ins
+from ..ir.module import Module
+from ..ir.types import to_signed
+
+RETURN_VAR = "return"
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One likely invariant at a program point (function scope)."""
+
+    func: str
+    kind: str  # const | oneof | range | nonzero | mod | eq | le | diff
+    vars: Tuple[str, ...]
+    params: Tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        v = self.vars
+        p = self.params
+        if self.kind == "const":
+            return f"{self.func}: {v[0]} == {p[0]}"
+        if self.kind == "oneof":
+            return f"{self.func}: {v[0]} in {{{', '.join(map(str, p))}}}"
+        if self.kind == "mod":
+            return f"{self.func}: {v[0]} % {p[0]} == {p[1]}"
+        if self.kind == "range":
+            return f"{self.func}: {p[0]} <= {v[0]} <= {p[1]}"
+        if self.kind == "nonzero":
+            return f"{self.func}: {v[0]} != 0"
+        if self.kind == "eq":
+            return f"{self.func}: {v[0]} == {v[1]}"
+        if self.kind == "le":
+            return f"{self.func}: {v[0]} <= {v[1]}"
+        if self.kind == "diff":
+            return f"{self.func}: {v[0]} - {v[1]} == {p[0]}"
+        return f"{self.func}: ?"
+
+    def holds(self, sample: Dict[str, int]) -> Optional[bool]:
+        """True/False if checkable on this sample, None if vars missing."""
+        values = []
+        for name in self.vars:
+            if name not in sample:
+                return None
+            values.append(to_signed(sample[name]))
+        if self.kind == "const":
+            return values[0] == self.params[0]
+        if self.kind == "oneof":
+            return values[0] in self.params
+        if self.kind == "mod":
+            return values[0] % self.params[0] == self.params[1]
+        if self.kind == "range":
+            return self.params[0] <= values[0] <= self.params[1]
+        if self.kind == "nonzero":
+            return values[0] != 0
+        if self.kind == "eq":
+            return values[0] == values[1]
+        if self.kind == "le":
+            return values[0] <= values[1]
+        if self.kind == "diff":
+            return values[0] - values[1] == self.params[0]
+        return None
+
+
+@dataclass
+class Sample:
+    """Variable values observed at one dynamic function entry/return."""
+
+    func: str
+    values: Dict[str, int]
+
+
+class SampleCollector:
+    """Hooks the interpreter to collect entry/return samples."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.samples: List[Sample] = []
+        self._seen_frames = set()
+
+    def run(self, env: Environment,
+            max_steps: int = 5_000_000) -> RunResult:
+        interp = Interpreter(self.module, env, on_step=self._on_step,
+                             max_steps=max_steps)
+        return interp.run()
+
+    def _on_step(self, thread, point, instr):
+        frame = thread.frame
+        if id(frame) not in self._seen_frames:
+            self._seen_frames.add(id(frame))
+            values = {p: frame.regs[p] for p in frame.func.params
+                      if p in frame.regs}
+            if values:
+                self.samples.append(Sample(frame.func.name, values))
+        if isinstance(instr, ins.Ret) and instr.value is not None:
+            value = (frame.regs.get(instr.value)
+                     if isinstance(instr.value, str) else instr.value)
+            if value is not None:
+                record = {RETURN_VAR: value}
+                record.update({p: frame.regs[p] for p in frame.func.params
+                               if p in frame.regs})
+                self.samples.append(Sample(frame.func.name + ":exit",
+                                           record))
+
+
+class InvariantMiner:
+    """Fits the invariant templates over passing-run samples."""
+
+    def __init__(self):
+        self._stats: Dict[Tuple[str, str], Dict] = {}
+        self._pairs: Dict[Tuple[str, str, str], Dict] = {}
+
+    def add_samples(self, samples: List[Sample]) -> None:
+        for sample in samples:
+            names = sorted(sample.values)
+            for name in names:
+                value = to_signed(sample.values[name])
+                stats = self._stats.setdefault((sample.func, name), {
+                    "values": set(), "min": value, "max": value,
+                    "nonzero": True, "count": 0, "mod": None})
+                stats["count"] += 1
+                if len(stats["values"]) <= 4:
+                    stats["values"].add(value)
+                if stats["mod"] is None:
+                    stats["mod"] = ("seed", value)
+                elif stats["mod"][0] == "seed":
+                    gap = abs(value - stats["mod"][1])
+                    if gap >= 2:
+                        stats["mod"] = (gap, value % gap)
+                    elif gap == 1:
+                        stats["mod"] = (0, 0)  # consecutive: no modulus
+                elif stats["mod"][0] not in (0,):
+                    modulus, remainder = stats["mod"]
+                    new_mod = math.gcd(modulus,
+                                       abs(value - remainder)) \
+                        if value % modulus != remainder else modulus
+                    stats["mod"] = ((new_mod, remainder % new_mod)
+                                    if new_mod >= 2 else (0, 0))
+                stats["min"] = min(stats["min"], value)
+                stats["max"] = max(stats["max"], value)
+                if value == 0:
+                    stats["nonzero"] = False
+            for i, a in enumerate(names):
+                for b in names[i + 1:]:
+                    va = to_signed(sample.values[a])
+                    vb = to_signed(sample.values[b])
+                    pair = self._pairs.setdefault((sample.func, a, b), {
+                        "eq": True, "le": True, "ge": True,
+                        "diff": va - vb, "diff_const": True, "count": 0})
+                    pair["count"] += 1
+                    pair["eq"] = pair["eq"] and va == vb
+                    pair["le"] = pair["le"] and va <= vb
+                    pair["ge"] = pair["ge"] and va >= vb
+                    pair["diff_const"] = (pair["diff_const"]
+                                          and va - vb == pair["diff"])
+
+    def invariants(self, min_samples: int = 2) -> List[Invariant]:
+        out: List[Invariant] = []
+        for (func, name), stats in sorted(self._stats.items()):
+            if stats["count"] < min_samples:
+                continue
+            if len(stats["values"]) == 1:
+                out.append(Invariant(func, "const", (name,),
+                                     (next(iter(stats["values"])),)))
+                continue
+            if 1 < len(stats["values"]) <= 4:
+                out.append(Invariant(func, "oneof", (name,),
+                                     tuple(sorted(stats["values"]))))
+            out.append(Invariant(func, "range", (name,),
+                                 (stats["min"], stats["max"])))
+            if stats["nonzero"]:
+                out.append(Invariant(func, "nonzero", (name,)))
+            mod = stats.get("mod")
+            if mod and mod[0] not in ("seed", 0) and mod[0] >= 2:
+                out.append(Invariant(func, "mod", (name,),
+                                     (mod[0], mod[1])))
+        for (func, a, b), pair in sorted(self._pairs.items()):
+            if pair["count"] < min_samples:
+                continue
+            if pair["eq"]:
+                out.append(Invariant(func, "eq", (a, b)))
+            elif pair["diff_const"]:
+                out.append(Invariant(func, "diff", (a, b), (pair["diff"],)))
+            elif pair["le"]:
+                out.append(Invariant(func, "le", (a, b)))
+            elif pair["ge"]:
+                out.append(Invariant(func, "le", (b, a)))
+        return out
+
+
+def check_invariants(invariants: List[Invariant],
+                     samples: List[Sample]) -> List[Tuple[Invariant, Sample]]:
+    """All (invariant, sample) violations, in execution order."""
+    violations = []
+    for sample in samples:
+        for inv in invariants:
+            if inv.func != sample.func:
+                continue
+            held = inv.holds(sample.values)
+            if held is False:
+                violations.append((inv, sample))
+    return violations

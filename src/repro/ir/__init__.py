@@ -1,0 +1,41 @@
+"""Miniature compiler IR: the substrate programs ER reproduces failures in.
+
+Public surface:
+
+* :class:`Module`, :class:`Function`, :class:`BasicBlock`,
+  :class:`ProgramPoint`, :class:`GlobalObject` — program representation.
+* :class:`ModuleBuilder` / :class:`FunctionBuilder` — Python construction API.
+* :func:`parse_module` / :func:`format_module` — textual round-trip.
+* :func:`verify_module` — static well-formedness checks.
+* ``instructions`` — the instruction dataclasses.
+"""
+
+from . import instructions
+from .builder import FunctionBuilder, ModuleBuilder
+from .module import BasicBlock, Function, GlobalObject, Module, ProgramPoint
+from .parser import parse_module
+from .printer import format_instr, format_module
+from .types import MASK64, WORD_BITS, bytes_le, int_le, mask, sign_extend, to_signed
+from .verifier import verify_module
+
+__all__ = [
+    "instructions",
+    "FunctionBuilder",
+    "ModuleBuilder",
+    "BasicBlock",
+    "Function",
+    "GlobalObject",
+    "Module",
+    "ProgramPoint",
+    "parse_module",
+    "format_instr",
+    "format_module",
+    "verify_module",
+    "MASK64",
+    "WORD_BITS",
+    "mask",
+    "to_signed",
+    "sign_extend",
+    "bytes_le",
+    "int_le",
+]

@@ -1,0 +1,80 @@
+"""Shared concrete semantics of IR arithmetic.
+
+The concrete interpreter, the constraint solver's evaluator, and the
+symbolic executor's constant folding must agree bit-for-bit; they all call
+these two functions.
+"""
+
+from __future__ import annotations
+
+from .types import mask, to_signed
+
+
+def apply_binop(op: str, lhs: int, rhs: int, width: int) -> int:
+    """Evaluate a binary IR operation on unsigned ``width``-bit values.
+
+    Division/remainder by zero must be guarded by the caller (the
+    interpreter turns it into a DIV_BY_ZERO failure).
+    """
+    lhs_w = mask(lhs, width)
+    rhs_w = mask(rhs, width)
+    if op == "add":
+        return mask(lhs_w + rhs_w, width)
+    if op == "sub":
+        return mask(lhs_w - rhs_w, width)
+    if op == "mul":
+        return mask(lhs_w * rhs_w, width)
+    if op == "udiv":
+        return mask(lhs_w // rhs_w, width)
+    if op == "urem":
+        return mask(lhs_w % rhs_w, width)
+    if op == "sdiv":
+        lhs_s = to_signed(lhs, width)
+        rhs_s = to_signed(rhs, width)
+        quotient = abs(lhs_s) // abs(rhs_s)
+        if (lhs_s < 0) != (rhs_s < 0):
+            quotient = -quotient
+        return mask(quotient, width)
+    if op == "srem":
+        lhs_s = to_signed(lhs, width)
+        rhs_s = to_signed(rhs, width)
+        remainder = abs(lhs_s) % abs(rhs_s)
+        return mask(-remainder if lhs_s < 0 else remainder, width)
+    if op == "and":
+        return lhs_w & rhs_w
+    if op == "or":
+        return lhs_w | rhs_w
+    if op == "xor":
+        return lhs_w ^ rhs_w
+    shift = rhs_w & (width - 1)
+    if op == "shl":
+        return mask(lhs_w << shift, width)
+    if op == "lshr":
+        return lhs_w >> shift
+    if op == "ashr":
+        return mask(to_signed(lhs, width) >> shift, width)
+    raise ValueError(f"unknown binop {op!r}")
+
+
+_CMP_TABLE = {
+    "eq": lambda lu, ru, ls, rs: lu == ru,
+    "ne": lambda lu, ru, ls, rs: lu != ru,
+    "ult": lambda lu, ru, ls, rs: lu < ru,
+    "ule": lambda lu, ru, ls, rs: lu <= ru,
+    "ugt": lambda lu, ru, ls, rs: lu > ru,
+    "uge": lambda lu, ru, ls, rs: lu >= ru,
+    "slt": lambda lu, ru, ls, rs: ls < rs,
+    "sle": lambda lu, ru, ls, rs: ls <= rs,
+    "sgt": lambda lu, ru, ls, rs: ls > rs,
+    "sge": lambda lu, ru, ls, rs: ls >= rs,
+}
+
+
+def apply_cmp(op: str, lhs: int, rhs: int, width: int) -> int:
+    """Evaluate an IR comparison; returns 0 or 1."""
+    try:
+        fn = _CMP_TABLE[op]
+    except KeyError:
+        raise ValueError(f"unknown cmp {op!r}") from None
+    return int(fn(mask(lhs, width), mask(rhs, width),
+                  to_signed(lhs, width), to_signed(rhs, width)))

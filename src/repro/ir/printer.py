@@ -1,0 +1,110 @@
+"""Textual serialization of IR modules (inverse of ``repro.ir.parser``)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import instructions as ins
+from .instructions import Instr, Operand
+from .module import Function, Module
+
+
+def _operand(op: Operand) -> str:
+    return op if isinstance(op, str) else str(op)
+
+
+def _args(args) -> str:
+    return ", ".join(_operand(a) for a in args)
+
+
+def format_instr(instr: Instr) -> str:
+    """Render one instruction in the textual syntax."""
+    if isinstance(instr, ins.Const):
+        return f"{instr.dest} = const {instr.value}"
+    if isinstance(instr, ins.BinOp):
+        return (f"{instr.dest} = {instr.op}.{instr.width} "
+                f"{_operand(instr.lhs)}, {_operand(instr.rhs)}")
+    if isinstance(instr, ins.Cmp):
+        return (f"{instr.dest} = cmp {instr.op}.{instr.width} "
+                f"{_operand(instr.lhs)}, {_operand(instr.rhs)}")
+    if isinstance(instr, ins.Select):
+        return (f"{instr.dest} = select {_operand(instr.cond)}, "
+                f"{_operand(instr.if_true)}, {_operand(instr.if_false)}")
+    if isinstance(instr, ins.Trunc):
+        return f"{instr.dest} = trunc.{instr.width} {_operand(instr.value)}"
+    if isinstance(instr, ins.SExt):
+        return f"{instr.dest} = sext.{instr.from_width} {_operand(instr.value)}"
+    if isinstance(instr, ins.GlobalAddr):
+        return f"{instr.dest} = global {instr.name}"
+    if isinstance(instr, ins.FrameAlloc):
+        return f"{instr.dest} = alloca {instr.name}, {instr.size}"
+    if isinstance(instr, ins.HeapAlloc):
+        return f"{instr.dest} = malloc {_operand(instr.size)}"
+    if isinstance(instr, ins.HeapFree):
+        return f"free {_operand(instr.addr)}"
+    if isinstance(instr, ins.Gep):
+        return (f"{instr.dest} = gep {_operand(instr.base)}, "
+                f"{_operand(instr.index)}, {instr.scale}")
+    if isinstance(instr, ins.Load):
+        return f"{instr.dest} = load.{instr.size} {_operand(instr.addr)}"
+    if isinstance(instr, ins.Store):
+        return (f"store.{instr.size} {_operand(instr.addr)}, "
+                f"{_operand(instr.value)}")
+    if isinstance(instr, ins.Jmp):
+        return f"jmp {instr.label}"
+    if isinstance(instr, ins.Br):
+        return (f"br {_operand(instr.cond)}, {instr.if_true}, "
+                f"{instr.if_false}")
+    if isinstance(instr, ins.Call):
+        call = f"call {instr.func}({_args(instr.args)})"
+        return f"{instr.dest} = {call}" if instr.dest else call
+    if isinstance(instr, ins.Ret):
+        return "ret" if instr.value is None else f"ret {_operand(instr.value)}"
+    if isinstance(instr, ins.Input):
+        return f"{instr.dest} = input {instr.stream}, {instr.size}"
+    if isinstance(instr, ins.Output):
+        return (f"output {instr.stream}, {_operand(instr.value)}, "
+                f"{instr.size}")
+    if isinstance(instr, ins.Assert):
+        return f"assert {_operand(instr.cond)}, {instr.message!r}"
+    if isinstance(instr, ins.Abort):
+        return f"abort {instr.message!r}"
+    if isinstance(instr, ins.PtWrite):
+        return f"ptwrite {_operand(instr.value)}, {instr.tag}"
+    if isinstance(instr, ins.Spawn):
+        return f"{instr.dest} = spawn {instr.func}({_args(instr.args)})"
+    if isinstance(instr, ins.Join):
+        return f"join {_operand(instr.tid)}"
+    if isinstance(instr, ins.Lock):
+        return f"lock {_operand(instr.mutex)}"
+    if isinstance(instr, ins.Unlock):
+        return f"unlock {_operand(instr.mutex)}"
+    if isinstance(instr, ins.Nop):
+        return "nop" if not instr.comment else f"nop  ; {instr.comment}"
+    raise TypeError(f"cannot print {type(instr).__name__}")
+
+
+def format_function(func: Function) -> str:
+    lines: List[str] = [f"func {func.name}({', '.join(func.params)}) {{"]
+    for block in func.blocks.values():
+        lines.append(f"{block.label}:")
+        for instr in block.instrs:
+            lines.append(f"  {format_instr(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    """Render a whole module as parseable text."""
+    lines: List[str] = [f"module {module.name}", ""]
+    for obj in module.globals.values():
+        if obj.init:
+            lines.append(f"global {obj.name} {obj.size} = {obj.init.hex()}")
+        else:
+            lines.append(f"global {obj.name} {obj.size}")
+    if module.globals:
+        lines.append("")
+    for func in module.functions.values():
+        lines.append(format_function(func))
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Scalar value helpers for the miniature IR.
+
+All IR registers hold 64-bit unsigned integers.  Narrower operations
+(``add.32`` and friends) mask their results to the operation width, which is
+how the workloads model C integer overflow (e.g. the PHP-2012-2386 and
+Objdump-2018-6323 bugs in Table 1).
+"""
+
+from __future__ import annotations
+
+WORD_BITS = 64
+MASK64 = (1 << WORD_BITS) - 1
+
+#: Widths accepted by binary operations and comparisons.
+VALID_WIDTHS = (1, 8, 16, 32, 64)
+
+#: Sizes (bytes) accepted by loads and stores.
+VALID_ACCESS_SIZES = (1, 2, 4, 8)
+
+
+def mask(value: int, width: int = WORD_BITS) -> int:
+    """Truncate ``value`` to an unsigned ``width``-bit integer."""
+    return value & ((1 << width) - 1)
+
+
+def to_signed(value: int, width: int = WORD_BITS) -> int:
+    """Interpret an unsigned ``width``-bit value as two's-complement."""
+    value = mask(value, width)
+    sign_bit = 1 << (width - 1)
+    return value - (1 << width) if value & sign_bit else value
+
+
+def from_signed(value: int, width: int = WORD_BITS) -> int:
+    """Encode a (possibly negative) Python int as unsigned ``width`` bits."""
+    return value & ((1 << width) - 1)
+
+
+def sign_extend(value: int, from_width: int, to_width: int = WORD_BITS) -> int:
+    """Sign-extend a ``from_width``-bit value to ``to_width`` bits."""
+    return from_signed(to_signed(value, from_width), to_width)
+
+
+def bytes_le(value: int, size: int) -> bytes:
+    """Encode ``value`` as ``size`` little-endian bytes."""
+    return mask(value, size * 8).to_bytes(size, "little")
+
+
+def int_le(data: bytes) -> int:
+    """Decode little-endian bytes into an unsigned integer."""
+    return int.from_bytes(data, "little")

@@ -1,0 +1,88 @@
+"""Static well-formedness checks for IR modules.
+
+The verifier catches the mistakes that are cheap to detect statically and
+miserable to debug dynamically: dangling branch targets, missing
+terminators, reads of never-written registers, calls to unknown functions,
+references to unknown globals, and duplicate ``ptwrite`` tags.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..errors import IRError
+from . import instructions as ins
+from .module import Function, Module
+
+
+def verify_function(func: Function, module: Module) -> None:
+    if not func.blocks:
+        raise IRError(f"function {func.name} has no blocks")
+
+    labels = set(func.blocks)
+    for block in func.blocks.values():
+        if block.terminator is None:
+            raise IRError(
+                f"block {func.name}:{block.label} lacks a terminator")
+        for index, instr in enumerate(block.instrs):
+            if instr.is_terminator and index != len(block.instrs) - 1:
+                raise IRError(
+                    f"terminator mid-block at {func.name}:{block.label}:{index}")
+            _verify_instr(instr, func, module, labels)
+
+    _verify_register_defs(func)
+
+
+def _verify_instr(instr, func: Function, module: Module,
+                  labels: Set[str]) -> None:
+    where = f"in {func.name}"
+    if isinstance(instr, ins.Br):
+        for label in (instr.if_true, instr.if_false):
+            if label not in labels:
+                raise IRError(f"br to unknown block {label!r} {where}")
+    elif isinstance(instr, ins.Jmp):
+        if instr.label not in labels:
+            raise IRError(f"jmp to unknown block {instr.label!r} {where}")
+    elif isinstance(instr, (ins.Call, ins.Spawn)):
+        if instr.func not in module.functions:
+            raise IRError(f"call to unknown function {instr.func!r} {where}")
+        callee = module.functions[instr.func]
+        if len(instr.args) != len(callee.params):
+            raise IRError(
+                f"call to {instr.func} with {len(instr.args)} args, "
+                f"expected {len(callee.params)} {where}")
+    elif isinstance(instr, ins.GlobalAddr):
+        if instr.name not in module.globals:
+            raise IRError(f"unknown global {instr.name!r} {where}")
+
+
+def _verify_register_defs(func: Function) -> None:
+    """Flow-insensitive check: every register read is written somewhere.
+
+    A full dominance analysis would be overkill for the workloads; this
+    still catches typos, which are the common failure mode.
+    """
+    defined = set(func.params)
+    for _, instr in func.points():
+        dest = instr.dest_register()
+        if dest is not None:
+            defined.add(dest)
+    for point, instr in func.points():
+        for operand in instr.operands():
+            if isinstance(operand, str) and operand not in defined:
+                raise IRError(
+                    f"read of undefined register {operand} at {point}")
+
+
+def verify_module(module: Module) -> None:
+    """Raise :class:`IRError` on the first problem found."""
+    if "main" not in module.functions:
+        raise IRError("module has no 'main' function")
+    tags = set()
+    for func in module.functions.values():
+        verify_function(func, module)
+    for point, instr in module.points():
+        if isinstance(instr, ins.PtWrite):
+            if instr.tag in tags:
+                raise IRError(f"duplicate ptwrite tag {instr.tag} at {point}")
+            tags.add(instr.tag)

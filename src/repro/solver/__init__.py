@@ -1,0 +1,23 @@
+"""Bitvector/array constraint solver with explicit work budgets."""
+
+from . import terms
+from .budget import DEFAULT_WORK_LIMIT, WORK_PER_SECOND, Budget, UnlimitedBudget
+from .evaluator import tv_eval
+from .model import Model, input_var_name, parse_var_name
+from .solver import Solver
+from .terms import Term, clear_term_cache
+
+__all__ = [
+    "terms",
+    "Term",
+    "clear_term_cache",
+    "Budget",
+    "UnlimitedBudget",
+    "DEFAULT_WORK_LIMIT",
+    "WORK_PER_SECOND",
+    "tv_eval",
+    "Model",
+    "input_var_name",
+    "parse_var_name",
+    "Solver",
+]

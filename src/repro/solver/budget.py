@@ -1,0 +1,58 @@
+"""Work budgets: the mechanism behind symbolic-execution stalls.
+
+Real constraint solvers spend wall-clock time; ER detects a *stall* when a
+query exceeds a timeout (30 s in the paper's evaluation, §4).  Here solver
+routines charge deterministic *work units* proportional to the structures
+they traverse — notably symbolic write chains and large symbolic objects,
+the paper's two sources of constraint complexity (§3.3.1).  A budget
+overrun raises :class:`~repro.errors.SolverTimeout`, which is exactly the
+signal that triggers key-data-value selection.
+
+Work units map to modelled seconds via :data:`WORK_PER_SECOND` so that the
+evaluation harnesses can report times comparable with the paper's.
+"""
+
+from __future__ import annotations
+
+from ..errors import SolverTimeout
+
+#: Work units the evaluation reports as one modelled second.
+WORK_PER_SECOND = 200_000
+
+#: Default per-query budget: the analog of the paper's 30 s solver timeout.
+DEFAULT_WORK_LIMIT = 30 * WORK_PER_SECOND
+
+
+class Budget:
+    """A mutable work meter shared by solver calls of one query/session."""
+
+    def __init__(self, limit: int = DEFAULT_WORK_LIMIT, context: str = ""):
+        self.limit = limit
+        self.spent = 0
+        self.context = context
+
+    def charge(self, amount: int) -> None:
+        self.spent += amount
+        if self.spent > self.limit:
+            raise SolverTimeout(self.spent, self.limit, self.context)
+
+    def remaining(self) -> int:
+        return max(0, self.limit - self.spent)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.spent > self.limit
+
+    def seconds(self) -> float:
+        """Modelled solver time for reporting."""
+        return self.spent / WORK_PER_SECOND
+
+
+class UnlimitedBudget(Budget):
+    """A budget that never times out (used to disable stalls, Fig. 5)."""
+
+    def __init__(self, context: str = ""):
+        super().__init__(limit=0, context=context)
+
+    def charge(self, amount: int) -> None:
+        self.spent += amount

@@ -1,0 +1,197 @@
+"""Three-valued evaluation of terms under partial assignments.
+
+``tv_eval(term, env, budget)`` returns the concrete value of ``term``
+when every relevant input variable is assigned in ``env``, or ``None``
+when the value is still unknown.  Every node visited charges the budget;
+walking a symbolic write chain charges per store, and an unknown index
+into an array charges proportionally to the object size.  These charges
+are the cost model that makes the paper's two complexity sources (chain
+length, object size) produce genuine solver timeouts.
+
+The evaluator is *iterative* (explicit work stack): symbolic values in
+loop-heavy programs grow into terms tens of thousands of nodes deep, far
+past Python's recursion limit.  ``ite`` only evaluates its taken branch;
+``read`` walks its store chain lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SolverError
+from ..ir.ops import apply_binop, apply_cmp
+from ..ir.types import mask, sign_extend
+from .budget import Budget
+from .terms import BINOP_OPS, CMP_OPS, Term
+
+#: Charge per store node walked in a chain.
+CHAIN_STEP_COST = 2
+#: Charge for an unresolved (unknown-index) array access, per this many
+#: bytes of the object: bigger objects -> more case splitting.
+OBJECT_BYTES_PER_UNIT = 16
+
+Assignment = Dict[str, int]
+
+_UNKNOWN = object()  # sentinel in the memo: evaluated, value unknown
+
+
+def tv_eval(term: Term, env: Assignment, budget: Budget) -> Optional[int]:
+    """Evaluate ``term``; None means 'unknown under this partial env'."""
+    memo: Dict[int, object] = {}
+    _run(term, env, budget, memo)
+    value = memo[id(term)]
+    return None if value is _UNKNOWN else value
+
+
+def _lookup(memo, node: Term):
+    return memo.get(id(node), None)
+
+
+def _run(root: Term, env: Assignment, budget: Budget,
+         memo: Dict[int, object]) -> None:
+    # stack entries: (node, phase, state)
+    #   phase 0: first visit (charge, dispatch leaves / push children)
+    #   phase 1: children evaluated -> compute (ite: cond ready;
+    #            read: index ready / chain-walk re-entry)
+    #   phase 2: ite taken-branch ready / read store-value ready
+    stack: List[Tuple[Term, int, object]] = [(root, 0, None)]
+    while stack:
+        node, phase, state = stack.pop()
+        key = id(node)
+        if phase == 0 and key in memo:
+            continue
+        op = node.op
+
+        if phase == 0:
+            budget.charge(1)
+            if op == "const":
+                memo[key] = node.args[0]
+                continue
+            if op == "var":
+                value = env.get(node.args[0])
+                memo[key] = _UNKNOWN if value is None else value
+                continue
+            if op == "array":
+                memo[key] = _UNKNOWN  # arrays are read through 'read'
+                continue
+            if op == "ite":
+                stack.append((node, 1, None))
+                stack.append((node.args[0], 0, None))
+                continue
+            if op == "read":
+                stack.append((node, 1, node.args[0]))
+                stack.append((node.args[1], 0, None))
+                continue
+            # generic: evaluate all Term children, then compute
+            stack.append((node, 1, None))
+            for arg in node.args:
+                if isinstance(arg, Term):
+                    stack.append((arg, 0, None))
+            continue
+
+        if op == "ite":
+            if phase == 1:
+                cond = memo[id(node.args[0])]
+                if cond is _UNKNOWN:
+                    memo[key] = _UNKNOWN
+                    continue
+                chosen = node.args[1] if cond else node.args[2]
+                stack.append((node, 2, chosen))
+                stack.append((chosen, 0, None))
+            else:
+                memo[key] = memo[id(state)]
+            continue
+
+        if op == "read":
+            if phase == 2:
+                memo[key] = memo[id(state)]
+                continue
+            # phase 1: state is the current chain node to inspect
+            index_value = memo[id(node.args[1])]
+            if index_value is _UNKNOWN:
+                budget.charge(max(1, node.args[0].width
+                                  // OBJECT_BYTES_PER_UNIT))
+                memo[key] = _UNKNOWN
+                continue
+            walk = state
+            while walk.op == "store":
+                budget.charge(CHAIN_STEP_COST)
+                st_index, st_value = walk.args[1], walk.args[2]
+                st_idx = _lookup(memo, st_index)
+                if st_idx is None:
+                    # need this store's index first; re-enter afterwards
+                    stack.append((node, 1, walk))
+                    stack.append((st_index, 0, None))
+                    break
+                if st_idx is _UNKNOWN:
+                    budget.charge(max(1, walk.width
+                                      // OBJECT_BYTES_PER_UNIT))
+                    memo[key] = _UNKNOWN
+                    break
+                if st_idx == index_value:
+                    stack.append((node, 2, st_value))
+                    stack.append((st_value, 0, None))
+                    break
+                walk = walk.args[0]
+            else:
+                data = walk.args[1]
+                if 0 <= index_value < len(data):
+                    memo[key] = data[index_value]
+                else:
+                    memo[key] = _UNKNOWN  # OOB: infeasible on this path
+            continue
+
+        # generic compute (phase 1)
+        memo[key] = _compute(node, memo)
+
+
+def _compute(node: Term, memo) -> object:
+    op = node.op
+    if op in BINOP_OPS:
+        lhs, rhs, opwidth = node.args
+        lval = memo[id(lhs)]
+        rval = memo[id(rhs)]
+        lvalue = None if lval is _UNKNOWN else lval
+        rvalue = None if rval is _UNKNOWN else rval
+        if op == "and" and (lvalue == 0 or rvalue == 0):
+            return 0
+        if op == "mul" and (lvalue == 0 or rvalue == 0):
+            return 0
+        if lvalue is None or rvalue is None:
+            return _UNKNOWN
+        if op in ("udiv", "sdiv", "urem", "srem") and \
+                mask(rvalue, opwidth) == 0:
+            # division by zero cannot occur on the recorded path; a
+            # candidate assignment that produces it is simply infeasible.
+            return _UNKNOWN
+        return apply_binop(op, lvalue, rvalue, opwidth)
+    if op in CMP_OPS:
+        lhs, rhs, opwidth = node.args
+        lval = memo[id(lhs)]
+        rval = memo[id(rhs)]
+        if lval is _UNKNOWN or rval is _UNKNOWN:
+            return _UNKNOWN
+        return apply_cmp(op, lval, rval, opwidth)
+    if op == "trunc":
+        value = memo[id(node.args[0])]
+        return _UNKNOWN if value is _UNKNOWN else mask(value, node.args[1])
+    if op == "sext":
+        value = memo[id(node.args[0])]
+        return _UNKNOWN if value is _UNKNOWN \
+            else sign_extend(value, node.args[1])
+    if op == "concat":
+        total = 0
+        for i, part in enumerate(node.args):
+            value = memo[id(part)]
+            if value is _UNKNOWN:
+                return _UNKNOWN
+            total |= mask(value, 8) << (8 * i)
+        return total
+    if op == "extract":
+        value = memo[id(node.args[0])]
+        if value is _UNKNOWN:
+            return _UNKNOWN
+        return (value >> (8 * node.args[1])) & 0xFF
+    if op == "store":
+        return _UNKNOWN  # arrays are read through 'read'
+    raise SolverError(f"cannot evaluate {op!r}")

@@ -1,0 +1,72 @@
+"""Satisfying assignments and their conversion back to program inputs."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import SolverError
+from .budget import UnlimitedBudget
+from .evaluator import tv_eval
+from .terms import Term
+
+#: Separator in input-byte variable names: ``stream#offset``.
+VAR_SEP = "#"
+
+
+def input_var_name(stream: str, offset: int) -> str:
+    """Canonical name of the symbolic variable for one input byte."""
+    return f"{stream}{VAR_SEP}{offset}"
+
+
+def parse_var_name(name: str):
+    """Inverse of :func:`input_var_name`; returns (stream, offset) or None."""
+    stream, sep, offset = name.rpartition(VAR_SEP)
+    if not sep or not offset.isdigit():
+        return None
+    return stream, int(offset)
+
+
+class Model:
+    """A concrete assignment for every symbolic input variable."""
+
+    def __init__(self, assignment: Dict[str, int]):
+        self.assignment = dict(assignment)
+
+    def __getitem__(self, name: str) -> int:
+        return self.assignment.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.assignment
+
+    def __len__(self) -> int:
+        return len(self.assignment)
+
+    def eval_term(self, term: Term) -> int:
+        """Concrete value of ``term`` under this model."""
+        value = tv_eval(term, self.assignment, UnlimitedBudget())
+        if value is None:
+            raise SolverError(f"model does not determine {term!r}")
+        return value
+
+    def streams(self) -> Dict[str, bytes]:
+        """Reassemble input streams from per-byte variables.
+
+        Bytes never read symbolically default to zero; the result is the
+        generated test case's environment content.
+        """
+        sizes: Dict[str, int] = {}
+        values: Dict[str, Dict[int, int]] = {}
+        for name, value in self.assignment.items():
+            parsed = parse_var_name(name)
+            if parsed is None:
+                continue
+            stream, offset = parsed
+            sizes[stream] = max(sizes.get(stream, 0), offset + 1)
+            values.setdefault(stream, {})[offset] = value & 0xFF
+        return {
+            stream: bytes(values[stream].get(i, 0) for i in range(size))
+            for stream, size in sizes.items()
+        }
+
+    def __repr__(self):
+        return f"Model({len(self.assignment)} vars)"

@@ -1,0 +1,562 @@
+"""Budgeted constraint solver over bitvector/array terms.
+
+The solving strategy is propagation plus candidate-guided backtracking
+over the symbolic input bytes:
+
+1. **Unit propagation** — constraints of the form ``var == const`` (or
+   uniquely invertible chains such as ``(var + k) == c``,
+   ``concat(bytes) == c``) assign variables directly.
+2. **Search** — remaining free variables are assigned depth-first in
+   order of first appearance; at each depth, every constraint whose
+   variables are now all assigned is checked with the three-valued
+   evaluator.  Candidate values derived from the constraints (equality
+   inversions, table-content scans) are tried before the exhaustive
+   byte range.
+
+Every evaluation charges the shared :class:`~repro.solver.budget.Budget`;
+exceeding it raises :class:`~repro.errors.SolverTimeout` — ER's stall.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import SolverTimeout, UnsatError
+from ..ir.types import mask
+from .budget import DEFAULT_WORK_LIMIT, Budget
+from .evaluator import tv_eval
+from .model import Model
+from .terms import (BINOP_OPS, CMP_OPS, Term, bool_term, cmp, const,
+                    iter_nodes)
+
+#: Give up deriving candidates from arrays bigger than this.
+_MAX_SCAN_BYTES = 4096
+#: Ceiling on candidate values tried per variable (bytes: full range).
+_MAX_CANDIDATES = 256
+
+
+class Solver:
+    """Reusable solver facade; each query gets its own budget by default."""
+
+    def __init__(self, work_limit: int = DEFAULT_WORK_LIMIT):
+        self.work_limit = work_limit
+
+    def solve(self, constraints: Sequence[Term],
+              budget: Optional[Budget] = None) -> Model:
+        """Find a model or raise UnsatError / SolverTimeout."""
+        budget = budget if budget is not None else Budget(self.work_limit)
+        return _Search(list(constraints), budget).run()
+
+    def is_feasible(self, constraints: Sequence[Term],
+                    budget: Optional[Budget] = None) -> bool:
+        """Satisfiability check; timeouts propagate (they mean 'stall')."""
+        try:
+            self.solve(constraints, budget)
+            return True
+        except UnsatError:
+            return False
+
+    def feasible_values(self, term: Term, constraints: Sequence[Term],
+                        limit: int = 8,
+                        budget: Optional[Budget] = None) -> List[int]:
+        """Up to ``limit`` distinct concrete values ``term`` may take.
+
+        This is the per-access query ER issues for symbolic memory
+        addresses (§3.2): it bounds the set of locations an access may
+        touch.  Cost scales with the number of models enumerated and the
+        complexity of the constraints — long write chains make each
+        enumeration expensive, which is where stalls bite.
+        """
+        budget = budget if budget is not None else Budget(self.work_limit)
+        found: List[int] = []
+        extra: List[Term] = []
+        while len(found) < limit:
+            try:
+                model = Solver.solve(self, list(constraints) + extra, budget)
+            except UnsatError:
+                break
+            env = dict(model.assignment)
+            for name in term.free_vars():
+                env.setdefault(name, 0)  # unconstrained bytes default to 0
+            value = tv_eval(term, env, budget)
+            if value is None:
+                break
+            found.append(value)
+            extra.append(cmp("ne", term, const(value), 64))
+        return found
+
+
+class _Search:
+    def __init__(self, constraints: List[Term], budget: Budget):
+        self.budget = budget
+        self.env: Dict[str, int] = {}
+        self.constraints: List[Term] = []
+        seen: Set[Term] = set()
+        for raw in constraints:
+            term = bool_term(raw)
+            if term in seen:
+                continue
+            seen.add(term)
+            self.constraints.append(term)
+
+    def run(self) -> Model:
+        self._propagate()
+        active = self._active_constraints()
+        groups = self._word_groups(active)
+        order = self._variable_order(active, groups)
+        buckets = self._bucket_constraints(active, order)
+        if not self._dfs(0, order, buckets, groups):
+            raise UnsatError("no satisfying assignment")
+        return Model(self.env)
+
+    # -- propagation ---------------------------------------------------
+
+    def _propagate(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for constraint in self.constraints:
+                value = tv_eval(constraint, self.env, self.budget)
+                if value == 0:
+                    raise UnsatError(f"constraint is false: {constraint!r}")
+                if value is not None:
+                    continue
+                assignments = self._unit_assignments(constraint)
+                for name, val in assignments.items():
+                    if name not in self.env:
+                        self.env[name] = val
+                        changed = True
+
+    def _unit_assignments(self, constraint: Term) -> Dict[str, int]:
+        """var assignments forced by an ``lhs == const`` constraint."""
+        if constraint.op != "eq":
+            return {}
+        lhs, rhs, opwidth = constraint.args
+        if not rhs.is_const:
+            return {}
+        out: Dict[str, int] = {}
+        if _invert_unique(lhs, mask(rhs.value, opwidth), self.env, out,
+                          self.budget):
+            return out
+        return {}
+
+    # -- search ----------------------------------------------------------
+
+    def _active_constraints(self) -> List[Term]:
+        active = []
+        for constraint in self.constraints:
+            value = tv_eval(constraint, self.env, self.budget)
+            if value == 0:
+                raise UnsatError(f"constraint is false: {constraint!r}")
+            if value is None:
+                active.append(constraint)
+        return active
+
+    def _word_groups(self, active: List[Term]) -> Dict[str, Tuple]:
+        """Map each grouped variable to its word group.
+
+        A *word group* is a maximal ``concat`` of distinct free byte
+        variables (a multi-byte input field such as a length).  Deciding
+        a group's bytes together, guided by word-level candidates, avoids
+        the exponential byte-wise search over length fields.
+
+        Returns ``{var: (names_tuple, concat_term)}``.
+        """
+        groups: Dict[str, Tuple] = {}
+        for node in iter_nodes(active):
+            if node.op != "concat":
+                continue
+            names = []
+            for part in node.args:
+                if part.op == "var" and part.args[0] not in self.env:
+                    names.append(part.args[0])
+                else:
+                    names = None
+                    break
+            if not names or len(set(names)) != len(names):
+                continue
+            key = tuple(names)
+            for name in names:
+                # keep the widest group a var appears in
+                current = groups.get(name)
+                if current is None or len(current[0]) < len(key):
+                    groups[name] = (key, node)
+        # drop inconsistent overlaps: every member must agree on the group
+        consistent = {}
+        for name, (key, node) in groups.items():
+            if all(groups.get(n, (None,))[0] == key for n in key):
+                consistent[name] = (key, node)
+        return consistent
+
+    def _variable_order(self, active: List[Term],
+                        groups: Dict[str, Tuple] = None) -> List[str]:
+        groups = groups or {}
+        order: List[str] = []
+        seen: Set[str] = set(self.env)
+        for constraint in active:
+            for name in sorted(constraint.free_vars()):
+                if name in seen:
+                    continue
+                if name in groups:
+                    # keep group members contiguous, in concat order
+                    for member in groups[name][0]:
+                        if member not in seen:
+                            seen.add(member)
+                            order.append(member)
+                else:
+                    seen.add(name)
+                    order.append(name)
+        return order
+
+    def _bucket_constraints(self, active: List[Term],
+                            order: List[str]) -> List[List[Term]]:
+        position = {name: i for i, name in enumerate(order)}
+        buckets: List[List[Term]] = [[] for _ in order]
+        for constraint in active:
+            free = [position[n] for n in constraint.free_vars()
+                    if n in position]
+            if not free:
+                # depends only on pre-assigned vars but still unknown
+                # (e.g. out-of-bounds read): treat as unsatisfiable later
+                buckets and buckets[0].append(constraint)
+                continue
+            buckets[max(free)].append(constraint)
+        return buckets
+
+    def _dfs(self, depth: int, order: List[str],
+             buckets: List[List[Term]], groups: Dict[str, Tuple]) -> bool:
+        if depth == len(order):
+            return True
+        name = order[depth]
+        group = groups.get(name)
+        if group is not None and group[0][0] == name:
+            names, node = group
+            if all(order[depth + i] == n for i, n in enumerate(names)):
+                if self._dfs_group(depth, order, buckets, groups, names,
+                                   node):
+                    return True
+                # word-level candidates failed: fall through to the
+                # byte-wise search as a last resort
+        for value in self._candidates(name, buckets, depth):
+            self.budget.charge(1)
+            self.env[name] = value
+            ok = True
+            for constraint in buckets[depth]:
+                if tv_eval(constraint, self.env, self.budget) != 1:
+                    ok = False
+                    break
+            if ok and self._dfs(depth + 1, order, buckets, groups):
+                return True
+            del self.env[name]
+        return False
+
+    def _dfs_group(self, depth: int, order: List[str],
+                   buckets: List[List[Term]], groups: Dict[str, Tuple],
+                   names: Tuple[str, ...], node: Term) -> bool:
+        """Try word-level candidate values for a whole concat group."""
+        span = len(names)
+        for word in self._word_candidates(node, names, buckets, depth):
+            self.budget.charge(span)
+            for i, member in enumerate(names):
+                self.env[member] = (word >> (8 * i)) & 0xFF
+            ok = True
+            for d in range(depth, depth + span):
+                for constraint in buckets[d]:
+                    if tv_eval(constraint, self.env, self.budget) != 1:
+                        ok = False
+                        break
+                if not ok:
+                    break
+            if ok and self._dfs(depth + span, order, buckets, groups):
+                return True
+            for member in names:
+                del self.env[member]
+        return False
+
+    def _word_candidates(self, node: Term, names: Tuple[str, ...],
+                         buckets: List[List[Term]],
+                         depth: int) -> Iterable[int]:
+        """Word-level candidates for a concat group, from its constraints."""
+        derived: List[int] = []
+        seen: Set[int] = set()
+        width_mask = (1 << (8 * len(names))) - 1
+        name_set = set(names)
+
+        def push(value: int) -> None:
+            value &= width_mask
+            if value not in seen:
+                seen.add(value)
+                derived.append(value)
+
+        for bucket in buckets[depth:]:
+            for constraint in bucket:
+                if not (constraint.free_vars() & name_set):
+                    continue
+                if constraint.op not in ("eq", "ne", "ult", "ule", "ugt",
+                                         "uge", "slt", "sle", "sgt", "sge"):
+                    continue
+                lhs, rhs, _w = constraint.args
+                if rhs.is_const and lhs is node:
+                    bound = rhs.value
+                elif lhs.is_const and rhs is node:
+                    bound = lhs.value
+                else:
+                    continue
+                if constraint.op == "eq":
+                    push(bound)
+                elif constraint.op == "ne":
+                    continue
+                else:
+                    push(bound)
+                    push(bound + 1)
+                    push(bound - 1)
+        push(0)
+        push(1)
+        push(width_mask)
+        yield from derived
+        # small exhaustive tail for narrow groups only
+        if len(names) == 1:
+            for value in range(256):
+                if value not in seen:
+                    yield value
+
+    def _candidates(self, name: str, buckets: List[List[Term]],
+                    depth: int) -> Iterable[int]:
+        derived: List[int] = []
+        seen: Set[int] = set()
+        for bucket in buckets[depth:]:
+            for constraint in bucket:
+                if name not in constraint.free_vars():
+                    continue
+                for value in _derive_candidates(constraint, name, self.env,
+                                                self.budget):
+                    value &= 0xFF
+                    if value not in seen:
+                        seen.add(value)
+                        derived.append(value)
+        yield from derived
+        for value in range(256):
+            if value not in seen:
+                yield value
+
+
+# ----------------------------------------------------------------------
+# inversion / candidate derivation
+
+def _invert_unique(term: Term, target: int, env: Dict[str, int],
+                   out: Dict[str, int], budget: Budget) -> bool:
+    """If ``term == target`` forces unique values for its free vars,
+    record them in ``out`` and return True."""
+    budget.charge(1)
+    op = term.op
+    if op == "var":
+        out[term.args[0]] = target & ((1 << term.width) - 1)
+        return True
+    if op == "const":
+        return term.args[0] == target
+    if op == "concat":
+        for i, part in enumerate(term.args):
+            byte = (target >> (8 * i)) & 0xFF
+            if part.is_const:
+                if part.value != byte:
+                    return False
+            elif part.op == "var":
+                out[part.args[0]] = byte
+            else:
+                return False
+        extra = target >> (8 * len(term.args))
+        return extra == 0
+    if op in ("add", "sub", "xor") and len(term.args) == 3:
+        lhs, rhs, opwidth = term.args
+        lval = tv_eval(lhs, env, budget)
+        rval = tv_eval(rhs, env, budget)
+        if lval is not None and rval is None:
+            return _invert_unique(rhs, _solve_rhs(op, lval, target, opwidth),
+                                  env, out, budget)
+        if rval is not None and lval is None:
+            return _invert_unique(lhs, _solve_lhs(op, rval, target, opwidth),
+                                  env, out, budget)
+        return False
+    if op == "trunc":
+        inner, to_width = term.args
+        if inner.width <= to_width:
+            return _invert_unique(inner, target, env, out, budget)
+        return False
+    if op == "sext":
+        inner, from_width = term.args
+        return _invert_unique(inner, mask(target, from_width), env, out,
+                              budget)
+    return False
+
+
+def _solve_rhs(op: str, lval: int, target: int, opwidth: int) -> int:
+    """x such that op(lval, x) == target."""
+    if op == "add":
+        return mask(target - lval, opwidth)
+    if op == "sub":
+        return mask(lval - target, opwidth)
+    return mask(target ^ lval, opwidth)  # xor
+
+
+def _solve_lhs(op: str, rval: int, target: int, opwidth: int) -> int:
+    """x such that op(x, rval) == target."""
+    if op == "add":
+        return mask(target - rval, opwidth)
+    if op == "sub":
+        return mask(target + rval, opwidth)
+    return mask(target ^ rval, opwidth)  # xor
+
+
+def _derive_candidates(constraint: Term, name: str, env: Dict[str, int],
+                       budget: Budget) -> List[int]:
+    """Heuristic candidate values for ``name`` from one constraint."""
+    op = constraint.op
+    if op == "eq":
+        lhs, rhs, opwidth = constraint.args
+        if rhs.is_const:
+            return _candidates_from_eq(lhs, mask(rhs.value, opwidth), name,
+                                       env, budget)
+        return []
+    if op in ("ult", "ule", "ugt", "uge"):
+        lhs, rhs, opwidth = constraint.args
+        if rhs.is_const and not lhs.is_const:
+            bound, term = rhs.value, lhs
+        elif lhs.is_const and not rhs.is_const:
+            bound, term = lhs.value, rhs
+        else:
+            return []
+        if name not in term.free_vars():
+            return []
+        # push the boundary values through the term structure (finds the
+        # right byte of a multi-byte length field, inverts offsets, ...)
+        out: List[int] = []
+        for value in (bound, mask(bound + 1, opwidth),
+                      mask(bound - 1, opwidth)):
+            out.extend(_candidates_from_eq(term, value, name, env, budget))
+        out.extend((0, 1, 0xFF))
+        return out
+    if op == "ne":
+        return []
+    return []
+
+
+def _candidates_from_eq(term: Term, target: int, name: str,
+                        env: Dict[str, int], budget: Budget) -> List[int]:
+    budget.charge(1)
+    op = term.op
+    if op == "var":
+        return [target] if term.args[0] == name else []
+    if op == "concat":
+        out = []
+        for i, part in enumerate(term.args):
+            if part.op == "var" and part.args[0] == name:
+                out.append((target >> (8 * i)) & 0xFF)
+        return out
+    if op in ("add", "sub", "xor"):
+        lhs, rhs, opwidth = term.args
+        lval = tv_eval(lhs, env, budget)
+        rval = tv_eval(rhs, env, budget)
+        if lval is not None and name in rhs.free_vars():
+            return _candidates_from_eq(
+                rhs, _solve_rhs(op, lval, target, opwidth), name, env, budget)
+        if rval is not None and name in lhs.free_vars():
+            return _candidates_from_eq(
+                lhs, _solve_lhs(op, rval, target, opwidth), name, env, budget)
+        return []
+    if op == "mul":
+        # x * c == t with odd c: x = t * c^-1 (mod 2^w)
+        lhs, rhs, opwidth = term.args
+        if lhs.is_const and name in rhs.free_vars():
+            factor = mask(lhs.value, opwidth)
+            if factor & 1:
+                inverse = pow(factor, -1, 1 << opwidth)
+                return _candidates_from_eq(
+                    rhs, mask(target * inverse, opwidth), name, env, budget)
+        return []
+    if op == "shl":
+        # x << c == t: the low bits of t must be zero; x's low part is
+        # t >> c (high bits of x are unconstrained — try zero)
+        lhs, rhs, opwidth = term.args
+        if rhs.is_const and name in lhs.free_vars():
+            shift = mask(rhs.value, opwidth) & (opwidth - 1)
+            if mask(target, opwidth) & ((1 << shift) - 1) == 0:
+                return _candidates_from_eq(
+                    lhs, mask(target, opwidth) >> shift, name, env, budget)
+        return []
+    if op == "lshr":
+        lhs, rhs, opwidth = term.args
+        if rhs.is_const and name in lhs.free_vars():
+            shift = mask(rhs.value, opwidth) & (opwidth - 1)
+            return _candidates_from_eq(
+                lhs, mask(target << shift, opwidth), name, env, budget)
+        return []
+    if op == "or":
+        lhs, rhs, opwidth = term.args
+        if lhs.is_const and name in rhs.free_vars():
+            k = lhs.value
+            if target | k == target:
+                return _candidates_from_eq(rhs, target, name, env, budget) + \
+                    _candidates_from_eq(rhs, target & ~k & mask(~0, opwidth),
+                                        name, env, budget) + \
+                    [target, target & ~k & 0xFF]
+        return []
+    if op == "and":
+        lhs, rhs, opwidth = term.args
+        if lhs.is_const and name in rhs.free_vars():
+            k = lhs.value
+            if target & k == target:
+                return [target & 0xFF, (target | (~k & 0xFF)) & 0xFF]
+        return []
+    if op == "trunc":
+        return _candidates_from_eq(term.args[0], target, name, env, budget)
+    if op == "sext":
+        return _candidates_from_eq(term.args[0], mask(target, term.args[1]),
+                                   name, env, budget)
+    if op == "read":
+        return _candidates_from_table_read(term, target, name, env, budget)
+    return []
+
+
+def _candidates_from_table_read(term: Term, target: int, name: str,
+                                env: Dict[str, int],
+                                budget: Budget) -> List[int]:
+    """``table[f(var)] == target``: scan the table for matching content.
+
+    This captures the parser/lookup pattern (keyword tables, translation
+    tables) that dominates the SQLite/PHP-style workloads: when the
+    array's content is concrete, the feasible indices are exactly the
+    positions holding ``target``, and each yields a candidate for the
+    index variable.
+    """
+    arr, index = term.args
+    if name not in index.free_vars():
+        return []
+    node = arr
+    while node.op == "store":
+        st_index, st_value = node.args[1], node.args[2]
+        if not st_index.is_const or not st_value.is_const:
+            return []  # content not concrete: give up
+        node = node.args[0]
+    data = bytearray(node.args[1])
+    redo = arr
+    overrides = []
+    while redo.op == "store":
+        overrides.append((redo.args[1].value, redo.args[2].value))
+        redo = redo.args[0]
+    for idx, value in reversed(overrides):
+        if 0 <= idx < len(data):
+            data[idx] = value & 0xFF
+    if len(data) > _MAX_SCAN_BYTES:
+        return []
+    budget.charge(len(data))
+    candidates: List[int] = []
+    for position, byte in enumerate(data):
+        if byte != target:
+            continue
+        forced: Dict[str, int] = {}
+        if _invert_unique(index, position, env, forced, budget) and \
+                name in forced:
+            candidates.append(forced[name])
+        if len(candidates) >= 16:
+            break
+    return candidates

@@ -1,0 +1,25 @@
+"""Shepherded symbolic execution over decoded PT traces."""
+
+from .engine import ShepherdedSymex, SymFrame, SymThread
+from .environment import SymbolicEnvironment
+from .gaps import replay_with_gap_recovery
+from .memory import SymMemory, SymObject
+from .ordering import (ambiguous_groups, candidate_orders,
+                       replay_with_order_recovery)
+from .result import StallInfo, SymexResult, SymexStats
+
+__all__ = [
+    "ShepherdedSymex",
+    "SymFrame",
+    "SymThread",
+    "SymbolicEnvironment",
+    "SymMemory",
+    "SymObject",
+    "replay_with_gap_recovery",
+    "ambiguous_groups",
+    "candidate_orders",
+    "replay_with_order_recovery",
+    "StallInfo",
+    "SymexResult",
+    "SymexStats",
+]

@@ -1,0 +1,714 @@
+"""Shepherded symbolic execution (§3.2).
+
+The engine replays a decoded PT trace over the IR with symbolic inputs:
+
+* the scheduler is replaced by the recorded chunk order (§3.4),
+* every conditional branch consumes one recorded TNT bit and contributes
+  the branch condition (oriented by the bit) to the path constraint,
+* every ``ptwrite`` consumes one recorded PTW value, asserts equality,
+  and **concretizes** the register — the step that collapses constraint
+  complexity after key-data-value selection,
+* every symbolic memory access invokes the solver (bounded by a work
+  budget); a timeout is a *stall* and yields a :class:`StallInfo` for
+  key data value selection,
+* at the end of the trace, the recorded failure is turned into a final
+  constraint (e.g. the faulting address is out of bounds) and the full
+  path constraint is handed to the solver for input generation.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..errors import SolverTimeout, SymexError, TraceDivergence, UnsatError
+from ..interp.failures import FailureInfo, FailureKind
+from ..ir import instructions as ins
+from ..ir.module import Function, Module, ProgramPoint
+from ..solver import terms as T
+from ..solver.budget import DEFAULT_WORK_LIMIT, Budget, UnlimitedBudget
+from ..solver.solver import Solver
+from ..solver.terms import Term
+from ..trace.decoder import DecodedTrace
+from ..trace.packets import GapEvent, PtwEvent, TntEvent
+from .environment import SymbolicEnvironment
+from .memory import SymMemory, SymObject
+from .result import StallInfo, SymexResult, SymexStats
+
+
+@dataclass
+class SymFrame:
+    func: Function
+    block: str
+    index: int
+    regs: Dict[str, Term]
+    stack_objs: List[SymObject] = field(default_factory=list)
+    ret_reg: Optional[str] = None
+
+
+@dataclass
+class SymThread:
+    tid: int
+    frames: List[SymFrame]
+    done: bool = False
+
+    @property
+    def frame(self) -> SymFrame:
+        return self.frames[-1]
+
+    def call_stack(self) -> Tuple[str, ...]:
+        return tuple(f.func.name for f in self.frames)
+
+    def current_point(self) -> ProgramPoint:
+        frame = self.frame
+        return ProgramPoint(frame.func.name, frame.block, frame.index)
+
+
+class _Stall(Exception):
+    def __init__(self, info: StallInfo):
+        self.info = info
+
+
+class ShepherdedSymex:
+    """One shepherded symbolic execution over one decoded trace."""
+
+    def __init__(self, module: Module, trace: DecodedTrace,
+                 failure: Optional[FailureInfo], *,
+                 work_limit: int = DEFAULT_WORK_LIMIT,
+                 no_timeout: bool = False,
+                 check_feasibility: bool = True,
+                 continue_on_stall: bool = False,
+                 banned_concretizations=None,
+                 gap_decisions=None):
+        self.module = module
+        self.trace = trace
+        self.failure = failure
+        self.work_limit = work_limit
+        self.no_timeout = no_timeout
+        self.check_feasibility = check_feasibility
+        #: Fig. 5 mode: per-access solver timeouts do not abort the
+        #: replay; the work is accounted and shepherding continues
+        self.continue_on_stall = continue_on_stall
+        #: {repr(term): {values}} — concretization picks a caller ruled
+        #: out after they made the path unsat (retry protocol)
+        self.banned_concretizations = dict(banned_concretizations or {})
+        #: committed outcomes for GapEvents (lost TNT bits); beyond this
+        #: prefix the engine defaults to 'taken' and records its choice
+        self.gap_decisions = list(gap_decisions or [])
+        self.gap_bits_used: List[bool] = []
+
+        self.solver = Solver(work_limit)
+        self.sym_env = SymbolicEnvironment()
+        self.memory = SymMemory(module)
+        self.threads: Dict[int, SymThread] = {}
+        self.constraints: List[Term] = []
+        self.exec_counts: Counter = Counter()
+        self.stats = SymexStats()
+        self.outputs: Dict[str, List[Term]] = {}
+        self._events: Deque = deque()
+        self._chunk_index: int = -1
+        #: (term, value) pairs pinned by solver concretization (malloc
+        #: sizes, wild addresses); if the path later turns unsat, the
+        #: wrong pick is the likely culprit — recording the term fixes
+        #: it across occurrences (§3.3.4), banning the value fixes it
+        #: within one analysis (Fig. 5 mode)
+        self._concretized: List[Tuple[Term, int]] = []
+
+        self._dispatch = {
+            ins.Const: self._exec_const,
+            ins.BinOp: self._exec_binop,
+            ins.Cmp: self._exec_cmp,
+            ins.Select: self._exec_select,
+            ins.Trunc: self._exec_trunc,
+            ins.SExt: self._exec_sext,
+            ins.GlobalAddr: self._exec_global,
+            ins.FrameAlloc: self._exec_alloca,
+            ins.HeapAlloc: self._exec_malloc,
+            ins.HeapFree: self._exec_free,
+            ins.Gep: self._exec_gep,
+            ins.Load: self._exec_load,
+            ins.Store: self._exec_store,
+            ins.Jmp: self._exec_jmp,
+            ins.Br: self._exec_br,
+            ins.Call: self._exec_call,
+            ins.Ret: self._exec_ret,
+            ins.Input: self._exec_input,
+            ins.Output: self._exec_output,
+            ins.Assert: self._exec_assert,
+            ins.Abort: self._exec_abort,
+            ins.PtWrite: self._exec_ptwrite,
+            ins.Spawn: self._exec_spawn,
+            ins.Join: self._exec_nop,
+            ins.Lock: self._exec_nop,
+            ins.Unlock: self._exec_nop,
+            ins.Nop: self._exec_nop,
+        }
+
+    # ------------------------------------------------------------------
+    # public API
+
+    def run(self) -> SymexResult:
+        """Shepherd the whole trace; solve for inputs at the end."""
+        T.clear_term_cache()
+        started = time.perf_counter()
+        try:
+            self._init_main()
+            self._replay_chunks()
+            self._apply_failure_constraints()
+            model = self._final_solve()
+        except _Stall as stall:
+            self.stats.wall_seconds = time.perf_counter() - started
+            return SymexResult(status="stalled",
+                               constraints=list(self.constraints),
+                               stall=stall.info, stats=self.stats,
+                               exec_counts=self.exec_counts,
+                               gap_bits=list(self.gap_bits_used))
+        except TraceDivergence as div:
+            self.stats.wall_seconds = time.perf_counter() - started
+            if self._concretized:
+                # the divergence is (most likely) a bad concretization
+                # pick; report a stall naming the concretized terms so
+                # selection records them for the next occurrence (or so
+                # a Fig.-5-style driver bans the value and retries)
+                budget = Budget(self.work_limit, "concretization conflict")
+                return SymexResult(status="stalled",
+                                   constraints=list(self.constraints),
+                                   stall=self._make_stall(
+                                       [t for t, _v in self._concretized],
+                                       budget),
+                                   stats=self.stats,
+                                   exec_counts=self.exec_counts,
+                                   gap_bits=list(self.gap_bits_used))
+            return SymexResult(status="diverged", stats=self.stats,
+                               constraints=list(self.constraints),
+                               exec_counts=self.exec_counts,
+                               divergence_reason=str(div),
+                               diverged_chunk=self._chunk_index,
+                               gap_bits=list(self.gap_bits_used))
+        self.stats.wall_seconds = time.perf_counter() - started
+        return SymexResult(status="completed",
+                           constraints=list(self.constraints), model=model,
+                           stats=self.stats, exec_counts=self.exec_counts,
+                           gap_bits=list(self.gap_bits_used))
+
+    # ------------------------------------------------------------------
+    # trace replay
+
+    def _init_main(self) -> None:
+        main = self.module.function("main")
+        if main.params:
+            raise SymexError("shepherded main must take no arguments")
+        self.threads[0] = SymThread(
+            0, [SymFrame(main, next(iter(main.blocks)), 0, {})])
+        self._next_tid = 1
+
+    def _replay_chunks(self) -> None:
+        for index, chunk in enumerate(self.trace.chunks):
+            self._chunk_index = index
+            thread = self.threads.get(chunk.tid)
+            if thread is None:
+                raise TraceDivergence(
+                    f"trace chunk for unknown thread {chunk.tid}")
+            self._events = deque(chunk.events)
+            for _ in range(chunk.n_instrs):
+                if thread.done:
+                    raise TraceDivergence(
+                        f"chunk {index} runs past thread {chunk.tid} end")
+                self._step(thread)
+            if self._events:
+                raise TraceDivergence(
+                    f"{len(self._events)} unconsumed trace events in chunk")
+
+    def _step(self, thread: SymThread) -> None:
+        frame = thread.frame
+        instr = frame.func.blocks[frame.block].instrs[frame.index]
+        point = ProgramPoint(frame.func.name, frame.block, frame.index)
+        self.exec_counts[point] += 1
+        self.stats.instrs_executed += 1
+        self._current_point = point
+        self._current_thread = thread
+        handler = self._dispatch[type(instr)]
+        handler(thread, frame, instr, point)
+
+    # ------------------------------------------------------------------
+    # solver plumbing
+
+    def _new_budget(self, context: str) -> Budget:
+        if self.no_timeout:
+            return UnlimitedBudget(context)
+        return Budget(self.work_limit, context)
+
+    def _charge_stats(self, budget: Budget) -> None:
+        self.stats.solver_calls += 1
+        self.stats.solver_work += budget.spent
+        self.stats.progress.append(
+            (self.stats.instrs_executed, self.stats.solver_work))
+
+    def _check_feasible(self, stall_terms: List[Term], context: str) -> None:
+        """The per-access solver call of §3.2; may stall."""
+        if not self.check_feasibility:
+            return
+        budget = self._new_budget(context)
+        try:
+            feasible = self.solver.is_feasible(self.constraints, budget)
+        except SolverTimeout:
+            self._charge_stats(budget)
+            if self.continue_on_stall:
+                return
+            raise _Stall(self._make_stall(stall_terms, budget)) from None
+        self._charge_stats(budget)
+        if not feasible:
+            raise TraceDivergence(f"infeasible path constraint at {context}")
+
+    def _make_stall(self, stall_terms: List[Term],
+                    budget: Budget) -> StallInfo:
+        chains = [obj.chain for obj in self.memory.objects_with_chains()]
+        conflict = None
+        if self._concretized:
+            term, value = self._concretized[-1]
+            conflict = (repr(term), value)
+        return StallInfo(constraints=list(self.constraints),
+                         stall_terms=list(stall_terms),
+                         chains=chains,
+                         exec_counts=Counter(self.exec_counts),
+                         work_spent=budget.spent,
+                         point=self._current_point,
+                         concretization_conflict=conflict)
+
+    def _final_solve(self):
+        budget = self._new_budget("final input generation")
+        try:
+            model = self.solver.solve(self.constraints, budget)
+        except SolverTimeout:
+            self._charge_stats(budget)
+            raise _Stall(self._make_stall([], budget)) from None
+        except UnsatError as exc:
+            self._charge_stats(budget)
+            raise TraceDivergence(f"final constraints unsat: {exc}") from None
+        self._charge_stats(budget)
+        return model
+
+    # ------------------------------------------------------------------
+    # failure constraints
+
+    def _apply_failure_constraints(self) -> None:
+        if self.failure is None:
+            return
+        thread = self.threads.get(self.failure.tid)
+        if thread is None or thread.done:
+            raise TraceDivergence("failing thread not live at trace end")
+        point = thread.current_point()
+        if point != self.failure.point:
+            raise TraceDivergence(
+                f"replay ends at {point}, failure was at {self.failure.point}")
+        if thread.call_stack() != self.failure.call_stack:
+            raise TraceDivergence("call stack mismatch at failure point")
+        frame = thread.frame
+        instr = frame.func.blocks[frame.block].instrs[frame.index]
+        kind = self.failure.kind
+
+        if kind == FailureKind.ABORT:
+            return
+        if kind == FailureKind.ASSERT:
+            cond = self._value(frame, instr.cond)
+            self._add_constraint(T.cmp("eq", cond, T.const(0), 64))
+            return
+        if kind == FailureKind.DIV_BY_ZERO:
+            rhs = self._value(frame, instr.rhs)
+            self._add_constraint(T.cmp("eq", rhs, T.const(0), instr.width))
+            return
+        if kind in (FailureKind.STACK_OVERFLOW, FailureKind.HANG):
+            return
+        if kind in (FailureKind.USE_AFTER_FREE, FailureKind.DOUBLE_FREE):
+            # liveness is concrete in replay; reaching the point suffices,
+            # but sanity-check the object really is dead.
+            addr = self._value(frame, instr.addr)
+            if addr.is_const:
+                obj = self.memory.find_object(addr.value)
+                if obj is not None and obj.live and \
+                        kind == FailureKind.USE_AFTER_FREE:
+                    raise TraceDivergence("object live at use-after-free")
+            return
+        # memory-safety faults with possibly-symbolic addresses
+        addr_operand = getattr(instr, "addr", None)
+        if addr_operand is None:
+            raise TraceDivergence(
+                f"failure kind {kind} at non-memory instruction")
+        addr = self._value(frame, addr_operand)
+        size = getattr(instr, "size", 1)
+        if kind == FailureKind.NULL_DEREF:
+            if addr.is_const:
+                if addr.value >= 0x1000:
+                    raise TraceDivergence("address not null at null-deref")
+            else:
+                self._add_constraint(
+                    T.cmp("ult", addr, T.const(0x1000), 64))
+            return
+        if kind == FailureKind.OUT_OF_BOUNDS:
+            if addr.is_const:
+                obj = self.memory.find_object(addr.value)
+                if obj is not None and addr.value + size <= obj.end:
+                    raise TraceDivergence("in-bounds at out-of-bounds fault")
+                return
+            obj, offset = self._decompose_address(addr)
+            if obj is None:
+                return
+            self._add_constraint(
+                T.cmp("ugt", offset, T.const(obj.size - size), 64))
+            return
+        raise TraceDivergence(f"unhandled failure kind {kind}")
+
+    # ------------------------------------------------------------------
+    # helpers
+
+    def _value(self, frame: SymFrame, operand) -> Term:
+        if isinstance(operand, str):
+            try:
+                return frame.regs[operand]
+            except KeyError:
+                raise SymexError(
+                    f"read of unset register {operand} in {frame.func.name}"
+                ) from None
+        return T.const(operand)
+
+    def _add_constraint(self, term: Term) -> None:
+        term = T.bool_term(term)
+        if term.is_const:
+            if term.value == 0:
+                raise TraceDivergence("constraint trivially false")
+            return
+        self.constraints.append(term)
+
+    def _set_dest(self, frame: SymFrame, point: ProgramPoint, dest: str,
+                  term: Term, size_bytes: int) -> None:
+        if not term.is_const and term.prov is None:
+            term.prov = (point, dest, size_bytes)
+        frame.regs[dest] = term
+
+    def _advance(self, frame: SymFrame) -> None:
+        frame.index += 1
+
+    def _next_event(self, want, point: ProgramPoint):
+        if not self._events:
+            raise TraceDivergence(f"trace exhausted at {point}")
+        event = self._events.popleft()
+        if not isinstance(event, want):
+            names = (want.__name__ if isinstance(want, type)
+                     else "/".join(w.__name__ for w in want))
+            raise TraceDivergence(
+                f"expected {names} at {point}, got {event!r}")
+        return event
+
+    # ------------------------------------------------------------------
+    # address handling
+
+    def _concretize(self, term: Term, context: str) -> int:
+        """Pin a symbolic term to one feasible value (KLEE-style)."""
+        budget = self._new_budget(context)
+        banned = self.banned_concretizations.get(repr(term), ())
+        extra = [T.cmp("ne", term, T.const(v), 64) for v in banned]
+        try:
+            values = self.solver.feasible_values(
+                term, list(self.constraints) + extra, limit=1, budget=budget)
+        except SolverTimeout:
+            self._charge_stats(budget)
+            raise _Stall(self._make_stall([term], budget)) from None
+        self._charge_stats(budget)
+        if not values:
+            raise TraceDivergence(f"no feasible value for {context}")
+        self._concretized.append((term, values[0]))
+        self._add_constraint(T.cmp("eq", term, T.const(values[0]), 64))
+        return values[0]
+
+    def _decompose_address(self, addr: Term):
+        """Split a symbolic address into (object, offset term).
+
+        Canonicalization keeps ``base + symbolic`` in the shape
+        ``add(const, X)``; if the pattern fails, concretize via the solver
+        (KLEE-style address concretization) and pin it with a constraint.
+        """
+        if addr.is_const:
+            obj = self.memory.find_object(addr.value)
+            if obj is None:
+                return None, T.const(0)
+            return obj, T.const(addr.value - obj.base)
+        if addr.op == "add" and addr.args[0].is_const and addr.args[2] == 64:
+            base_const = addr.args[0].value
+            obj = self.memory.find_object(base_const)
+            if obj is not None:
+                offset = T.binop("add", T.const(base_const - obj.base),
+                                 addr.args[1], 64)
+                return obj, offset
+        # fallback: ask the solver for a concrete address
+        concrete = self._concretize(addr, "address concretization")
+        obj = self.memory.find_object(concrete)
+        if obj is None:
+            return None, T.const(0)
+        return obj, T.const(concrete - obj.base)
+
+    def _access(self, point: ProgramPoint, addr: Term, size: int,
+                is_store: bool):
+        """Resolve one retired memory access; returns (object, offset_term).
+
+        Retired accesses (the failing instruction never retires) must stay
+        in bounds of a live object; symbolic offsets add an in-bounds
+        constraint and trigger the per-access solver call.
+        """
+        obj, offset = self._decompose_address(addr)
+        if obj is None or not obj.live:
+            raise TraceDivergence(
+                f"access to {'dead' if obj else 'unmapped'} memory at {point}")
+        if offset.is_const:
+            if offset.value + size > obj.size:
+                raise TraceDivergence(f"out-of-bounds replay at {point}")
+            return obj, offset
+        in_bounds = T.cmp("ule", offset, T.const(obj.size - size), 64)
+        self._add_constraint(in_bounds)
+        self._check_feasible([in_bounds, offset], f"bounds check at {point}")
+        return obj, offset
+
+    # ------------------------------------------------------------------
+    # instruction handlers
+
+    def _exec_const(self, thread, frame, instr, point):
+        frame.regs[instr.dest] = T.const(instr.value)
+        self._advance(frame)
+
+    def _exec_binop(self, thread, frame, instr, point):
+        lhs = self._value(frame, instr.lhs)
+        rhs = self._value(frame, instr.rhs)
+        if instr.op in ("udiv", "sdiv", "urem", "srem"):
+            if rhs.is_const:
+                if (rhs.value & ((1 << instr.width) - 1)) == 0:
+                    raise TraceDivergence(
+                        f"division by zero replayed at {point}")
+            else:
+                self._add_constraint(
+                    T.cmp("ne", rhs, T.const(0), instr.width))
+        term = T.binop(instr.op, lhs, rhs, instr.width)
+        self._set_dest(frame, point, instr.dest, term, instr.width // 8 or 1)
+        self._advance(frame)
+
+    def _exec_cmp(self, thread, frame, instr, point):
+        lhs = self._value(frame, instr.lhs)
+        rhs = self._value(frame, instr.rhs)
+        term = T.cmp(instr.op, lhs, rhs, instr.width)
+        self._set_dest(frame, point, instr.dest, term, 1)
+        self._advance(frame)
+
+    def _exec_select(self, thread, frame, instr, point):
+        cond = T.bool_term(self._value(frame, instr.cond))
+        term = T.ite(cond, self._value(frame, instr.if_true),
+                     self._value(frame, instr.if_false))
+        self._set_dest(frame, point, instr.dest, term, 8)
+        self._advance(frame)
+
+    def _exec_trunc(self, thread, frame, instr, point):
+        term = T.trunc(self._value(frame, instr.value), instr.width)
+        self._set_dest(frame, point, instr.dest, term, instr.width // 8 or 1)
+        self._advance(frame)
+
+    def _exec_sext(self, thread, frame, instr, point):
+        term = T.sext(self._value(frame, instr.value), instr.from_width)
+        self._set_dest(frame, point, instr.dest, term, 8)
+        self._advance(frame)
+
+    def _exec_global(self, thread, frame, instr, point):
+        frame.regs[instr.dest] = T.const(self.memory.global_addrs[instr.name])
+        self._advance(frame)
+
+    def _exec_alloca(self, thread, frame, instr, point):
+        obj = self.memory.alloc_stack(
+            f"{frame.func.name}.{instr.name}", instr.size)
+        frame.stack_objs.append(obj)
+        frame.regs[instr.dest] = T.const(obj.base)
+        self._advance(frame)
+
+    def _exec_malloc(self, thread, frame, instr, point):
+        size = self._value(frame, instr.size)
+        if not size.is_const:
+            size = T.const(self._concretize(
+                size, "allocation size concretization"))
+        obj = self.memory.alloc_heap(size.value)
+        frame.regs[instr.dest] = T.const(obj.base)
+        self._advance(frame)
+
+    def _exec_free(self, thread, frame, instr, point):
+        addr = self._value(frame, instr.addr)
+        if not addr.is_const:
+            obj, _offset = self._decompose_address(addr)
+            if obj is None:
+                raise TraceDivergence(f"free of unmapped address at {point}")
+            addr = T.const(obj.base)
+        try:
+            self.memory.free_heap(addr.value)
+        except Exception as exc:
+            raise TraceDivergence(f"free diverged at {point}: {exc}") from None
+        self._advance(frame)
+
+    def _exec_gep(self, thread, frame, instr, point):
+        base = self._value(frame, instr.base)
+        index = self._value(frame, instr.index)
+        scaled = T.binop("mul", index, T.const(instr.scale), 64)
+        term = T.binop("add", base, scaled, 64)
+        self._set_dest(frame, point, instr.dest, term, 8)
+        self._advance(frame)
+
+    def _exec_load(self, thread, frame, instr, point):
+        addr = self._value(frame, instr.addr)
+        obj, offset = self._access(point, addr, instr.size, is_store=False)
+        if obj is None:
+            # failing access: no value materializes (trap)
+            frame.regs[instr.dest] = T.const(0)
+            self._advance(frame)
+            return
+        if offset.is_const:
+            base_off = offset.value
+            parts = [obj.read_byte(base_off + i) for i in range(instr.size)]
+        else:
+            parts = [obj.read_sym(T.binop("add", offset, T.const(i), 64))
+                     for i in range(instr.size)]
+        term = T.concat(parts)
+        self._set_dest(frame, point, instr.dest, term, instr.size)
+        self._advance(frame)
+
+    def _exec_store(self, thread, frame, instr, point):
+        addr = self._value(frame, instr.addr)
+        value = self._value(frame, instr.value)
+        obj, offset = self._access(point, addr, instr.size, is_store=True)
+        if obj is None:
+            self._advance(frame)
+            return
+        if offset.is_const:
+            for i in range(instr.size):
+                obj.write_byte(offset.value + i, T.extract(value, i))
+        else:
+            for i in range(instr.size):
+                obj.write_sym(T.binop("add", offset, T.const(i), 64),
+                              T.extract(value, i))
+        self._advance(frame)
+
+    def _exec_jmp(self, thread, frame, instr, point):
+        frame.block = instr.label
+        frame.index = 0
+
+    def _exec_br(self, thread, frame, instr, point):
+        event = self._next_event((TntEvent, GapEvent), point)
+        cond = self._value(frame, instr.cond)
+        if isinstance(event, GapEvent):
+            taken = self._gap_outcome(cond)
+        else:
+            taken = event.taken
+        if cond.is_const:
+            if bool(cond.value) != taken:
+                raise TraceDivergence(
+                    f"concrete branch disagrees with trace at {point}")
+        else:
+            cond_bool = T.bool_term(cond)
+            self._add_constraint(cond_bool if taken
+                                 else T.not_(cond_bool))
+        frame.block = instr.if_true if taken else instr.if_false
+        frame.index = 0
+
+    def _gap_outcome(self, cond: Term) -> bool:
+        """Outcome for a branch whose TNT bit was lost.
+
+        A concrete condition decides itself (free recovery); a symbolic
+        one takes the committed decision for this gap index, defaulting
+        to 'taken' — the gap-recovery driver flips decisions on
+        divergence (see :mod:`repro.symex.gaps`).
+        """
+        if cond.is_const:
+            # concrete conditions recover the lost bit for free and do
+            # not consume a decision slot
+            return bool(cond.value)
+        index = len(self.gap_bits_used)
+        taken = (self.gap_decisions[index]
+                 if index < len(self.gap_decisions) else True)
+        self.gap_bits_used.append(taken)
+        return taken
+
+    def _exec_call(self, thread, frame, instr, point):
+        callee = self.module.function(instr.func)
+        regs = {p: self._value(frame, a)
+                for p, a in zip(callee.params, instr.args)}
+        self._advance(frame)
+        thread.frames.append(SymFrame(callee, next(iter(callee.blocks)), 0,
+                                      regs, ret_reg=instr.dest))
+
+    def _exec_ret(self, thread, frame, instr, point):
+        value = (T.const(0) if instr.value is None
+                 else self._value(frame, instr.value))
+        for obj in frame.stack_objs:
+            obj.live = False
+        thread.frames.pop()
+        if not thread.frames:
+            thread.done = True
+            return
+        if frame.ret_reg is not None:
+            thread.frame.regs[frame.ret_reg] = value
+
+    def _exec_input(self, thread, frame, instr, point):
+        term = self.sym_env.read(instr.stream, instr.size)
+        # provenance on each byte too: recording the input register once
+        # determines all of its bytes
+        prov = (point, instr.dest, instr.size)
+        if term.op == "concat":
+            for part in term.args:
+                if part.prov is None:
+                    part.prov = prov
+        self._set_dest(frame, point, instr.dest, term, instr.size)
+        self._advance(frame)
+
+    def _exec_output(self, thread, frame, instr, point):
+        self.outputs.setdefault(instr.stream, []).append(
+            self._value(frame, instr.value))
+        self._advance(frame)
+
+    def _exec_assert(self, thread, frame, instr, point):
+        # a retired assert passed in production
+        cond = self._value(frame, instr.cond)
+        if cond.is_const:
+            if cond.value == 0:
+                raise TraceDivergence(f"assert trivially fails at {point}")
+        else:
+            self._add_constraint(T.cmp("ne", cond, T.const(0), 64))
+        self._advance(frame)
+
+    def _exec_abort(self, thread, frame, instr, point):
+        # aborts never retire; reaching here means the trace kept going
+        raise TraceDivergence(f"abort executed mid-trace at {point}")
+
+    def _exec_ptwrite(self, thread, frame, instr, point):
+        event = self._next_event(PtwEvent, point)
+        if event.tag != instr.tag:
+            raise TraceDivergence(
+                f"PTW tag mismatch at {point}: trace {event.tag}, "
+                f"program {instr.tag}")
+        value = self._value(frame, instr.value)
+        if value.is_const:
+            if value.value != event.value:
+                raise TraceDivergence(
+                    f"PTW value mismatch at {point}")
+        else:
+            self._add_constraint(T.cmp("eq", value, T.const(event.value), 64))
+            if isinstance(instr.value, str):
+                # concretize: this is what simplifies later constraints
+                frame.regs[instr.value] = T.const(event.value)
+        self._advance(frame)
+
+    def _exec_spawn(self, thread, frame, instr, point):
+        callee = self.module.function(instr.func)
+        regs = {p: self._value(frame, a)
+                for p, a in zip(callee.params, instr.args)}
+        tid = self._next_tid
+        self._next_tid += 1
+        self.threads[tid] = SymThread(
+            tid, [SymFrame(callee, next(iter(callee.blocks)), 0, regs)])
+        frame.regs[instr.dest] = T.const(tid)
+        self._advance(frame)
+
+    def _exec_nop(self, thread, frame, instr, point):
+        self._advance(frame)

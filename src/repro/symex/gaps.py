@@ -1,0 +1,60 @@
+"""Gap-tolerant shepherding: recovering lost TNT bits (§4).
+
+The paper's x86→LLVM mapping drops ~8.5 % of control-flow events; KLEE
+then "deals with partially-recovered traces at the expense of slight
+path explosion".  This module is that bounded exploration: branches with
+concrete conditions recover their outcome for free during replay; the
+remaining symbolic-condition gaps form a small decision vector the
+driver searches depth-first, pruning with the divergence position —
+choosing a wrong bit typically contradicts a *later recorded* bit
+quickly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..interp.failures import FailureInfo
+from ..ir.module import Module
+from ..trace.decoder import DecodedTrace
+from .engine import ShepherdedSymex
+from .result import SymexResult
+
+#: bound on replays (exponential worst case; divergence-guided in practice)
+MAX_GAP_ATTEMPTS = 512
+
+
+def replay_with_gap_recovery(module: Module, trace: DecodedTrace,
+                             failure: Optional[FailureInfo],
+                             max_attempts: int = MAX_GAP_ATTEMPTS,
+                             **engine_kwargs) -> SymexResult:
+    """Shepherd a trace containing :class:`GapEvent`s.
+
+    DFS over the symbolic-gap outcomes: default each gap to 'taken'; on
+    divergence, backtrack within the bits actually consumed (later gaps
+    were never reached, so their defaults are untouched).  Returns the
+    first non-diverged result, or the last divergence after the search
+    is exhausted.
+    """
+    decisions: List[bool] = []
+    last: Optional[SymexResult] = None
+    for attempt in range(1, max_attempts + 1):
+        engine = ShepherdedSymex(module, trace, failure,
+                                 gap_decisions=decisions, **engine_kwargs)
+        result = engine.run()
+        result.gap_attempts = attempt
+        if result.status != "diverged":
+            return result
+        last = result
+        # the bits consumed up to the divergence are the DFS prefix
+        prefix = list(result.gap_bits)
+        while prefix and prefix[-1] is False:
+            prefix.pop()          # False branch exhausted: backtrack
+        if not prefix:
+            break                 # whole space explored
+        prefix[-1] = False        # try the other outcome
+        decisions = prefix
+    if last is None:
+        raise ValueError("trace has no chunks")
+    last.divergence_reason += f" (after {attempt} gap assignments)"
+    return last

@@ -1,0 +1,77 @@
+"""Result types for shepherded symbolic execution."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..ir.module import ProgramPoint
+from ..solver.model import Model
+from ..solver.terms import Term
+
+
+@dataclass
+class SymexStats:
+    """Bookkeeping for one shepherded run (feeds Fig. 5 / Table 1)."""
+
+    instrs_executed: int = 0
+    solver_calls: int = 0
+    solver_work: int = 0
+    wall_seconds: float = 0.0
+    #: (instructions executed, cumulative solver work) samples
+    progress: List[Tuple[int, int]] = field(default_factory=list)
+
+    def modelled_seconds(self) -> float:
+        from ..solver.budget import WORK_PER_SECOND
+
+        return self.solver_work / WORK_PER_SECOND
+
+
+@dataclass
+class StallInfo:
+    """Everything key-data-value selection needs after a solver timeout."""
+
+    #: path constraints accumulated up to the stall
+    constraints: List[Term]
+    #: the terms of the query that timed out (reads, bounds checks)
+    stall_terms: List[Term]
+    #: write-chain tops of every object with symbolic stores
+    chains: List[Term]
+    #: dynamic execution count per program point (recording cost input)
+    exec_counts: Counter
+    #: solver work spent by the stalling query
+    work_spent: int = 0
+    #: where symbolic execution stalled
+    point: Optional[ProgramPoint] = None
+    #: (repr(term), value) of the most recent concretization pick, when
+    #: the stall may stem from it (retry protocol for Fig.-5 drivers)
+    concretization_conflict: Optional[Tuple[str, int]] = None
+
+
+@dataclass
+class SymexResult:
+    """Outcome of one shepherded symbolic execution."""
+
+    status: str  # 'completed' | 'stalled' | 'diverged'
+    constraints: List[Term] = field(default_factory=list)
+    model: Optional[Model] = None
+    stall: Optional[StallInfo] = None
+    stats: SymexStats = field(default_factory=SymexStats)
+    exec_counts: Counter = field(default_factory=Counter)
+    divergence_reason: str = ""
+    #: index of the trace chunk being replayed when divergence hit
+    diverged_chunk: int = -1
+    #: outcomes chosen for lost TNT bits at *symbolic* branches, in
+    #: consumption order (concrete branches recover their bit for free)
+    gap_bits: List[bool] = field(default_factory=list)
+    #: replays a gap-recovery driver needed to find this result
+    gap_attempts: int = 1
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "completed"
+
+    @property
+    def stalled(self) -> bool:
+        return self.status == "stalled"

@@ -1,0 +1,31 @@
+"""Simulated Intel PT: packets, ring buffer, encoder/decoder, overhead."""
+
+from .decoder import DecodedChunk, DecodedTrace, decode
+from .degrade import DEFAULT_LOSS, degrade_trace, gap_count
+from .encoder import PTEncoder
+from .inspect import format_trace
+from .merge import merge_by_timestamp, merge_trace_by_timestamp, split_per_cpu
+from .overhead import OverheadModel, OverheadSample
+from .packets import GapEvent, PtwEvent, TntEvent
+from .ringbuffer import DEFAULT_CAPACITY, RingBuffer
+
+__all__ = [
+    "DecodedChunk",
+    "DecodedTrace",
+    "decode",
+    "DEFAULT_LOSS",
+    "degrade_trace",
+    "gap_count",
+    "PTEncoder",
+    "format_trace",
+    "merge_by_timestamp",
+    "merge_trace_by_timestamp",
+    "split_per_cpu",
+    "OverheadModel",
+    "OverheadSample",
+    "GapEvent",
+    "PtwEvent",
+    "TntEvent",
+    "RingBuffer",
+    "DEFAULT_CAPACITY",
+]

@@ -1,0 +1,141 @@
+"""PT decoder: raw ring-buffer bytes back into per-chunk events.
+
+The decoded trace is what ER's offline analysis engine consumes: an
+ordered list of scheduler chunks, each carrying the thread id, a coarse
+timestamp, the retired-instruction count, and the in-order TNT/PTW events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import TraceError, TraceTruncatedError
+from .packets import (CHD, CHE, OVF, PSB, PTW, TNT, ChunkEvent, PtwEvent,
+                      TntEvent, decode_tnt, decode_varint)
+from .ringbuffer import RingBuffer
+
+
+@dataclass
+class DecodedChunk:
+    """One scheduler chunk of a decoded trace."""
+
+    tid: int
+    timestamp: int
+    n_instrs: int = 0
+    events: List[ChunkEvent] = field(default_factory=list)
+
+    def branch_bits(self) -> List[bool]:
+        return [e.taken for e in self.events if isinstance(e, TntEvent)]
+
+
+@dataclass
+class DecodedTrace:
+    """A fully decoded trace, oldest chunk first."""
+
+    chunks: List[DecodedChunk] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def instr_count(self) -> int:
+        return sum(c.n_instrs for c in self.chunks)
+
+    @property
+    def branch_count(self) -> int:
+        return sum(len(c.branch_bits()) for c in self.chunks)
+
+    def ptwrites(self) -> List[PtwEvent]:
+        return [e for c in self.chunks for e in c.events
+                if isinstance(e, PtwEvent)]
+
+    def tids(self) -> List[int]:
+        seen: List[int] = []
+        for chunk in self.chunks:
+            if chunk.tid not in seen:
+                seen.append(chunk.tid)
+        return seen
+
+
+def decode(buffer: RingBuffer, *, allow_truncated: bool = False) -> DecodedTrace:
+    """Decode a ring buffer into chunks.
+
+    If the buffer wrapped, the head of the execution is gone; ER cannot
+    shepherd symbolic execution without the full path, so by default this
+    raises :class:`TraceTruncatedError`.  ``allow_truncated=True`` instead
+    resynchronizes at the first surviving PSB and returns the suffix
+    (useful for REPT-style partial analyses).
+    """
+    data = buffer.contents()
+    start = 0
+    truncated = buffer.wrapped
+    if truncated:
+        if not allow_truncated:
+            raise TraceTruncatedError(
+                f"ring buffer wrapped: {buffer.total_written - len(data)} "
+                "bytes lost")
+        start = data.find(bytes((PSB,)))
+        if start < 0:
+            return DecodedTrace(chunks=[], truncated=True)
+    return _decode_bytes(data, start, truncated)
+
+
+def _decode_bytes(data: bytes, pos: int, truncated: bool) -> DecodedTrace:
+    trace = DecodedTrace(truncated=truncated)
+    chunk: Optional[DecodedChunk] = None
+    while pos < len(data):
+        kind = data[pos]
+        pos += 1
+        if kind == PSB:
+            continue
+        if kind == CHD:
+            if chunk is not None:
+                raise TraceError("CHD inside an open chunk")
+            tid, pos = decode_varint(data, pos)
+            timestamp, pos = decode_varint(data, pos)
+            chunk = DecodedChunk(tid, timestamp)
+            continue
+        if chunk is None:
+            # A packet belonging to a chunk whose header was lost to
+            # truncation: skip until the next chunk header.
+            if truncated:
+                pos = _skip_packet(kind, data, pos)
+                continue
+            raise TraceError(f"packet {kind:#x} outside a chunk")
+        if kind == TNT:
+            if pos >= len(data):
+                raise TraceError("truncated TNT packet")
+            for bit in decode_tnt(data[pos]):
+                chunk.events.append(TntEvent(bit))
+            pos += 1
+        elif kind == PTW:
+            tag, pos = decode_varint(data, pos)
+            if pos + 8 > len(data):
+                raise TraceError("truncated PTW packet")
+            value = int.from_bytes(data[pos:pos + 8], "little")
+            pos += 8
+            chunk.events.append(PtwEvent(tag, value))
+        elif kind == CHE:
+            chunk.n_instrs, pos = decode_varint(data, pos)
+            trace.chunks.append(chunk)
+            chunk = None
+        elif kind == OVF:
+            trace.truncated = True
+        else:
+            raise TraceError(f"unknown packet kind {kind:#x} at {pos - 1}")
+    if chunk is not None:
+        # Failure mid-chunk: interpreter always closes chunks, so an open
+        # chunk means the stream was cut; keep what we have.
+        trace.chunks.append(chunk)
+    return trace
+
+
+def _skip_packet(kind: int, data: bytes, pos: int) -> int:
+    if kind == TNT:
+        return pos + 1
+    if kind == PTW:
+        _, pos = decode_varint(data, pos)
+        return pos + 8
+    if kind in (CHE,):
+        _, pos = decode_varint(data, pos)
+        return pos
+    return pos

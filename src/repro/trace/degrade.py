@@ -1,0 +1,40 @@
+"""Simulating control-flow information loss (§4's mapping gap).
+
+The paper's prototype maps x86_64 control-flow events onto LLVM IR and
+loses ~8.5 % of them to compiler optimizations.  :func:`degrade_trace`
+models that: a seeded fraction of TNT bits are replaced by
+:class:`~repro.trace.packets.GapEvent`, and the gap-tolerant replay in
+``repro.symex.gaps`` must recover the missing outcomes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .decoder import DecodedChunk, DecodedTrace
+from .packets import GapEvent, TntEvent
+
+#: the paper's measured mapping accuracy: 91.5 % of events survive
+DEFAULT_LOSS = 0.085
+
+
+def degrade_trace(trace: DecodedTrace, loss: float = DEFAULT_LOSS,
+                  seed: Optional[int] = 0) -> DecodedTrace:
+    """A copy of ``trace`` with a fraction of TNT bits turned into gaps."""
+    rng = random.Random(seed)
+    chunks = []
+    for chunk in trace.chunks:
+        events = [GapEvent() if isinstance(e, TntEvent)
+                  and rng.random() < loss else e
+                  for e in chunk.events]
+        chunks.append(DecodedChunk(tid=chunk.tid,
+                                   timestamp=chunk.timestamp,
+                                   n_instrs=chunk.n_instrs,
+                                   events=events))
+    return DecodedTrace(chunks=chunks, truncated=trace.truncated)
+
+
+def gap_count(trace: DecodedTrace) -> int:
+    return sum(1 for chunk in trace.chunks for e in chunk.events
+               if isinstance(e, GapEvent))

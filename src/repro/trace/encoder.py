@@ -1,0 +1,87 @@
+"""PT encoder: the tracer sink the interpreter streams events into.
+
+Implements the tracer protocol (``begin_chunk`` / ``on_branch`` /
+``on_ptwrite`` / ``end_chunk``) and serializes packets into a
+:class:`~repro.trace.ringbuffer.RingBuffer`.  Branch bits are buffered and
+packed six-per-TNT-packet; a pending TNT packet is flushed before any PTW
+packet so the decoder can reconstruct exact program order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import TraceError
+from ..ir.types import MASK64
+from .packets import (CHD, CHE, PSB, PSB_PERIOD, TNT_CAPACITY, encode_tnt,
+                      encode_varint)
+from .ringbuffer import RingBuffer
+
+
+class PTEncoder:
+    """Serializes interpreter events into a simulated PT byte stream."""
+
+    def __init__(self, buffer: Optional[RingBuffer] = None):
+        self.buffer = buffer if buffer is not None else RingBuffer()
+        self._tnt_bits: List[bool] = []
+        self._in_chunk = False
+        self._since_psb = 0
+        self._emit_psb()
+
+    # -- tracer protocol -------------------------------------------------
+
+    def begin_chunk(self, tid: int, timestamp: int) -> None:
+        if self._in_chunk:
+            raise TraceError("begin_chunk while a chunk is open")
+        self._in_chunk = True
+        self._emit(bytes((CHD,)) + encode_varint(tid)
+                   + encode_varint(timestamp))
+
+    def on_branch(self, taken: bool) -> None:
+        self._require_chunk()
+        self._tnt_bits.append(taken)
+        if len(self._tnt_bits) == TNT_CAPACITY:
+            self._flush_tnt()
+
+    def on_ptwrite(self, tag: int, value: int) -> None:
+        self._require_chunk()
+        self._flush_tnt()
+        payload = (value & MASK64).to_bytes(8, "little")
+        self._emit(bytes((0x05,)) + encode_varint(tag) + payload)
+
+    def end_chunk(self, n_instrs: int) -> None:
+        self._require_chunk()
+        self._flush_tnt()
+        self._emit(bytes((CHE,)) + encode_varint(n_instrs))
+        self._in_chunk = False
+        if self._since_psb >= PSB_PERIOD:
+            self._emit_psb()
+
+    # -- internals ---------------------------------------------------------
+
+    def _require_chunk(self) -> None:
+        if not self._in_chunk:
+            raise TraceError("trace event outside a chunk")
+
+    def _flush_tnt(self) -> None:
+        if self._tnt_bits:
+            self._emit(encode_tnt(self._tnt_bits))
+            self._tnt_bits = []
+
+    def _emit(self, data: bytes) -> None:
+        self.buffer.write(data)
+        self._since_psb += len(data)
+
+    def _emit_psb(self) -> None:
+        self.buffer.write(bytes((PSB,)))
+        self._since_psb = 0
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def bytes_emitted(self) -> int:
+        """Total trace bytes produced (overhead-model input)."""
+        return self.buffer.total_written
+
+    def raw(self) -> bytes:
+        return self.buffer.contents()

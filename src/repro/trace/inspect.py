@@ -1,0 +1,51 @@
+"""Human-readable rendering of decoded PT traces (the CLI's `trace`)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .decoder import DecodedTrace
+from .packets import PtwEvent, TntEvent
+
+
+def format_chunk_events(events, per_line: int = 24) -> List[str]:
+    """Compact event strings: TNT bits as +/-, PTWs as tag=value."""
+    cells = []
+    for event in events:
+        if isinstance(event, TntEvent):
+            cells.append("+" if event.taken else "-")
+        elif isinstance(event, PtwEvent):
+            cells.append(f"[ptw {event.tag}={event.value:#x}]")
+    lines = []
+    current = ""
+    count = 0
+    for cell in cells:
+        current += cell
+        count += 1
+        if count >= per_line and len(cell) == 1:
+            lines.append(current)
+            current = ""
+            count = 0
+    if current:
+        lines.append(current)
+    return lines or [""]
+
+
+def format_trace(trace: DecodedTrace, max_chunks: int = 50) -> str:
+    """Render a decoded trace: per-chunk header + event summary."""
+    lines = [
+        f"decoded trace: {len(trace.chunks)} chunk(s), "
+        f"{trace.instr_count} instructions, {trace.branch_count} branch "
+        f"bits, {len(trace.ptwrites())} ptwrites"
+        + (", TRUNCATED" if trace.truncated else "")
+    ]
+    for index, chunk in enumerate(trace.chunks[:max_chunks]):
+        lines.append(
+            f"  chunk {index:3d}  tid={chunk.tid}  ts={chunk.timestamp:<6d}"
+            f" instrs={chunk.n_instrs:<6d} events={len(chunk.events)}")
+        for event_line in format_chunk_events(chunk.events):
+            if event_line:
+                lines.append(f"      {event_line}")
+    if len(trace.chunks) > max_chunks:
+        lines.append(f"  ... {len(trace.chunks) - max_chunks} more chunks")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Merging per-CPU trace buffers (the real Intel PT deployment shape).
+
+Hardware PT writes one buffer per logical CPU; an offline decoder merges
+them into a global order using the coarse timestamp packets.  Chunks that
+share a timestamp have *unknown* relative order after the merge — the
+ambiguity §3.4's order recovery (``repro.symex.ordering``) resolves.
+
+This module simulates that pipeline: split a faithful single-buffer
+trace into per-thread streams (as per-CPU buffers would hold them) and
+re-merge by timestamp only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .decoder import DecodedChunk, DecodedTrace
+
+
+def split_per_cpu(trace: DecodedTrace) -> Dict[int, List[DecodedChunk]]:
+    """Per-thread chunk streams, order within each stream preserved."""
+    streams: Dict[int, List[DecodedChunk]] = {}
+    for chunk in trace.chunks:
+        streams.setdefault(chunk.tid, []).append(chunk)
+    return streams
+
+
+def merge_by_timestamp(streams: Dict[int, List[DecodedChunk]]
+                       ) -> DecodedTrace:
+    """Merge per-CPU streams using timestamps alone.
+
+    A stable merge keyed by (timestamp, tid): chunks with equal
+    timestamps come out in tid order, which may *differ* from the true
+    execution order — the information genuinely lost by coarse
+    timestamps.
+    """
+    indexed = []
+    for tid, chunks in streams.items():
+        for position, chunk in enumerate(chunks):
+            indexed.append((chunk.timestamp, tid, position, chunk))
+    indexed.sort(key=lambda item: (item[0], item[1], item[2]))
+    return DecodedTrace(chunks=[item[3] for item in indexed])
+
+
+def merge_trace_by_timestamp(trace: DecodedTrace) -> DecodedTrace:
+    """Round-trip a trace through the per-CPU split + timestamp merge."""
+    return merge_by_timestamp(split_per_cpu(trace))

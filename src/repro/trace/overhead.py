@@ -1,0 +1,89 @@
+"""Cycle-level overhead model for online monitoring (Fig. 6 substrate).
+
+We model runtime cost in abstract cycles:
+
+* every retired instruction costs :data:`CPI` cycles;
+* Intel-PT-style tracing adds a small cost per emitted trace byte (the
+  hardware writes packets to memory) and a fixed cost per executed
+  ``ptwrite`` instruction;
+* rr-style record/replay adds a multiplicative instrumentation tax plus a
+  large fixed cost per intercepted non-deterministic event (syscalls,
+  scheduling) — the published rr overheads (49–685 %, §6) come from
+  event-dense workloads.
+
+The harness perturbs measurements with seeded noise so repeated runs give
+realistic error bars.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..interp.interpreter import RunResult
+
+#: base cycles per instruction
+CPI = 1.0
+#: cycles per trace byte written by the PT hardware
+PT_BYTE_COST = 0.012
+#: extra cycles per executed ptwrite instruction
+PTWRITE_COST = 3.0
+#: rr: multiplicative tax on every instruction (trap handling, chunking)
+RR_INSTR_TAX = 0.14
+#: rr: cycles per recorded non-deterministic event
+RR_EVENT_COST = 700.0
+#: rr: cycles per scheduler chunk (serialization of threads)
+RR_CHUNK_COST = 40.0
+
+
+@dataclass
+class OverheadSample:
+    """One measured run: baseline cycles and monitored cycles."""
+
+    base_cycles: float
+    monitored_cycles: float
+
+    @property
+    def overhead(self) -> float:
+        """Fractional overhead, e.g. 0.003 for +0.3 %."""
+        return self.monitored_cycles / self.base_cycles - 1.0
+
+
+class OverheadModel:
+    """Computes modelled runtimes for one execution under each monitor."""
+
+    def __init__(self, noise: float = 0.0005, seed: Optional[int] = None):
+        self._rng = random.Random(seed)
+        self.noise = noise
+
+    def _jitter(self) -> float:
+        return 1.0 + self._rng.gauss(0.0, self.noise)
+
+    def baseline_cycles(self, run: RunResult) -> float:
+        return run.instr_count * CPI * self._jitter()
+
+    def er_sample(self, run: RunResult, trace_bytes: int) -> OverheadSample:
+        """ER monitoring: PT control flow + recorded key data values."""
+        base = run.instr_count * CPI
+        monitored = (base
+                     + trace_bytes * PT_BYTE_COST
+                     + run.ptwrite_count * PTWRITE_COST)
+        return OverheadSample(base * self._jitter(),
+                              monitored * self._jitter())
+
+    def rr_sample(self, run: RunResult) -> OverheadSample:
+        """rr-style full record/replay of the same execution.
+
+        Scheduler chunks only cost when the program is multithreaded:
+        rr serializes threads onto one core and pays a switch cost per
+        chunk, while single-threaded programs have no such events.
+        """
+        base = run.instr_count * CPI
+        chunk_cost = (run.chunk_count * RR_CHUNK_COST
+                      if run.thread_count > 1 else 0.0)
+        monitored = (base * (1.0 + RR_INSTR_TAX)
+                     + run.env.syscall_estimate() * RR_EVENT_COST
+                     + chunk_cost)
+        return OverheadSample(base * self._jitter(),
+                              monitored * self._jitter())

@@ -1,0 +1,44 @@
+"""Per-application trace ring buffer.
+
+The paper stores traces in a 64 MB ring buffer per monitored application
+(§4), sized to hold the largest evaluated trace.  When the producer
+outruns the buffer, the oldest bytes are lost; ER requires an unbroken
+trace from program start, so a wrapped buffer makes reconstruction
+impossible and the decoder reports truncation.
+"""
+
+from __future__ import annotations
+
+DEFAULT_CAPACITY = 64 * 1024 * 1024
+
+
+class RingBuffer:
+    """Byte-granular circular buffer with overwrite-oldest semantics."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self._buf = bytearray()
+        self.total_written = 0
+
+    def write(self, data: bytes) -> None:
+        self.total_written += len(data)
+        if len(data) >= self.capacity:
+            self._buf = bytearray(data[-self.capacity:])
+            return
+        self._buf += data
+        if len(self._buf) > self.capacity:
+            del self._buf[: len(self._buf) - self.capacity]
+
+    @property
+    def wrapped(self) -> bool:
+        """True if any bytes have been lost to overwrite."""
+        return self.total_written > len(self._buf)
+
+    def contents(self) -> bytes:
+        """The surviving (most recent) bytes, oldest first."""
+        return bytes(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)

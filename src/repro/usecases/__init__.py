@@ -1,0 +1,12 @@
+"""Use cases the paper says ER unlocks for production failures (§2.4):
+security forensics (input attribution) and directed fuzzing (seeding)."""
+
+from .forensics import InputAttribution, attribute_failure
+from .fuzzing import CoverageFuzzer, FuzzReport
+
+__all__ = [
+    "InputAttribution",
+    "attribute_failure",
+    "CoverageFuzzer",
+    "FuzzReport",
+]

@@ -1,0 +1,92 @@
+"""Security forensics on reconstructed executions: input attribution.
+
+The paper motivates ER with security audits of production breaches
+("leak assessment", §1).  A reconstructed execution comes with the full
+path constraint, which already encodes the dataflow from input bytes to
+the failure: the free variables of each constraint are exactly the
+input bytes that influenced that branch/access, so attribution falls
+out of the artifacts ER produces anyway.
+
+:func:`attribute_failure` reports, per input stream, which byte offsets
+the failing path depends on — the bytes an attacker controls — and how
+strongly (how many path constraints each byte appears in).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..solver.model import parse_var_name
+from ..symex.result import SymexResult
+
+
+@dataclass
+class InputAttribution:
+    """Which input bytes the failing path depends on."""
+
+    #: stream -> sorted byte offsets the path constraints mention
+    influential: Dict[str, List[int]]
+    #: (stream, offset) -> number of path constraints involving the byte
+    weight: Dict[Tuple[str, int], int]
+    #: bytes read by the program but irrelevant to the failure path
+    uninfluential: Dict[str, List[int]]
+    total_constraints: int = 0
+
+    def hottest(self, count: int = 5) -> List[Tuple[str, int, int]]:
+        """The most-constrained bytes: (stream, offset, weight)."""
+        ranked = sorted(self.weight.items(),
+                        key=lambda item: (-item[1], item[0]))
+        return [(stream, offset, w)
+                for (stream, offset), w in ranked[:count]]
+
+    def render(self) -> str:
+        lines = ["input attribution (bytes influencing the failure path):"]
+        for stream in sorted(self.influential):
+            offsets = self.influential[stream]
+            lines.append(f"  {stream!r}: {len(offsets)} influential "
+                         f"byte(s) at offsets {offsets}")
+        for stream in sorted(self.uninfluential):
+            offsets = self.uninfluential[stream]
+            if offsets:
+                lines.append(f"  {stream!r}: {len(offsets)} byte(s) read "
+                             "but not constrained (attacker-irrelevant)")
+        hottest = self.hottest(3)
+        if hottest:
+            hot = ", ".join(f"{s}[{o}]x{w}" for s, o, w in hottest)
+            lines.append(f"  most constrained: {hot}")
+        return "\n".join(lines)
+
+
+def attribute_failure(result: SymexResult) -> InputAttribution:
+    """Attribute a completed (or stalled) symex result to input bytes."""
+    weight: Counter = Counter()
+    for constraint in result.constraints:
+        for name in constraint.free_vars():
+            parsed = parse_var_name(name)
+            if parsed is not None:
+                weight[parsed] += 1
+
+    influential: Dict[str, List[int]] = {}
+    for (stream, offset), _count in weight.items():
+        influential.setdefault(stream, []).append(offset)
+    for offsets in influential.values():
+        offsets.sort()
+
+    uninfluential: Dict[str, List[int]] = {}
+    if result.model is not None:
+        for name in result.model.assignment:
+            parsed = parse_var_name(name)
+            if parsed is None:
+                continue
+            stream, offset = parsed
+            if (stream, offset) not in weight:
+                uninfluential.setdefault(stream, []).append(offset)
+        for offsets in uninfluential.values():
+            offsets.sort()
+
+    return InputAttribution(influential=influential,
+                            weight=dict(weight),
+                            uninfluential=uninfluential,
+                            total_constraints=len(result.constraints))

@@ -1,0 +1,13 @@
+"""The evaluation workloads: 13 Table-1 bugs plus the od/pr case study."""
+
+from .base import Workload
+from .coreutils import coreutils_modules
+from .registry import all_workloads, get_workload, workload_names
+
+__all__ = [
+    "Workload",
+    "coreutils_modules",
+    "all_workloads",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,127 @@
+"""Mini shell parser: Bash sr#108885 (NULL pointer dereference).
+
+The real report: a 4-byte script (``))((`` variants) sends the parser
+down a path where the word-list pointer for a command is NULL and gets
+dereferenced.  The mini parser reads a script, tracks subshell depth,
+and builds a tiny command structure; a close-paren with no open command
+leaves the command's word pointer NULL, and the executor dereferences
+it.
+
+Like libpng, this failure reproduces from a *single* occurrence: the
+path conditions are direct byte comparisons.
+
+The script arrives on the ``sh`` stream.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..interp.env import Environment
+from ..interp.failures import FailureKind
+from ..ir.builder import ModuleBuilder
+from ..ir.module import Module
+from ..solver.budget import WORK_PER_SECOND
+from .base import Workload
+
+
+def build_bash() -> Module:
+    b = ModuleBuilder("bash-108885")
+    b.global_("cmd_words", 8)     # pointer to the current word list
+    b.global_("word_store", 64)
+
+    f = b.function("exec_command", [])
+    f.block("entry")
+    wp = f.global_addr("cmd_words", dest="%wp")
+    words = f.load("%wp", 8, dest="%words")
+    # BUG: no NULL check before walking the word list
+    first = f.load("%words", 8, dest="%first")
+    f.output("stdout", "%first", 8)
+    f.ret(0)
+
+    f = b.function("main", [])
+    f.block("entry")
+    wp = f.global_addr("cmd_words", dest="%wp")
+    ws = f.global_addr("word_store", dest="%ws")
+    f.const(0, dest="%depth")
+    f.jmp("scan")
+    f.block("scan")
+    ch = f.input("sh", 1, dest="%ch")
+    is_end = f.cmp("eq", "%ch", 0, width=8)
+    f.br(is_end, "out", "classify")
+    f.block("classify")
+    is_open = f.cmp("eq", "%ch", ord("("), width=8)
+    f.br(is_open, "open", "chk_close")
+    f.block("open")
+    f.add("%depth", 1, dest="%depth")
+    f.store("%wp", "%ws", 8)        # subshell gets a word list
+    f.jmp("scan")
+    f.block("chk_close")
+    is_close = f.cmp("eq", "%ch", ord(")"), width=8)
+    f.br(is_close, "close", "word")
+    f.block("close")
+    has_open = f.cmp("ugt", "%depth", 0)
+    f.br(has_open, "pop", "stray")
+    f.block("pop")
+    f.sub("%depth", 1, dest="%depth")
+    f.call("exec_command", [])
+    f.jmp("scan")
+    f.block("stray")
+    # BUG path: a stray ')' clears the word list, then executes
+    f.store("%wp", 0, 8)
+    f.call("exec_command", [])
+    f.jmp("scan")
+    f.block("word")
+    f.store("%ws", "%ch", 1)
+    # word expansion: per-character glob/quote scanning work
+    f.const(0, dest="%x")
+    f.jmp("expand")
+    f.block("expand")
+    xdone = f.cmp("uge", "%x", 12)
+    f.br(xdone, "scan2", "xbody")
+    f.block("xbody")
+    sh = f.shl("%ch", 1, width=32)
+    f.xor(sh, "%x", width=32, dest="%ch")
+    f.add("%x", 1, dest="%x")
+    f.jmp("expand")
+    f.block("scan2")
+    f.jmp("scan")
+    f.block("out")
+    f.ret(0)
+    return b.build()
+
+
+def _failing_bash(occurrence: int) -> Environment:
+    scripts = [b"))((", b")(()", b"))()", b")a(("]
+    return Environment({"sh": scripts[occurrence % len(scripts)] + b"\x00"})
+
+
+def _benign_bash(seed: int) -> Environment:
+    rng = random.Random(seed)
+    # balanced scripts: a quicksort-ish nest of subshells and words
+    out = bytearray()
+    depth = 0
+    for _ in range(rng.randint(600, 900)):
+        r = rng.random()
+        if r < 0.25:
+            out += b"("
+            depth += 1
+        elif r < 0.5 and depth > 0:
+            out += b")"
+            depth -= 1
+        else:
+            out += bytes((rng.randint(ord("a"), ord("z")),))
+    out += b")" * depth
+    return Environment({"sh": bytes(out) + b"\x00"})
+
+
+def bash_workloads():
+    return [Workload(
+        name="bash-108885", app="Bash 4.3.30", bug_id="sr#108885",
+        bug_type="NULL pointer dereference", multithreaded=False,
+        expected_kind=FailureKind.NULL_DEREF,
+        build=build_bash,
+        failing_env=_failing_bash, benign_env=_benign_bash,
+        bench_name="Quicksort in Bash script",
+        work_limit=2 * WORK_PER_SECOND,
+        paper_occurrences=1, paper_instrs=866_668)]

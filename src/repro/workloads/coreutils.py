@@ -1,0 +1,208 @@
+"""Mini coreutils (od, pr): the §5.4 MIMIC case-study programs.
+
+These are not Table-1 rows; they host the invariant-based failure
+localization experiment.  Each has a clear root-cause function whose
+argument invariants (learned from passing runs) are violated on the
+failing input:
+
+* **od** — the argument parser accepts a column width of 0 and
+  ``format_line`` divides by it (the od fault from the MIMIC paper's
+  coreutils set, modelled as a width-validation bug).
+* **pr** — the column layout subtracts the inter-column gap from the
+  page width without checking it fits; too many columns underflows the
+  unsigned column width and the line copy overruns its buffer.
+
+Arguments arrive on ``argv``; data on ``data``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..interp.env import Environment
+from ..ir.builder import ModuleBuilder
+from ..ir.module import Module
+
+
+def build_od() -> Module:
+    b = ModuleBuilder("coreutils-od")
+    b.global_("data_buf", 64)
+
+    # parse_width(): reads the -w argument; BUG: 0 is not rejected
+    f = b.function("parse_width", [])
+    f.block("entry")
+    w = f.input("argv", 1, dest="%w")
+    big = f.cmp("ule", "%w", 16, width=8)
+    f.br(big, "ok", "clamp")
+    f.block("clamp")
+    f.const(16, dest="%w")
+    f.jmp("ok")
+    f.block("ok")
+    f.ret("%w")
+
+    # format_line(offset, width): emits one output line
+    f = b.function("format_line", ["offset", "width"])
+    f.block("entry")
+    db = f.global_addr("data_buf", dest="%db")
+    cols = f.udiv(16, "%width", dest="%cols")   # div-by-zero when w == 0
+    f.const(0, dest="%c")
+    f.const(0, dest="%acc")
+    f.jmp("loop")
+    f.block("loop")
+    done = f.cmp("uge", "%c", "%cols")
+    f.br(done, "out", "body")
+    f.block("body")
+    idx = f.add("%offset", "%c", dest="%idx")
+    wrapped = f.urem("%idx", 64, dest="%wr")
+    p = f.gep("%db", "%wr", 1)
+    v = f.load(p, 1)
+    f.add("%acc", v, dest="%acc")
+    f.add("%c", 1, dest="%c")
+    f.jmp("loop")
+    f.block("out")
+    f.output("stdout", "%acc", 4)
+    f.ret("%acc")
+
+    f = b.function("main", [])
+    f.block("entry")
+    width = f.call("parse_width", [], dest="%width")
+    db = f.global_addr("data_buf", dest="%db")
+    f.const(0, dest="%i")
+    f.jmp("fill")
+    f.block("fill")
+    done = f.cmp("uge", "%i", 32)
+    f.br(done, "dump", "fbody")
+    f.block("fbody")
+    ch = f.input("data", 1)
+    p = f.gep("%db", "%i", 1)
+    f.store(p, ch, 1)
+    f.add("%i", 1, dest="%i")
+    f.jmp("fill")
+    f.block("dump")
+    f.const(0, dest="%off")
+    f.jmp("lines")
+    f.block("lines")
+    fin = f.cmp("uge", "%off", 32)
+    f.br(fin, "out", "line")
+    f.block("line")
+    f.call("format_line", ["%off", "%width"])
+    f.add("%off", 8, dest="%off")
+    f.jmp("lines")
+    f.block("out")
+    f.ret(0)
+    return b.build()
+
+
+def od_env(width: int, seed: int = 0) -> Environment:
+    rng = random.Random(seed)
+    return Environment({"argv": bytes((width,)),
+                        "data": bytes(rng.randint(0, 255)
+                                      for _ in range(32))})
+
+
+def od_passing_envs():
+    return [od_env(w, seed=w) for w in (1, 2, 4, 8)]
+
+
+def od_failing_env(seed: int = 99) -> Environment:
+    return od_env(0, seed=seed)
+
+
+# ----------------------------------------------------------------------
+
+def build_pr() -> Module:
+    b = ModuleBuilder("coreutils-pr")
+    b.global_("line_buf", 80)
+    b.global_("out_buf", 96)
+
+    # layout(cols, page_width): per-column width; BUG: gap underflow
+    f = b.function("layout", ["cols", "page_width"])
+    f.block("entry")
+    gaps = f.sub("%cols", 1, dest="%gaps")
+    gap_total = f.mul("%gaps", 4, dest="%gap_total")
+    usable = f.sub("%page_width", "%gap_total", dest="%usable")  # wraps!
+    colw = f.udiv("%usable", "%cols", dest="%colw")
+    f.ret("%colw")
+
+    # emit_row(colw): copies colw bytes per column into out_buf
+    f = b.function("emit_row", ["colw", "cols"])
+    f.block("entry")
+    ob = f.global_addr("out_buf", dest="%ob")
+    lb = f.global_addr("line_buf", dest="%lb")
+    f.const(0, dest="%c")
+    f.const(0, dest="%o")
+    f.jmp("cols_loop")
+    f.block("cols_loop")
+    done = f.cmp("uge", "%c", "%cols")
+    f.br(done, "out", "col")
+    f.block("col")
+    f.const(0, dest="%k")
+    f.jmp("copy")
+    f.block("copy")
+    cdone = f.cmp("uge", "%k", "%colw")
+    f.br(cdone, "next_col", "cbody")
+    f.block("cbody")
+    sp = f.gep("%lb", "%k", 1)
+    ch = f.load(sp, 1)
+    dp = f.gep("%ob", "%o", 1)
+    f.store(dp, ch, 1)              # overruns out_buf when colw is huge
+    f.add("%k", 1, dest="%k")
+    f.add("%o", 1, dest="%o")
+    f.jmp("copy")
+    f.block("next_col")
+    f.add("%c", 1, dest="%c")
+    f.jmp("cols_loop")
+    f.block("out")
+    f.ret("%o")
+
+    f = b.function("main", [])
+    f.block("entry")
+    cols = f.input("argv", 1, dest="%cols")
+    some = f.cmp("ugt", "%cols", 0, width=8)
+    f.br(some, "width", "bad")
+    f.block("width")
+    pw = f.input("argv", 1, dest="%pw")
+    lb = f.global_addr("line_buf", dest="%lb")
+    f.const(0, dest="%i")
+    f.jmp("fill")
+    f.block("fill")
+    done = f.cmp("uge", "%i", 40)
+    f.br(done, "go", "fbody")
+    f.block("fbody")
+    ch = f.input("data", 1)
+    p = f.gep("%lb", "%i", 1)
+    f.store(p, ch, 1)
+    f.add("%i", 1, dest="%i")
+    f.jmp("fill")
+    f.block("go")
+    colw = f.call("layout", ["%cols", "%pw"], dest="%colw")
+    f.call("emit_row", ["%colw", "%cols"])
+    f.ret(0)
+    f.block("bad")
+    f.ret(1)
+    return b.build()
+
+
+def pr_env(cols: int, page_width: int, seed: int = 0) -> Environment:
+    rng = random.Random(seed)
+    return Environment({"argv": bytes((cols, page_width)),
+                        "data": bytes(rng.randint(32, 126)
+                                      for _ in range(40))})
+
+
+def pr_passing_envs():
+    return [pr_env(1, 72, seed=1), pr_env(2, 72, seed=2),
+            pr_env(3, 60, seed=3), pr_env(2, 48, seed=4)]
+
+
+def pr_failing_env(seed: int = 99) -> Environment:
+    # 9 columns on a 24-wide page: gap total 32 > 24, usable wraps
+    return pr_env(9, 24, seed=seed)
+
+
+def coreutils_modules():
+    """(name, module, passing envs, failing env) for the case study."""
+    return [
+        ("od", build_od(), od_passing_envs(), od_failing_env()),
+        ("pr", build_pr(), pr_passing_envs(), pr_failing_env()),
+    ]

@@ -1,0 +1,142 @@
+"""Mini PNG chunk reader: libpng CVE-2004-0597 (buffer overflow).
+
+The real bug: libpng trusts the length field of a ``tRNS`` chunk and
+copies it into a fixed 256-entry buffer.  The mini reader walks chunks
+(4-byte length, 4-byte type, payload) and copies ``tRNS`` payloads into
+the fixed transparency buffer with no length validation.
+
+This is one of the two Table-1 failures ER reproduces from a *single*
+occurrence: the failure conditions are direct comparisons on header
+bytes (no symbolic-index write chains), so shepherded symbolic
+execution completes on the first trace.
+
+The image arrives on the ``png`` stream.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..interp.env import Environment
+from ..interp.failures import FailureKind
+from ..ir.builder import ModuleBuilder
+from ..ir.module import Module
+from ..solver.budget import WORK_PER_SECOND
+from .base import Workload
+
+TRNS_BUF = 256
+
+TYPE_IHDR = 0x52444849  # 'IHDR' little-endian
+TYPE_TRNS = 0x534E5274  # 'tRNS'
+TYPE_IDAT = 0x54414449  # 'IDAT'
+TYPE_IEND = 0x444E4549  # 'IEND'
+
+
+def build_libpng() -> Module:
+    b = ModuleBuilder("libpng-2004-0597")
+    b.global_("trans_buf", TRNS_BUF)
+    b.global_("palette", 32)
+
+    f = b.function("main", [])
+    f.block("entry")
+    sig = f.input("png", 2, dest="%sig")
+    ok = f.cmp("eq", "%sig", 0x5089, width=16)
+    f.br(ok, "chunks", "bad")
+
+    f.block("chunks")
+    length = f.input("png", 4, dest="%len")
+    ctype = f.input("png", 4, dest="%type")
+    is_end = f.cmp("eq", "%type", TYPE_IEND, width=32)
+    f.br(is_end, "out", "chk_trns")
+    f.block("chk_trns")
+    is_trns = f.cmp("eq", "%type", TYPE_TRNS, width=32)
+    f.br(is_trns, "trns", "skip")
+
+    f.block("trns")
+    tb = f.global_addr("trans_buf", dest="%tb")
+    f.const(0, dest="%i")
+    f.jmp("tcopy")
+    f.block("tcopy")
+    done = f.cmp("uge", "%i", "%len", width=32)
+    f.br(done, "chunks", "tbody")
+    f.block("tbody")
+    ch = f.input("png", 1, dest="%ch")
+    p = f.gep("%tb", "%i", 1)
+    f.store(p, "%ch", 1)     # BUG: length never checked against 256
+    f.add("%i", 1, dest="%i")
+    f.jmp("tcopy")
+
+    f.block("skip")
+    f.const(0, dest="%j")
+    f.const(0, dest="%crc")
+    f.jmp("scopy")
+    f.block("scopy")
+    sdone = f.cmp("uge", "%j", "%len", width=32)
+    f.br(sdone, "chunks", "sbody")
+    f.block("sbody")
+    raw = f.input("png", 1, dest="%raw")
+    # Paeth-style defilter + CRC update: the per-byte decode work
+    f.const(0, dest="%r")
+    f.jmp("defilter")
+    f.block("defilter")
+    rdone = f.cmp("uge", "%r", 6)
+    f.br(rdone, "snext", "rbody")
+    f.block("rbody")
+    mixed = f.xor("%crc", "%raw", width=32)
+    sh = f.lshr(mixed, 1, width=32)
+    f.add(sh, 0x77073096, width=32, dest="%crc")
+    f.add("%r", 1, dest="%r")
+    f.jmp("defilter")
+    f.block("snext")
+    f.add("%j", 1, dest="%j")
+    f.jmp("scopy")
+
+    f.block("bad")
+    f.ret(1)
+    f.block("out")
+    f.ret(0)
+    return b.build()
+
+
+def _chunk(ctype: int, payload: bytes) -> bytes:
+    return (len(payload).to_bytes(4, "little")
+            + ctype.to_bytes(4, "little") + payload)
+
+
+def _png(*chunks: bytes) -> bytes:
+    return b"\x89\x50" + b"".join(chunks) + _chunk(TYPE_IEND, b"")
+
+
+def _failing_libpng(occurrence: int) -> Environment:
+    rng = random.Random(400 + occurrence)
+    ihdr = bytes(rng.randint(0, 255) for _ in range(13))
+    trns = bytes(rng.randint(1, 255) for _ in range(TRNS_BUF + 16))
+    return Environment({"png": _png(_chunk(TYPE_IHDR, ihdr),
+                                    _chunk(TYPE_TRNS, trns))})
+
+
+def _benign_libpng(seed: int) -> Environment:
+    rng = random.Random(seed)
+    chunks = [_chunk(TYPE_IHDR, bytes(rng.randint(0, 255)
+                                      for _ in range(13)))]
+    for _ in range(rng.randint(20, 30)):
+        if rng.random() < 0.3:
+            chunks.append(_chunk(TYPE_TRNS, bytes(
+                rng.randint(0, 255) for _ in range(rng.randint(1, 200)))))
+        else:
+            chunks.append(_chunk(TYPE_IDAT, bytes(
+                rng.randint(0, 255) for _ in range(rng.randint(16, 120)))))
+    return Environment({"png": _png(*chunks)})
+
+
+def libpng_workloads():
+    return [Workload(
+        name="libpng-2004-0597", app="Libpng 1.2.5",
+        bug_id="CVE-2004-0597",
+        bug_type="Buffer overflow", multithreaded=False,
+        expected_kind=FailureKind.OUT_OF_BOUNDS,
+        build=build_libpng,
+        failing_env=_failing_libpng, benign_env=_benign_libpng,
+        bench_name="resvg-test-suite",
+        work_limit=2 * WORK_PER_SECOND,
+        paper_occurrences=1, paper_instrs=71_752)]

@@ -1,0 +1,188 @@
+"""Mini X.509 parser: MatrixSSL CVE-2014-1569 (stack buffer overrun).
+
+The real bug: while verifying an X.509 certificate, an ASN.1
+length field is trusted and a date string is copied into a fixed stack
+buffer.  The mini parser walks TLV (tag/length/value) records; OID
+records are interned into a hash table (write-chain fuel), and DATE
+records are copied into a 16-byte stack buffer without validating the
+length — a long date overruns the frame.
+
+The certificate arrives on the ``tls`` stream.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..interp.env import Environment
+from ..interp.failures import FailureKind
+from ..ir.builder import ModuleBuilder
+from ..ir.module import Module
+from .base import Workload
+
+OID_SLOTS = 32
+DATE_BUF = 16
+
+TAG_OID = 0x06
+TAG_DATE = 0x17
+TAG_INT = 0x02
+TAG_END = 0x00
+
+
+def build_matrixssl() -> Module:
+    b = ModuleBuilder("matrixssl-2014-1569")
+    b.global_("oid_table", OID_SLOTS * 8)
+
+    # parse_date(len): the vulnerable copy into a 16-byte stack buffer
+    f = b.function("parse_date", ["len"])
+    f.block("entry")
+    buf = f.alloca("datebuf", DATE_BUF)
+    f.const(0, dest="%i")
+    f.jmp("copy")
+    f.block("copy")
+    done = f.cmp("uge", "%i", "%len")
+    f.br(done, "out", "body")
+    f.block("body")
+    ch = f.input("tls", 1, dest="%ch")
+    p = f.gep(buf, "%i", 1)
+    f.store(p, "%ch", 1)     # BUG: len is attacker-controlled, no check
+    f.add("%i", 1, dest="%i")
+    f.jmp("copy")
+    f.block("out")
+    f.ret(0)
+
+    # parse_oid(len): hash the OID bytes into the table (chain fuel)
+    f = b.function("parse_oid", ["len"])
+    f.block("entry")
+    f.const(0, dest="%h")
+    f.const(0, dest="%i")
+    f.jmp("loop")
+    f.block("loop")
+    done = f.cmp("uge", "%i", "%len")
+    f.br(done, "ins", "body")
+    f.block("body")
+    ch = f.input("tls", 1, dest="%ch")
+    f.add("%h", "%ch", width=32, dest="%h")
+    sh = f.shl("%h", 3, width=32)
+    f.add("%h", sh, width=32, dest="%h")
+    f.add("%i", 1, dest="%i")
+    f.jmp("loop")
+    f.block("ins")
+    slot = f.urem("%h", OID_SLOTS, dest="%slot")
+    tbl = f.global_addr("oid_table")
+    sp = f.gep(tbl, "%slot", 8)
+    f.store(sp, "%h", 8)
+    f.ret("%slot")
+
+    # parse_int(len): consume an INTEGER value
+    f = b.function("parse_int", ["len"])
+    f.block("entry")
+    f.const(0, dest="%acc")
+    f.const(0, dest="%i")
+    f.jmp("loop")
+    f.block("loop")
+    done = f.cmp("uge", "%i", "%len")
+    f.br(done, "out", "body")
+    f.block("body")
+    ch = f.input("tls", 1, dest="%ch")
+    shl = f.shl("%acc", 8, dest="%acc")
+    f.or_("%acc", "%ch", dest="%acc")
+    f.add("%i", 1, dest="%i")
+    f.jmp("loop")
+    f.block("out")
+    # modular-exponentiation flavoured rounds: the RSA-verify stand-in
+    f.const(0, dest="%k")
+    f.jmp("verify")
+    f.block("verify")
+    vdone = f.cmp("uge", "%k", 48)
+    f.br(vdone, "vout", "vbody")
+    f.block("vbody")
+    sq = f.mul("%acc", "%acc", width=32)
+    f.add(sq, "%k", width=32, dest="%acc")
+    f.add("%k", 1, dest="%k")
+    f.jmp("verify")
+    f.block("vout")
+    f.ret("%acc")
+
+    f = b.function("main", [])
+    f.block("entry")
+    f.jmp("tlv")
+    f.block("tlv")
+    tag = f.input("tls", 1, dest="%tag")
+    is_end = f.cmp("eq", "%tag", TAG_END, width=8)
+    f.br(is_end, "out", "len")
+    f.block("len")
+    length = f.input("tls", 1, dest="%len")
+    is_oid = f.cmp("eq", "%tag", TAG_OID, width=8)
+    f.br(is_oid, "oid", "chk_date")
+    f.block("oid")
+    capped = f.cmp("ule", "%len", 16, width=8)
+    f.br(capped, "oid_go", "reject")
+    f.block("oid_go")
+    f.call("parse_oid", ["%len"])
+    f.jmp("tlv")
+    f.block("chk_date")
+    is_date = f.cmp("eq", "%tag", TAG_DATE, width=8)
+    f.br(is_date, "date", "chk_int")
+    f.block("date")
+    f.call("parse_date", ["%len"])   # no length validation: the CVE
+    f.jmp("tlv")
+    f.block("chk_int")
+    is_int = f.cmp("eq", "%tag", TAG_INT, width=8)
+    f.br(is_int, "int", "reject")
+    f.block("int")
+    small = f.cmp("ule", "%len", 8, width=8)
+    f.br(small, "int_go", "reject")
+    f.block("int_go")
+    f.call("parse_int", ["%len"])
+    f.jmp("tlv")
+    f.block("reject")
+    f.ret(1)
+    f.block("out")
+    f.ret(0)
+    return b.build()
+
+
+def _tlv(tag: int, value: bytes) -> bytes:
+    return bytes((tag, len(value))) + value
+
+
+def _failing_matrixssl(occurrence: int) -> Environment:
+    rng = random.Random(300 + occurrence)
+    oid = bytes(rng.randint(1, 127) for _ in range(6))
+    serial = bytes(rng.randint(0, 255) for _ in range(4))
+    long_date = bytes(rng.randint(0x30, 0x39) for _ in range(40))
+    cert = (_tlv(TAG_OID, oid) + _tlv(TAG_INT, serial)
+            + _tlv(TAG_DATE, long_date) + b"\x00")
+    return Environment({"tls": cert})
+
+
+def _benign_matrixssl(seed: int) -> Environment:
+    rng = random.Random(seed)
+    cert = bytearray()
+    for _ in range(rng.randint(60, 90)):
+        kind = rng.random()
+        if kind < 0.4:
+            cert += _tlv(TAG_OID, bytes(rng.randint(1, 127)
+                                        for _ in range(rng.randint(3, 9))))
+        elif kind < 0.7:
+            cert += _tlv(TAG_INT, bytes(rng.randint(0, 255)
+                                        for _ in range(rng.randint(1, 8))))
+        else:
+            cert += _tlv(TAG_DATE, b"20260705" + bytes(
+                rng.randint(0x30, 0x39) for _ in range(5)))
+    cert += b"\x00"
+    return Environment({"tls": bytes(cert)})
+
+
+def matrixssl_workloads():
+    return [Workload(
+        name="matrixssl-2014-1569", app="Matrixssl 4.0.1",
+        bug_id="CVE-2014-1569",
+        bug_type="Stack buffer overrun", multithreaded=False,
+        expected_kind=FailureKind.OUT_OF_BOUNDS,
+        build=build_matrixssl,
+        failing_env=_failing_matrixssl, benign_env=_benign_matrixssl,
+        bench_name="Official test",
+        work_limit=600,
+        paper_occurrences=6, paper_instrs=4_448_948)]

@@ -1,0 +1,214 @@
+"""Mini key-value server: Memcached CVE-2019-11596 (MT NULL deref).
+
+The real bug: a ``lru_crawler metadump`` racing with connection
+teardown dereferences a connection pointer another thread has already
+cleared.  The mini server runs two worker threads over per-connection
+command streams sharing an item hash table (write-chain fuel) and a
+global ``stats_conn`` pointer:
+
+* ``W`` (watch)  — publishes the worker's connection as the stats sink.
+* ``Q`` (quit)   — tears the connection down, clearing ``stats_conn``.
+* ``D`` (dump)   — checks ``stats_conn``, iterates items (a delay that
+  spans a scheduler quantum), then *re-reads* the pointer and
+  dereferences it: the TOCTOU window.
+* ``S<k><v>``    — stores an item (hash insert).
+* ``G<k>``       — item lookup.
+
+Under the failing schedule, worker 1's ``Q`` lands in worker 0's dump
+window, so the re-read returns NULL — the coarse-grained interleaving
+the paper's §3.4 timestamp replay is built for.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..interp.env import Environment
+from ..interp.failures import FailureKind
+from ..ir.builder import ModuleBuilder
+from ..ir.module import Module
+from .base import Workload
+
+ITEM_SLOTS = 32
+
+
+def build_memcached() -> Module:
+    b = ModuleBuilder("memcached-2019-11596")
+    b.global_("item_table", ITEM_SLOTS * 8)
+    b.global_("stats_conn", 8)
+    b.global_("conn0", 16)
+    b.global_("conn1", 16)
+
+    # item_put(key, value): hash insert (chain fuel)
+    f = b.function("item_put", ["key", "value"])
+    f.block("entry")
+    h0 = f.mul("%key", 3, width=32)
+    h = f.add(h0, "%value", width=32, dest="%h")
+    slot = f.urem("%h", ITEM_SLOTS, dest="%slot")
+    tbl = f.global_addr("item_table")
+    sp = f.gep(tbl, "%slot", 8)
+    f.store(sp, "%h", 8)
+    f.ret("%slot")
+
+    # item_get(key)
+    f = b.function("item_get", ["key"])
+    f.block("entry")
+    slot = f.urem("%key", ITEM_SLOTS, dest="%slot")
+    tbl = f.global_addr("item_table")
+    sp = f.gep(tbl, "%slot", 8)
+    v = f.load(sp, 8, dest="%v")
+    # LRU accounting: per-hit bookkeeping work
+    f.const(0, dest="%k")
+    f.jmp("lru")
+    f.block("lru")
+    done = f.cmp("uge", "%k", 24)
+    f.br(done, "out", "body")
+    f.block("body")
+    sh = f.shl("%v", 1, width=32)
+    f.xor(sh, "%k", width=32, dest="%v")
+    f.add("%k", 1, dest="%k")
+    f.jmp("lru")
+    f.block("out")
+    f.ret("%v")
+
+    # dump_items(): iterate the table — the delay inside the race window
+    f = b.function("dump_items", [])
+    f.block("entry")
+    tbl = f.global_addr("item_table", dest="%tbl")
+    f.const(0, dest="%i")
+    f.const(0, dest="%acc")
+    f.jmp("loop")
+    f.block("loop")
+    done = f.cmp("uge", "%i", ITEM_SLOTS)
+    f.br(done, "out", "body")
+    f.block("body")
+    p = f.gep("%tbl", "%i", 8)
+    v = f.load(p, 8)
+    f.add("%acc", v, dest="%acc")
+    f.add("%i", 1, dest="%i")
+    f.jmp("loop")
+    f.block("out")
+    f.ret("%acc")
+
+    # one worker function per connection stream (reads are static)
+    for wid in (0, 1):
+        stream = f"conn{wid}"
+        f = b.function(f"worker{wid}", [])
+        f.block("entry")
+        f.jmp("cmd")
+        f.block("cmd")
+        op = f.input(stream, 1, dest="%op")
+        is_end = f.cmp("eq", "%op", 0, width=8)
+        f.br(is_end, "out", "chk_set")
+
+        f.block("chk_set")
+        is_set = f.cmp("eq", "%op", ord("S"), width=8)
+        f.br(is_set, "set", "chk_get")
+        f.block("set")
+        key = f.input(stream, 1, dest="%key")
+        val = f.input(stream, 1, dest="%val")
+        f.call("item_put", ["%key", "%val"])
+        f.jmp("cmd")
+
+        f.block("chk_get")
+        is_get = f.cmp("eq", "%op", ord("G"), width=8)
+        f.br(is_get, "get", "chk_watch")
+        f.block("get")
+        gkey = f.input(stream, 1, dest="%gkey")
+        f.call("item_get", ["%gkey"])
+        f.jmp("cmd")
+
+        f.block("chk_watch")
+        is_watch = f.cmp("eq", "%op", ord("W"), width=8)
+        f.br(is_watch, "watch", "chk_quit")
+        f.block("watch")
+        conn = f.global_addr(f"conn{wid}", dest="%conn")
+        scp = f.global_addr("stats_conn", dest="%scp")
+        f.store("%scp", "%conn", 8)
+        f.jmp("cmd")
+
+        f.block("chk_quit")
+        is_quit = f.cmp("eq", "%op", ord("Q"), width=8)
+        f.br(is_quit, "quit", "chk_dump")
+        f.block("quit")
+        # teardown: clear the published stats connection
+        scp2 = f.global_addr("stats_conn", dest="%scp2")
+        f.store("%scp2", 0, 8)
+        f.jmp("cmd")
+
+        f.block("chk_dump")
+        is_dump = f.cmp("eq", "%op", ord("D"), width=8)
+        f.br(is_dump, "dump", "cmd")
+        f.block("dump")
+        scp3 = f.global_addr("stats_conn", dest="%scp3")
+        sc1 = f.load("%scp3", 8, dest="%sc1")
+        has_sink = f.cmp("ne", "%sc1", 0)
+        f.br(has_sink, "dump_go", "cmd")
+        f.block("dump_go")
+        f.call("dump_items", [])        # the delay: spans a quantum
+        sc2 = f.load("%scp3", 8, dest="%sc2")
+        # BUG: no re-validation — sc2 may have been cleared meanwhile
+        flags = f.load("%sc2", 8, dest="%flags")
+        f.output("stats", "%flags", 8)
+        f.jmp("cmd")
+
+        f.block("out")
+        f.ret(0)
+
+    f = b.function("main", [])
+    f.block("entry")
+    t0 = f.spawn("worker0", [], dest="%t0")
+    t1 = f.spawn("worker1", [], dest="%t1")
+    f.join("%t0")
+    f.join("%t1")
+    f.ret(0)
+    return b.build()
+
+
+def _set(key: int, val: int) -> bytes:
+    return bytes((ord("S"), key & 0xFF, val & 0xFF))
+
+
+def _failing_memcached(occurrence: int) -> Environment:
+    rng = random.Random(500 + occurrence)
+    sets = b"".join(_set(rng.randint(1, 255), rng.randint(1, 255))
+                    for _ in range(3))
+    # worker 0: stores, then watch + dump (dump_items spans quanta);
+    # worker 1: gets for pacing, then quit — lands in the dump window
+    conn0 = sets + b"WD\x00"
+    pad = b"".join(bytes((ord("G"), rng.randint(1, 255)))
+                   for _ in range(1))
+    conn1 = pad + b"Q\x00"
+    return Environment({"conn0": conn0, "conn1": conn1}, quantum=30)
+
+
+def _benign_memcached(seed: int) -> Environment:
+    rng = random.Random(seed)
+    def traffic(allow_dump: bool) -> bytes:
+        out = bytearray()
+        for _ in range(rng.randint(120, 160)):
+            r = rng.random()
+            if r < 0.5:
+                out += _set(rng.randint(1, 255), rng.randint(1, 255))
+            elif r < 0.8:
+                out += bytes((ord("G"), rng.randint(1, 255)))
+            elif allow_dump:
+                out += b"WD"
+        out += b"\x00"
+        return bytes(out)
+    # no quit racing a dump: benign
+    return Environment({"conn0": traffic(True), "conn1": traffic(False)},
+                       quantum=250)
+
+
+def memcached_workloads():
+    return [Workload(
+        name="memcached-2019-11596", app="Memcached 1.5.13",
+        bug_id="CVE-2019-11596",
+        bug_type="NULL pointer dereference", multithreaded=True,
+        expected_kind=FailureKind.NULL_DEREF,
+        build=build_memcached,
+        failing_env=_failing_memcached, benign_env=_benign_memcached,
+        bench_name="memtier_benchmark",
+        work_limit=400,
+        paper_occurrences=2, paper_instrs=1_840_258)]

@@ -1,0 +1,220 @@
+"""Mini-assembler: NASM-2004-1287 (stack buffer overrun).
+
+The real bug: NASM's preprocessor copies the message of a ``%error``
+directive into a fixed stack buffer without a bounds check.  The mini
+assembler keeps the surrounding structure: a line reader, a label pass
+that interns labels into a hash table (the write-chain fuel), a
+mnemonic matcher, and the vulnerable directive handler with its 48-byte
+stack buffer.
+
+Input (assembly text) arrives on the ``asm`` stream.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..interp.env import Environment
+from ..interp.failures import FailureKind
+from ..ir.builder import ModuleBuilder
+from ..ir.module import Module
+from .base import Workload
+
+LABEL_SLOTS = 32
+ERR_BUF = 48
+
+
+def build_nasm() -> Module:
+    b = ModuleBuilder("nasm-2004-1287")
+    b.global_("line_buf", 128)
+    b.global_("label_table", LABEL_SLOTS * 8)
+    b.string("mn_mov", "mov")
+    b.string("mn_add", "add")
+    b.string("mn_jmp", "jmp")
+
+    # read_line(): like the SQL engine's, newline/NUL terminated
+    f = b.function("read_line", [])
+    f.block("entry")
+    f.global_addr("line_buf", dest="%buf")
+    f.const(0, dest="%i")
+    f.jmp("loop")
+    f.block("loop")
+    full = f.cmp("uge", "%i", 127)
+    f.br(full, "out", "rd")
+    f.block("rd")
+    ch = f.input("asm", 1, dest="%ch")
+    isnl = f.cmp("eq", "%ch", 10, width=8)
+    f.br(isnl, "out", "chk0")
+    f.block("chk0")
+    is0 = f.cmp("eq", "%ch", 0, width=8)
+    f.br(is0, "out", "put")
+    f.block("put")
+    p = f.gep("%buf", "%i", 1)
+    f.store(p, "%ch", 1)
+    f.add("%i", 1, dest="%i")
+    f.jmp("loop")
+    f.block("out")
+    endp = f.gep("%buf", "%i", 1)
+    f.store(endp, 0, 1)
+    f.ret("%i")
+
+    # intern_label(line, len): additive hash into the label table
+    f = b.function("intern_label", ["line", "len"])
+    f.block("entry")
+    f.const(0, dest="%h")
+    f.const(0, dest="%i")
+    f.jmp("loop")
+    f.block("loop")
+    done = f.cmp("uge", "%i", "%len")
+    f.br(done, "ins", "body")
+    f.block("body")
+    p = f.gep("%line", "%i", 1)
+    ch = f.load(p, 1, dest="%ch")
+    f.add("%h", "%ch", width=32, dest="%h")
+    sh = f.shl("%h", 2, width=32)
+    f.add("%h", sh, width=32, dest="%h")
+    f.add("%i", 1, dest="%i")
+    f.jmp("loop")
+    f.block("ins")
+    slot = f.urem("%h", LABEL_SLOTS, dest="%slot")
+    tbl = f.global_addr("label_table")
+    sp = f.gep(tbl, "%slot", 8)
+    f.store(sp, "%h", 8)
+    f.ret("%slot")
+
+    # strprefix(s, t): 1 if t (NUL-terminated) prefixes s
+    f = b.function("strprefix", ["s", "t"])
+    f.block("entry")
+    f.const(0, dest="%i")
+    f.jmp("loop")
+    f.block("loop")
+    tp = f.gep("%t", "%i", 1)
+    tc = f.load(tp, 1, dest="%tc")
+    end = f.cmp("eq", "%tc", 0, width=8)
+    f.br(end, "yes", "cmp")
+    f.block("cmp")
+    sp = f.gep("%s", "%i", 1)
+    sc = f.load(sp, 1, dest="%sc")
+    same = f.cmp("eq", "%sc", "%tc", width=8)
+    f.br(same, "next", "no")
+    f.block("next")
+    f.add("%i", 1, dest="%i")
+    f.jmp("loop")
+    f.block("yes")
+    f.ret(1)
+    f.block("no")
+    f.ret(0)
+
+    # handle_error(line, len): the vulnerable %error handler
+    f = b.function("handle_error", ["line", "len"])
+    f.block("entry")
+    buf = f.alloca("errmsg", ERR_BUF)
+    f.const(6, dest="%i")  # skip '%error'
+    f.const(0, dest="%o")
+    f.jmp("copy")
+    f.block("copy")
+    done = f.cmp("uge", "%i", "%len")
+    f.br(done, "out", "body")
+    f.block("body")
+    sp = f.gep("%line", "%i", 1)
+    ch = f.load(sp, 1, dest="%ch")
+    dp = f.gep(buf, "%o", 1)
+    f.store(dp, "%ch", 1)   # BUG: no bound check against ERR_BUF
+    f.add("%i", 1, dest="%i")
+    f.add("%o", 1, dest="%o")
+    f.jmp("copy")
+    f.block("out")
+    f.output("stderr", "%o", 4)
+    f.ret("%o")
+
+    # assemble_line(line, len): mnemonic dispatch
+    f = b.function("assemble_line", ["line", "len"])
+    f.block("entry")
+    for i, mn in enumerate(("mn_mov", "mn_add", "mn_jmp")):
+        g = f.global_addr(mn)
+        m = f.call("strprefix", ["%line", g], dest=f"%m{i}")
+        f.br(f"%m{i}", f"emit{i}", f"next{i}")
+        f.block(f"emit{i}")
+        f.output("obj", i + 1, 1)
+        f.ret(1)
+        f.block(f"next{i}")
+    f.ret(0)
+
+    f = b.function("main", [])
+    f.block("entry")
+    f.jmp("lines")
+    f.block("lines")
+    n = f.call("read_line", [], dest="%n")
+    empty = f.cmp("eq", "%n", 0)
+    f.br(empty, "out", "classify")
+    f.block("classify")
+    buf = f.global_addr("line_buf", dest="%buf")
+    c0 = f.load("%buf", 1, dest="%c0")
+    is_dir = f.cmp("eq", "%c0", ord("%"), width=8)
+    f.br(is_dir, "directive", "chk_label")
+    f.block("directive")
+    # '%error ...'?
+    p1 = f.gep("%buf", 1, 1)
+    c1 = f.load(p1, 1, dest="%c1")
+    is_err = f.cmp("eq", "%c1", ord("e"), width=8)
+    f.br(is_err, "err", "lines")
+    f.block("err")
+    f.call("handle_error", ["%buf", "%n"])
+    f.jmp("lines")
+    f.block("chk_label")
+    # a line ending in ':' is a label
+    last = f.sub("%n", 1)
+    lp = f.gep("%buf", last, 1)
+    lc = f.load(lp, 1, dest="%lc")
+    is_lbl = f.cmp("eq", "%lc", ord(":"), width=8)
+    f.br(is_lbl, "label", "instr")
+    f.block("label")
+    f.call("intern_label", ["%buf", last])
+    f.jmp("lines")
+    f.block("instr")
+    f.call("assemble_line", ["%buf", "%n"])
+    f.jmp("lines")
+    f.block("out")
+    f.ret(0)
+    return b.build()
+
+
+def _asm(*lines: str) -> bytes:
+    return ("\n".join(lines) + "\n").encode() + b"\x00"
+
+
+def _failing_nasm(occurrence: int) -> Environment:
+    labels = ["start", "loop1", "fini", "reloc"]
+    lbl = labels[occurrence % len(labels)]
+    message = "macro exploded badly " * 3  # > 48 bytes after '%error'
+    return Environment({"asm": _asm(
+        f"{lbl}:",
+        "mov ax bx",
+        f"%error {message}",
+    )})
+
+
+def _benign_nasm(seed: int) -> Environment:
+    rng = random.Random(seed)
+    lines = []
+    for _ in range(rng.randint(150, 200)):
+        kind = rng.random()
+        if kind < 0.2:
+            lines.append(rng.choice(["start:", "top:", "done:", "l1:"]))
+        elif kind < 0.3:
+            lines.append("%error short")
+        else:
+            lines.append(rng.choice(["mov ax bx", "add cx dx", "jmp top"]))
+    return Environment({"asm": _asm(*lines)})
+
+
+def nasm_workloads():
+    return [Workload(
+        name="nasm-2004-1287", app="Nasm 0.98.34", bug_id="CVE-2004-1287",
+        bug_type="Stack buffer overrun", multithreaded=False,
+        expected_kind=FailureKind.OUT_OF_BOUNDS,
+        build=build_nasm,
+        failing_env=_failing_nasm, benign_env=_benign_nasm,
+        bench_name="Assemble a large asm file",
+        work_limit=4_000,
+        paper_occurrences=3, paper_instrs=1_480_285)]

@@ -1,0 +1,168 @@
+"""Mini binary parser: Objdump/binutils CVE-2018-6323 (integer overflow).
+
+The real bug: an unsigned integer overflow in ELF section bookkeeping
+produces a bogus offset and an out-of-bounds access while disassembling.
+The mini parser reads a little 'object file': a header with a section
+count and per-section entry size, then walks the section table.  The
+section offset is computed as ``index * entsize`` in 32 bits; a huge
+entry size wraps the offset check and the walk reads past the file
+buffer.  Symbol-name interning supplies the write chains.
+
+The object file arrives on the ``obj`` stream.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..interp.env import Environment
+from ..interp.failures import FailureKind
+from ..ir.builder import ModuleBuilder
+from ..ir.module import Module
+from .base import Workload
+
+FILE_BUF = 256
+SYM_SLOTS = 16
+
+
+def build_objdump() -> Module:
+    b = ModuleBuilder("objdump-2018-6323")
+    b.global_("file_buf", FILE_BUF)
+    b.global_("sym_table", SYM_SLOTS * 8)
+
+    # intern_sym(name4): hash a 4-byte symbol name into the table
+    f = b.function("intern_sym", ["name"])
+    f.block("entry")
+    lo = f.and_("%name", 0xFF, dest="%b0")
+    b1 = f.lshr("%name", 8)
+    b1m = f.and_(b1, 0xFF, dest="%b1")
+    h0 = f.add("%b0", "%b1", width=32)
+    h1 = f.shl(h0, 1, width=32)
+    h = f.add(h0, h1, width=32, dest="%h")
+    slot = f.urem("%h", SYM_SLOTS, dest="%slot")
+    tbl = f.global_addr("sym_table")
+    sp = f.gep(tbl, "%slot", 8)
+    f.store(sp, "%h", 8)
+    f.ret("%slot")
+
+    f = b.function("main", [])
+    f.block("entry")
+    fb = f.global_addr("file_buf", dest="%fb")
+    f.jmp("file")
+    f.block("file")
+    # load a 'file': header magic, counts, then raw section data
+    magic = f.input("obj", 2, dest="%magic")
+    ok = f.cmp("eq", "%magic", 0x4C45, width=16)  # 'EL'
+    f.br(ok, "hdr", "bad")
+    f.block("hdr")
+    nsec = f.input("obj", 1, dest="%nsec")
+    small = f.cmp("ule", "%nsec", 8, width=8)
+    f.br(small, "hdr2", "bad")
+    f.block("hdr2")
+    entsize = f.input("obj", 2, dest="%entsize")
+    # read section payload into the file buffer (concrete indices)
+    f.const(0, dest="%i")
+    f.jmp("fill")
+    f.block("fill")
+    filled = f.cmp("uge", "%i", 64)
+    f.br(filled, "walk", "fbody")
+    f.block("fbody")
+    byte = f.input("obj", 1, dest="%byte")
+    p = f.gep("%fb", "%i", 1)
+    f.store(p, "%byte", 1)
+    f.add("%i", 1, dest="%i")
+    f.jmp("fill")
+
+    # symbol-table pass: intern the names packed at the front of the file
+    f.block("walk")
+    f.const(0, dest="%s")
+    f.jmp("symloop")
+    f.block("symloop")
+    sdone = f.cmp("uge", "%s", 6)
+    f.br(sdone, "sections", "sym")
+    f.block("sym")
+    soff = f.mul("%s", 8)
+    snp = f.gep("%fb", soff, 1)
+    sname = f.load(snp, 4, dest="%sname")
+    f.call("intern_sym", ["%sname"])
+    f.add("%s", 1, dest="%s")
+    f.jmp("symloop")
+
+    # walk sections: offset = idx * entsize, 32-bit (the overflow)
+    f.block("sections")
+    f.const(0, dest="%idx")
+    f.jmp("wloop")
+    f.block("wloop")
+    done = f.cmp("uge", "%idx", "%nsec", width=8)
+    f.br(done, "out", "wbody")  # 'out' loops back to the next file
+    f.block("wbody")
+    off = f.mul("%idx", "%entsize", width=32, dest="%off")
+    # BUG: the end-of-entry bounds check is computed in 16 bits, so a
+    # near-0xFFFF entry size wraps `end` to a tiny value while the raw
+    # 32-bit offset is far past the buffer
+    end = f.add("%off", 4, width=16, dest="%end")
+    fits = f.cmp("ule", "%end", FILE_BUF, width=16)
+    f.br(fits, "rd", "skip")
+    f.block("rd")
+    sp = f.gep("%fb", "%off", 1)
+    name = f.load(sp, 4, dest="%name")      # OOB once off wraps
+    f.call("intern_sym", ["%name"])
+    # decode the section: per-entry operand decoding work
+    f.const(0, dest="%d")
+    f.jmp("decode")
+    f.block("decode")
+    ddone = f.cmp("uge", "%d", 40)
+    f.br(ddone, "skip", "dbody")
+    f.block("dbody")
+    sh = f.lshr("%name", 2, width=32)
+    f.xor(sh, "%d", width=32, dest="%name")
+    f.add("%d", 1, dest="%d")
+    f.jmp("decode")
+    f.block("skip")
+    f.add("%idx", 1, dest="%idx")
+    f.jmp("wloop")
+    f.block("bad")
+    f.ret(1)
+    f.block("out")
+    f.jmp("file")
+    return b.build()
+
+
+def _obj_file(nsec: int, entsize: int, payload: bytes = b"") -> bytes:
+    data = bytearray(b"EL")
+    data.append(nsec & 0xFF)
+    data += (entsize & 0xFFFF).to_bytes(2, "little")
+    body = bytearray(payload[:64])
+    body += bytes(64 - len(body))
+    return bytes(data) + bytes(body)
+
+
+def _failing_objdump(occurrence: int) -> Environment:
+    rng = random.Random(200 + occurrence)
+    payload = bytes(rng.randint(1, 255) for _ in range(64))
+    # entsize 0xFFFE: section 1's offset is 0xFFFE (far out of bounds)
+    # but the 16-bit end check wraps to 2 and passes
+    return Environment({"obj": _obj_file(4, 0xFFFE, payload)})
+
+
+def _benign_objdump(seed: int) -> Environment:
+    rng = random.Random(seed)
+    chunks = []
+    for _ in range(rng.randint(30, 40)):
+        payload = bytes(rng.randint(0, 255) for _ in range(64))
+        chunks.append(_obj_file(rng.randint(1, 8), rng.randint(4, 60),
+                                payload))
+    return Environment({"obj": b"".join(chunks)})
+
+
+def objdump_workloads():
+    return [Workload(
+        name="objdump-2018-6323", app="Objdump 2.26",
+        bug_id="CVE-2018-6323",
+        bug_type="Integer overflow", multithreaded=False,
+        expected_kind=FailureKind.OUT_OF_BOUNDS,
+        build=build_objdump,
+        failing_env=_failing_objdump, benign_env=_benign_objdump,
+        bench_name="Disassemble a large binary",
+        work_limit=700,
+        paper_occurrences=3, paper_instrs=323_788)]

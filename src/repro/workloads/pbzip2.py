@@ -1,0 +1,177 @@
+"""Mini parallel compressor: the pbzip2 use-after-free of Table 1.
+
+The real bug (jieyu/concurrency-bugs pbzip2-0.9.4): the main thread
+tears down the shared ``fifo`` queue while a consumer thread still
+holds a block from it.  The mini compressor keeps the shape: the
+producer (main) reads the input, splits it into heap blocks, hands
+them to a consumer thread through a shared slot, and — on the buggy
+path — frees a block it already published without waiting for the
+consumer.  The consumer's checksum loop then touches freed memory.
+
+Input arrives on the ``tar`` stream; a dictionary hash table provides
+the symbolic write chains.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..interp.env import Environment
+from ..interp.failures import FailureKind
+from ..ir.builder import ModuleBuilder
+from ..ir.module import Module
+from .base import Workload
+
+BLOCK = 16
+DICT_SLOTS = 32
+
+
+def build_pbzip2() -> Module:
+    b = ModuleBuilder("pbzip2-uaf")
+    b.global_("queue_slot", 8)     # shared: pointer to the current block
+    b.global_("queue_len", 8)      # shared: block length
+    b.global_("done_flag", 8)
+    b.global_("taken_flag", 8)     # consumer signals 'block in hand'
+    b.global_("dict_tbl", DICT_SLOTS * 8)
+
+    # dict_add(h): compression dictionary insert (chain fuel)
+    f = b.function("dict_add", ["h"])
+    f.block("entry")
+    slot = f.urem("%h", DICT_SLOTS, dest="%slot")
+    tbl = f.global_addr("dict_tbl")
+    sp = f.gep(tbl, "%slot", 8)
+    cur = f.load(sp, 8, dest="%cur")
+    fresh = f.cmp("ne", "%cur", "%h")
+    f.br(fresh, "ins", "dup")
+    f.block("ins")
+    f.store(sp, "%h", 8)
+    f.ret("%slot")
+    f.block("dup")
+    f.ret("%slot")
+
+    # consumer: poll the slot, checksum the block
+    f = b.function("consumer", [])
+    f.block("entry")
+    qs = f.global_addr("queue_slot", dest="%qs")
+    ql = f.global_addr("queue_len", dest="%ql")
+    df = f.global_addr("done_flag", dest="%df")
+    f.jmp("poll")
+    f.block("poll")
+    done = f.load("%df", 8, dest="%done")
+    f.br("%done", "out", "take")
+    f.block("take")
+    blk = f.load("%qs", 8, dest="%blk")
+    empty = f.cmp("eq", "%blk", 0)
+    f.br(empty, "poll", "work")
+    f.block("work")
+    tf = f.global_addr("taken_flag", dest="%tf")
+    f.store("%tf", 1, 8)
+    n = f.load("%ql", 8, dest="%n")
+    f.const(0, dest="%i")
+    f.const(0, dest="%sum")
+    f.jmp("sumloop")
+    f.block("sumloop")
+    fin = f.cmp("uge", "%i", "%n")
+    f.br(fin, "publish", "sbody")
+    f.block("sbody")
+    p = f.gep("%blk", "%i", 1)
+    byte = f.load(p, 1)                 # UAF once main freed the block
+    f.add("%sum", byte, width=32, dest="%sum")
+    f.add("%i", 1, dest="%i")
+    f.jmp("sumloop")
+    f.block("publish")
+    f.call("dict_add", ["%sum"])
+    f.store("%qs", 0, 8)                # release the slot
+    f.output("bz2", "%sum", 4)
+    f.jmp("poll")
+    f.block("out")
+    f.ret(0)
+
+    f = b.function("main", [])
+    f.block("entry")
+    qs = f.global_addr("queue_slot", dest="%qs")
+    ql = f.global_addr("queue_len", dest="%ql")
+    df = f.global_addr("done_flag", dest="%df")
+    nblocks = f.input("tar", 1, dest="%nb")
+    some = f.cmp("ugt", "%nb", 0, width=8)
+    f.br(some, "spawn", "out0")
+    f.block("spawn")
+    tid = f.spawn("consumer", [], dest="%tid")
+    f.const(0, dest="%b")
+    f.jmp("blocks")
+    f.block("blocks")
+    more = f.cmp("ult", "%b", "%nb", width=8)
+    f.br(more, "produce", "fin")
+    f.block("produce")
+    blk = f.malloc(BLOCK, dest="%blk")
+    f.const(0, dest="%i")
+    f.jmp("fill")
+    f.block("fill")
+    filled = f.cmp("uge", "%i", BLOCK)
+    f.br(filled, "publish", "fbody")
+    f.block("fbody")
+    ch = f.input("tar", 1)
+    p = f.gep("%blk", "%i", 1)
+    f.store(p, ch, 1)
+    f.add("%i", 1, dest="%i")
+    f.jmp("fill")
+    f.block("publish")
+    tf = f.global_addr("taken_flag", dest="%tf")
+    f.store("%tf", 0, 8)
+    f.store("%ql", BLOCK, 8)
+    f.store("%qs", "%blk", 8)
+    last = f.add("%b", 1, dest="%bnext")
+    is_last = f.cmp("uge", "%bnext", "%nb", width=8)
+    f.br(is_last, "last_block", "wait")
+    f.block("wait")
+    taken = f.load("%qs", 8, dest="%taken")
+    still = f.cmp("ne", "%taken", 0)
+    f.br(still, "wait", "next")
+    f.block("last_block")
+    # BUG: once the consumer has *picked up* the final block, main
+    # assumes it will finish before teardown and frees it right away
+    f.jmp("wait_taken")
+    f.block("wait_taken")
+    got = f.load("%tf", 8, dest="%got")
+    f.br("%got", "eager_free", "wait_taken")
+    f.block("eager_free")
+    f.free("%blk")
+    f.jmp("next")
+    f.block("next")
+    f.binop("add", "%bnext", 0, dest="%b")
+    f.jmp("blocks")
+    f.block("fin")
+    f.store("%df", 1, 8)
+    f.jmp("out0")
+    f.block("out0")
+    f.ret(0)
+    return b.build()
+
+
+def _tar(rng: random.Random, nblocks: int) -> bytes:
+    return bytes((nblocks,)) + bytes(
+        rng.randint(1, 255) for _ in range(nblocks * BLOCK))
+
+
+def _failing_pbzip2(occurrence: int) -> Environment:
+    rng = random.Random(700 + occurrence)
+    return Environment({"tar": _tar(rng, 2)}, quantum=10)
+
+
+def _benign_pbzip2(seed: int) -> Environment:
+    rng = random.Random(seed)
+    # with a large quantum the consumer finishes each block inside one
+    # time slice, so the eager free lands after the checksum: no UAF
+    return Environment({"tar": _tar(rng, rng.randint(25, 40))}, quantum=400)
+
+
+def pbzip2_workloads():
+    return [Workload(
+        name="pbzip2-uaf", app="Pbzip2 0.9.4", bug_id="pbzip2-0.9.4",
+        bug_type="Use-after-free", multithreaded=True,
+        expected_kind=FailureKind.USE_AFTER_FREE,
+        build=build_pbzip2,
+        failing_env=_failing_pbzip2, benign_env=_benign_pbzip2,
+        bench_name="Compress a .tar file",
+        work_limit=600,
+        paper_occurrences=2, paper_instrs=6_937_510)]

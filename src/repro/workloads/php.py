@@ -1,0 +1,285 @@
+"""Mini-PHP runtime pieces: the two PHP bugs of Table 1.
+
+* **php-2012-2386** — ``unserialize`` integer overflow: the element
+  count from the serialized header is multiplied by the element size in
+  32 bits; a huge count overflows to a tiny allocation, and writing the
+  array header runs off the end of the heap object.  The class-name
+  interning that precedes it (property-table hash inserts) supplies the
+  symbolic write chains.
+
+* **php-74194** — heap buffer overflow while serializing an
+  ArrayObject: bytes are translated through a runtime-configured escape
+  map and written at a data-dependent output cursor (high-bit bytes take
+  two slots); a payload dense in high-bit bytes outruns the buffer.
+  This is the paper's Fig. 5 workload: the escape-map chain and the
+  output-cursor chain stall symbolic execution in two distinct
+  iterations.
+
+Input arrives on the ``php`` stream.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..interp.env import Environment
+from ..interp.failures import FailureKind
+from ..ir.builder import ModuleBuilder
+from ..ir.module import Module
+from ..solver.budget import WORK_PER_SECOND
+from .base import Workload
+
+PROP_SLOTS = 32
+
+
+def build_php_2012_2386() -> Module:
+    b = ModuleBuilder("php-2012-2386")
+    b.global_("prop_table", PROP_SLOTS * 8)
+
+    # intern(name_len): hash `name_len` class-name bytes into prop_table
+    f = b.function("intern_class", ["len"])
+    f.block("entry")
+    f.const(0, dest="%h")
+    f.const(0, dest="%i")
+    f.jmp("loop")
+    f.block("loop")
+    done = f.cmp("uge", "%i", "%len")
+    f.br(done, "ins", "body")
+    f.block("body")
+    ch = f.input("php", 1, dest="%ch")
+    f.add("%h", "%ch", width=32, dest="%h")
+    sh = f.shl("%h", 1, width=32)
+    f.add("%h", sh, width=32, dest="%h")
+    f.add("%i", 1, dest="%i")
+    f.jmp("loop")
+    f.block("ins")
+    slot = f.urem("%h", PROP_SLOTS, dest="%slot")
+    tbl = f.global_addr("prop_table")
+    sp = f.gep(tbl, "%slot", 8)
+    f.store(sp, "%h", 8)
+    f.ret("%slot")
+
+    f = b.function("main", [])
+    f.block("entry")
+    f.jmp("request")
+    f.block("request")
+    # 'O:<len>:<name>...' — class name interning (chain fuel)
+    tag = f.input("php", 1, dest="%tag")
+    is_obj = f.cmp("eq", "%tag", ord("O"), width=8)
+    f.br(is_obj, "name", "reject")
+    f.block("name")
+    nlen = f.input("php", 1, dest="%nlen")
+    ok_len = f.cmp("ule", "%nlen", 16, width=8)
+    f.br(ok_len, "intern", "reject")
+    f.block("intern")
+    f.call("intern_class", ["%nlen"])
+    # element count: 32-bit size arithmetic overflows for huge counts
+    count = f.input("php", 4, dest="%count")
+    body = f.mul("%count", 12, width=32)
+    total = f.add(body, 12, width=32, dest="%total")  # header + elements
+    nonzero = f.cmp("ne", "%total", 0, width=32)
+    f.br(nonzero, "szchk", "reject")
+    f.block("szchk")
+    fits = f.cmp("ule", "%total", 4096, width=32)
+    f.br(fits, "alloc", "reject")
+    f.block("alloc")
+    buf = f.malloc("%total", dest="%buf")
+    # array header: refcount (offset 0) + element count (offset 4, 8B)
+    f.store("%buf", 1, 4)
+    hdr = f.gep("%buf", 4, 1)
+    f.store(hdr, "%count", 8)       # 12-byte header: overflows tiny allocs
+    # write up to 4 elements (benign path)
+    f.const(0, dest="%i2")
+    f.jmp("eloop")
+    f.block("eloop")
+    done4 = f.cmp("uge", "%i2", 4)
+    f.br(done4, "out", "echk")
+    f.block("echk")
+    more = f.cmp("ult", "%i2", "%count", width=32)
+    f.br(more, "ebody", "out")
+    f.block("ebody")
+    ev = f.input("php", 4, dest="%ev")
+    off = f.mul("%i2", 12)
+    off12 = f.add(off, 12)
+    ep = f.gep("%buf", off12, 1)
+    f.store(ep, "%ev", 4)
+    # zval refcount/gc bookkeeping per element
+    f.const(0, dest="%g")
+    f.jmp("gc")
+    f.block("gc")
+    gdone = f.cmp("uge", "%g", 20)
+    f.br(gdone, "gout", "gbody")
+    f.block("gbody")
+    sh = f.lshr("%ev", 1, width=32)
+    f.add(sh, "%g", width=32, dest="%ev")
+    f.add("%g", 1, dest="%g")
+    f.jmp("gc")
+    f.block("gout")
+    f.add("%i2", 1, dest="%i2")
+    f.jmp("eloop")
+    f.block("reject")
+    f.ret(1)
+    f.block("out")
+    f.free("%buf")
+    f.jmp("request")
+    return b.build()
+
+
+def _php2386_payload(name: str, count: int, elems=()) -> bytes:
+    data = bytearray()
+    data += b"O"
+    data.append(len(name))
+    data += name.encode()
+    data += (count & 0xFFFFFFFF).to_bytes(4, "little")
+    for e in elems:
+        data += (e & 0xFFFFFFFF).to_bytes(4, "little")
+    return bytes(data)
+
+
+def _failing_2386(occurrence: int) -> Environment:
+    names = ["Order", "Cache", "User", "Blob"]
+    # 12 + count*12 == 4 (mod 2^32): a 4-byte allocation, 12-byte header
+    count = 0x2AAAAAAA
+    return Environment(
+        {"php": _php2386_payload(names[occurrence % len(names)], count)})
+
+
+def _benign_2386(seed: int) -> Environment:
+    rng = random.Random(seed)
+    chunks = []
+    for _ in range(rng.randint(60, 80)):
+        count = rng.randint(1, 300)
+        elems = [rng.randint(0, 1 << 30) for _ in range(min(count, 4))]
+        chunks.append(_php2386_payload(
+            rng.choice(["Foo", "BarBaz", "Session", "Request"]),
+            count, elems))
+    return Environment({"php": b"".join(chunks)})
+
+
+# ----------------------------------------------------------------------
+
+ESC_MAP_SIZE = 256
+
+
+def build_php_74194() -> Module:
+    b = ModuleBuilder("php-74194")
+    b.global_("esc_map", ESC_MAP_SIZE, bytes(range(256)))
+
+    f = b.function("main", [])
+    f.block("entry")
+    emap = f.global_addr("esc_map", dest="%map")
+    f.jmp("request")
+    f.block("request")
+    # serializer configuration: 3 custom escape-map entries (chain #1)
+    f.const(0, dest="%k")
+    f.jmp("cfg")
+    f.block("cfg")
+    cfg_done = f.cmp("uge", "%k", 3)
+    f.br(cfg_done, "hdr", "cfg_body")
+    f.block("cfg_body")
+    key = f.input("php", 1, dest="%key")
+    val = f.input("php", 1, dest="%val")
+    kp = f.gep("%map", "%key", 1)
+    f.store(kp, "%val", 1)
+    f.add("%k", 1, dest="%k")
+    f.jmp("cfg")
+
+    f.block("hdr")
+    n = f.input("php", 1, dest="%n")
+    big_enough = f.cmp("uge", "%n", 16, width=8)
+    f.br(big_enough, "hdr2", "reject")
+    f.block("hdr2")
+    small_enough = f.cmp("ule", "%n", 40, width=8)
+    f.br(small_enough, "alloc", "reject")
+    f.block("alloc")
+    size = f.add("%n", 16, dest="%size")
+    buf = f.malloc("%size", dest="%buf")
+    f.const(0, dest="%i")
+    f.const(0, dest="%j")
+    f.jmp("loop")
+    f.block("loop")
+    done = f.cmp("uge", "%i", "%n", width=8)
+    f.br(done, "fin", "body")
+    f.block("body")
+    ch = f.input("php", 1, dest="%ch")
+    tp = f.gep("%map", "%ch", 1)
+    tv = f.load(tp, 1, dest="%tv")      # translate (reads over chain #1)
+    op = f.gep("%buf", "%j", 1)
+    f.store(op, "%tv", 1)               # write at data-dependent cursor
+    hi = f.lshr("%ch", 7, width=8, dest="%hi")
+    step = f.add("%hi", 1, dest="%step")
+    f.add("%j", "%step", dest="%j")     # BUG: high-bit bytes take 2 slots
+    # string-append bookkeeping (smart_str growth accounting)
+    f.const(0, dest="%a")
+    f.jmp("acct")
+    f.block("acct")
+    adone = f.cmp("uge", "%a", 10)
+    f.br(adone, "anext", "abody")
+    f.block("abody")
+    sh2 = f.shl("%tv", 1, width=32)
+    f.xor(sh2, "%a", width=32, dest="%tv")
+    f.add("%a", 1, dest="%a")
+    f.jmp("acct")
+    f.block("anext")
+    f.add("%i", 1, dest="%i")
+    f.jmp("loop")
+    f.block("fin")
+    f.output("stdout", "%j", 4)
+    f.free("%buf")
+    f.jmp("request")
+    f.block("reject")
+    f.ret(1)
+    return b.build()
+
+
+def _php74194_payload(cfg, payload: bytes) -> bytes:
+    data = bytearray()
+    for key, val in cfg:
+        data.append(key & 0xFF)
+        data.append(val & 0xFF)
+    data.append(len(payload) & 0xFF)
+    data += payload
+    return bytes(data)
+
+
+def _failing_74194(occurrence: int) -> Environment:
+    rng = random.Random(1000 + occurrence)
+    # 24 payload bytes, mostly high-bit: cursor outruns the 40-byte buffer
+    payload = bytes(rng.choice(range(0x80, 0x100)) for _ in range(24))
+    cfg = [(rng.randint(0, 255), rng.randint(1, 255)) for _ in range(3)]
+    return Environment({"php": _php74194_payload(cfg, payload)})
+
+
+def _benign_74194(seed: int) -> Environment:
+    rng = random.Random(seed)
+    chunks = []
+    for _ in range(rng.randint(40, 60)):
+        n = rng.randint(16, 40)
+        # low-bit payloads never overflow: j stays == i
+        payload = bytes(rng.randint(0, 0x7F) for _ in range(n))
+        cfg = [(rng.randint(0, 255), rng.randint(1, 255)) for _ in range(3)]
+        chunks.append(_php74194_payload(cfg, payload))
+    return Environment({"php": b"".join(chunks)})
+
+
+def php_workloads():
+    return [
+        Workload(
+            name="php-2012-2386", app="PHP 5.3.6", bug_id="CVE-2012-2386",
+            bug_type="Integer overflow", multithreaded=False,
+            expected_kind=FailureKind.OUT_OF_BOUNDS,
+            build=build_php_2012_2386,
+            failing_env=_failing_2386, benign_env=_benign_2386,
+            bench_name="Benchmark Script",
+            work_limit=150_000,
+            paper_occurrences=6, paper_instrs=5_460_436),
+        Workload(
+            name="php-74194", app="PHP 7.1.6", bug_id="Bug #74194",
+            bug_type="Heap buffer overflow", multithreaded=False,
+            expected_kind=FailureKind.OUT_OF_BOUNDS,
+            build=build_php_74194,
+            failing_env=_failing_74194, benign_env=_benign_74194,
+            bench_name="Benchmark Script",
+            work_limit=60_000,
+            paper_occurrences=10, paper_instrs=5_791_278),
+    ]

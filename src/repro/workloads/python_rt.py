@@ -1,0 +1,164 @@
+"""Mini file-object runtime: Python CVE-2018-1000030 (shared data
+corruption).
+
+The real bug: CPython 2.7's file ``readahead`` buffer is not thread
+safe; two threads iterating one file object corrupt the shared buffer
+position and crash.  The mini runtime keeps the same shape: a shared
+file object (buffer + position + length) filled from input, and two
+reader threads that each check ``pos < len`` and then — after a
+checksum loop long enough to span a scheduler quantum — reload the
+position, advance it, and index the buffer with the *stale* check.
+Under the failing schedule both readers pass the check near the end of
+the buffer, the position jumps past ``len``, and the indexing reads out
+of bounds: shared-data corruption surfacing as a crash.
+
+File content arrives on the ``file`` stream; reader work orders on
+``job0``/``job1``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..interp.env import Environment
+from ..interp.failures import FailureKind
+from ..ir.builder import ModuleBuilder
+from ..ir.module import Module
+from .base import Workload
+
+FILE_BUF = 64
+
+
+def build_python_readahead() -> Module:
+    b = ModuleBuilder("python-2018-1000030")
+    b.global_("file_buf_ptr", 8)   # heap readahead buffer, sized to fit
+    b.global_("file_pos", 8)
+    b.global_("file_len", 8)
+    b.global_("digest_tbl", 32 * 8)
+
+    # checksum(n): busy work inside the race window + hash-table insert
+    f = b.function("checksum", ["seed", "n"])
+    f.block("entry")
+    f.const(0, dest="%i")
+    f.binop("add", "%seed", 0, dest="%acc")
+    f.jmp("loop")
+    f.block("loop")
+    done = f.cmp("uge", "%i", "%n")
+    f.br(done, "ins", "body")
+    f.block("body")
+    sh = f.shl("%acc", 1, width=32)
+    f.add(sh, "%i", width=32, dest="%acc")
+    f.add("%i", 1, dest="%i")
+    f.jmp("loop")
+    f.block("ins")
+    slot = f.urem("%acc", 32, dest="%slot")
+    tbl = f.global_addr("digest_tbl")
+    sp = f.gep(tbl, "%slot", 8)
+    f.store(sp, "%acc", 8)
+    f.ret("%acc")
+
+    # reader thread body: the racy readahead step
+    for wid in (0, 1):
+        stream = f"job{wid}"
+        f = b.function(f"reader{wid}", [])
+        f.block("entry")
+        pp = f.global_addr("file_pos", dest="%pp")
+        lp = f.global_addr("file_len", dest="%lp")
+        fbp = f.global_addr("file_buf_ptr", dest="%fbp")
+        fb = f.load("%fbp", 8, dest="%fb")
+        f.jmp("next")
+        f.block("next")
+        work = f.input(stream, 1, dest="%work")
+        stop = f.cmp("eq", "%work", 0, width=8)
+        f.br(stop, "out", "check")
+        f.block("check")
+        pos = f.load("%pp", 8, dest="%pos")
+        flen = f.load("%lp", 8, dest="%flen")
+        avail = f.cmp("ult", "%pos", "%flen")
+        f.br(avail, "consume", "next")
+        f.block("consume")
+        # readahead refill: a read(2)-like syscall per consumed chunk
+        f.input("clock", 8)
+        # the race window: checksum work spans a quantum
+        f.call("checksum", ["%pos", "%work"])
+        pos2 = f.load("%pp", 8, dest="%pos2")   # reload: may have moved
+        newpos = f.add("%pos2", 1, dest="%newpos")
+        f.store("%pp", "%newpos", 8)
+        # BUG: indexes with the re-read position but the *old* check
+        bp = f.gep("%fb", "%pos2", 1)
+        byte = f.load(bp, 1, dest="%byte")
+        f.output(f"out{wid}", "%byte", 1)
+        f.jmp("next")
+        f.block("out")
+        f.ret(0)
+
+    f = b.function("main", [])
+    f.block("entry")
+    # load the file: length byte + content
+    n = f.input("file", 1, dest="%n")
+    ok = f.cmp("ule", "%n", FILE_BUF, width=8)
+    f.br(ok, "fill", "bad")
+    f.block("fill")
+    lp = f.global_addr("file_len", dest="%lp")
+    f.store("%lp", "%n", 8)
+    buf = f.malloc("%n", dest="%fb")       # readahead buffer: exactly n
+    fbp = f.global_addr("file_buf_ptr", dest="%fbp")
+    f.store("%fbp", "%fb", 8)
+    f.const(0, dest="%i")
+    f.jmp("floop")
+    f.block("floop")
+    done = f.cmp("uge", "%i", "%n", width=8)
+    f.br(done, "run", "fbody")
+    f.block("fbody")
+    ch = f.input("file", 1)
+    p = f.gep("%fb", "%i", 1)
+    f.store(p, ch, 1)
+    f.add("%i", 1, dest="%i")
+    f.jmp("floop")
+    f.block("run")
+    t0 = f.spawn("reader0", [], dest="%t0")
+    t1 = f.spawn("reader1", [], dest="%t1")
+    f.join("%t0")
+    f.join("%t1")
+    f.ret(0)
+    f.block("bad")
+    f.ret(1)
+    return b.build()
+
+
+def _file_payload(rng: random.Random, n: int) -> bytes:
+    return bytes((n,)) + bytes(rng.randint(1, 255) for _ in range(n))
+
+
+def _failing_python(occurrence: int) -> Environment:
+    rng = random.Random(600 + occurrence)
+    # a tiny file: both readers race for the last byte
+    n = 2
+    jobs0 = bytes((9, 9, 9, 0))
+    jobs1 = bytes((9, 9, 9, 0))
+    return Environment({"file": _file_payload(rng, n),
+                        "job0": jobs0, "job1": jobs1}, quantum=25)
+
+
+def _benign_python(seed: int) -> Environment:
+    rng = random.Random(seed)
+    n = rng.randint(32, FILE_BUF)
+    # single reader active: no interleaving on the shared position
+    jobs0 = bytes(rng.randint(60, 120) for _ in range(rng.randint(60, 90))) \
+        + b"\x00"
+    jobs1 = b"\x00"
+    return Environment({"file": _file_payload(rng, n),
+                        "job0": jobs0, "job1": jobs1}, quantum=250)
+
+
+def python_workloads():
+    return [Workload(
+        name="python-2018-1000030", app="Python 2.7.14",
+        bug_id="CVE-2018-1000030",
+        bug_type="Shared data corruption", multithreaded=True,
+        expected_kind=FailureKind.OUT_OF_BOUNDS,
+        build=build_python_readahead,
+        failing_env=_failing_python, benign_env=_benign_python,
+        bench_name="From PyPy benchmarks",
+        work_limit=10_000,
+        paper_occurrences=2, paper_instrs=36_108_946)]

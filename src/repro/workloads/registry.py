@@ -1,0 +1,57 @@
+"""The Table-1 workload registry."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Workload
+from .bash import bash_workloads
+from .libpng import libpng_workloads
+from .matrixssl import matrixssl_workloads
+from .memcached import memcached_workloads
+from .nasm import nasm_workloads
+from .objdump import objdump_workloads
+from .php import php_workloads
+from .pbzip2 import pbzip2_workloads
+from .python_rt import python_workloads
+from .sqlite import sqlite_workloads
+
+#: Table-1 row order
+_ORDER = [
+    "php-2012-2386",
+    "php-74194",
+    "sqlite-7be932d",
+    "sqlite-787fa71",
+    "sqlite-4e8e485",
+    "nasm-2004-1287",
+    "objdump-2018-6323",
+    "matrixssl-2014-1569",
+    "memcached-2019-11596",
+    "libpng-2004-0597",
+    "bash-108885",
+    "python-2018-1000030",
+    "pbzip2-uaf",
+]
+
+
+def all_workloads() -> List[Workload]:
+    """All 13 Table-1 workloads, in the paper's row order."""
+    loads: Dict[str, Workload] = {}
+    for factory in (php_workloads, sqlite_workloads, nasm_workloads,
+                    objdump_workloads, matrixssl_workloads,
+                    memcached_workloads, libpng_workloads, bash_workloads,
+                    python_workloads, pbzip2_workloads):
+        for workload in factory():
+            loads[workload.name] = workload
+    return [loads[name] for name in _ORDER]
+
+
+def get_workload(name: str) -> Workload:
+    for workload in all_workloads():
+        if workload.name == name:
+            return workload
+    raise KeyError(f"no workload named {name!r}")
+
+
+def workload_names() -> List[str]:
+    return list(_ORDER)

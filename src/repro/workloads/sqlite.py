@@ -1,0 +1,568 @@
+"""Mini-SQL engine: substrate for the three SQLite bugs of Table 1.
+
+The engine is a structural port of the code paths the real bugs live in:
+
+* a case-insensitive tokenizer driven by a 256-byte folding table (which
+  is why ER-recovered queries can differ in keyword case, §5.2),
+* a keyword table matched byte-by-byte against folded input,
+* a dynamic *symbol table* where identifiers are registered via an
+  additive hash — the symbolic-index stores that build the write chains
+  stalling the solver,
+* a tiny execution loop ('VM') that walks the symbol table, and
+* a CLI layer with dot-commands (.stats / .eqp) and a WHERE clause
+  planner, hosting the three bug-specific code paths:
+
+========================== ==============================================
+sqlite-7be932d              '.stats' + '.eqp' interaction leaves the
+                            explain-statement pointer NULL; the stats
+                            printer dereferences it (NULL deref)
+sqlite-787fa71              co-routine subquery bookkeeping: nested
+                            subselects desynchronize two counters; an
+                            internal assert fires (inconsistent
+                            data structure)
+sqlite-4e8e485              OR-term in WHERE: only the first OR branch
+                            gets an index cursor; executing the second
+                            dereferences a NULL cursor pointer
+========================== ==============================================
+
+Queries arrive on the ``sql`` stream as NUL-terminated command lines.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..interp.env import Environment
+from ..interp.failures import FailureKind
+from ..ir.builder import ModuleBuilder
+from ..ir.module import Module
+from ..solver.budget import WORK_PER_SECOND
+from .base import Workload
+from .lib import CASE_TABLE, add_case_table
+
+#: symbol table: 32 slots x 8 bytes (hash -> token value)
+SYM_SLOTS = 32
+
+KW_SELECT = 1
+KW_FROM = 2
+KW_WHERE = 3
+KW_OR = 4
+
+
+def _add_keyword_table(b: ModuleBuilder) -> None:
+    """Static keyword strings, matched after case folding."""
+    b.string("kw_select", "select")
+    b.string("kw_from", "from")
+    b.string("kw_where", "where")
+    b.string("kw_or", "or")
+
+
+def _build_engine(bug: str) -> Module:
+    """Build the engine with the code path for ``bug`` enabled."""
+    b = ModuleBuilder(f"sqlite-{bug}")
+    add_case_table(b)
+    _add_keyword_table(b)
+    b.global_("line_buf", 64)
+    b.global_("token_buf", 24)
+    b.global_("sym_table", SYM_SLOTS * 8)
+    b.global_("stats_flag", 8)
+    b.global_("eqp_flag", 8)
+    b.global_("eqp_stmt", 8)        # explain-statement pointer
+    b.global_("subq_depth", 8)      # 787fa71 bookkeeping
+    b.global_("coro_count", 8)
+    b.global_("or_cursors", 16)     # 4e8e485: cursor ptr per OR branch
+
+    _add_read_line(b)
+    _add_fold(b)
+    _add_keyword_match(b)
+    _add_sym_insert(b)
+    _add_exec_symbols(b)
+    _add_parse_select(b, bug)
+    _add_dot_command(b, bug)
+    _add_finish_query(b, bug)
+    _add_main(b)
+    return b.build()
+
+
+def _add_read_line(b: ModuleBuilder) -> None:
+    """``read_line()``: read bytes into line_buf until NUL/newline.
+
+    Returns the line length (0 = end of input).
+    """
+    f = b.function("read_line", [])
+    f.block("entry")
+    f.global_addr("line_buf", dest="%buf")
+    f.const(0, dest="%i")
+    f.jmp("loop")
+    f.block("loop")
+    full = f.cmp("uge", "%i", 63)
+    f.br(full, "out", "rd")
+    f.block("rd")
+    ch = f.input("sql", 1, dest="%ch")
+    isnl = f.cmp("eq", "%ch", 10, width=8)
+    f.br(isnl, "out", "chk0")
+    f.block("chk0")
+    is0 = f.cmp("eq", "%ch", 0, width=8)
+    f.br(is0, "out", "put")
+    f.block("put")
+    p = f.gep("%buf", "%i", 1)
+    f.store(p, "%ch", 1)
+    f.add("%i", 1, dest="%i")
+    f.jmp("loop")
+    f.block("out")
+    endp = f.gep("%buf", "%i", 1)
+    f.store(endp, 0, 1)
+    f.ret("%i")
+
+
+def _add_fold(b: ModuleBuilder) -> None:
+    """``fold(ch)``: lowercase one byte via the folding table."""
+    f = b.function("fold", ["ch"])
+    f.block("entry")
+    tbl = f.global_addr(CASE_TABLE)
+    p = f.gep(tbl, "%ch", 1)
+    low = f.load(p, 1)
+    f.ret(low)
+
+
+def _add_keyword_match(b: ModuleBuilder) -> None:
+    """``kw_match(tok, kw)``: case-folded string compare, 1 if equal."""
+    f = b.function("kw_match", ["tok", "kw"])
+    f.block("entry")
+    f.const(0, dest="%i")
+    f.jmp("loop")
+    f.block("loop")
+    tp = f.gep("%tok", "%i", 1)
+    tc = f.load(tp, 1, dest="%tc")
+    folded = f.call("fold", ["%tc"], dest="%fc")
+    kp = f.gep("%kw", "%i", 1)
+    kc = f.load(kp, 1, dest="%kc")
+    same = f.cmp("eq", "%fc", "%kc", width=8)
+    f.br(same, "chk_end", "no")
+    f.block("chk_end")
+    end = f.cmp("eq", "%kc", 0, width=8)
+    f.br(end, "yes", "next")
+    f.block("next")
+    f.add("%i", 1, dest="%i")
+    f.jmp("loop")
+    f.block("yes")
+    f.ret(1)
+    f.block("no")
+    f.ret(0)
+
+
+def _add_sym_insert(b: ModuleBuilder) -> None:
+    """``sym_insert(tok, len)``: hash an identifier into the symbol table.
+
+    The additive hash of the folded bytes indexes a store — the symbolic
+    write chain generator.  Returns the slot index.
+    """
+    f = b.function("sym_insert", ["tok", "len"])
+    f.block("entry")
+    f.const(0, dest="%h")
+    f.const(0, dest="%i")
+    f.jmp("loop")
+    f.block("loop")
+    done = f.cmp("uge", "%i", "%len")
+    f.br(done, "ins", "body")
+    f.block("body")
+    p = f.gep("%tok", "%i", 1)
+    ch = f.load(p, 1, dest="%ch")
+    folded = f.call("fold", ["%ch"], dest="%fc")
+    f.add("%h", "%fc", width=32, dest="%h")
+    shifted = f.shl("%h", 1, width=32)
+    f.add("%h", shifted, width=32, dest="%h")
+    f.add("%i", 1, dest="%i")
+    f.jmp("loop")
+    f.block("ins")
+    slot = f.urem("%h", SYM_SLOTS, dest="%slot")
+    tbl = f.global_addr("sym_table")
+    sp = f.gep(tbl, "%slot", 8)
+    f.store(sp, "%h", 8)
+    f.ret("%slot")
+
+
+def _add_exec_symbols(b: ModuleBuilder) -> None:
+    """``exec_symbols()``: the 'VM' — fold every occupied slot."""
+    f = b.function("exec_symbols", [])
+    f.block("entry")
+    tbl = f.global_addr("sym_table", dest="%tbl")
+    f.const(0, dest="%i")
+    f.const(0, dest="%acc")
+    f.jmp("loop")
+    f.block("loop")
+    done = f.cmp("uge", "%i", SYM_SLOTS)
+    f.br(done, "out", "body")
+    f.block("body")
+    p = f.gep("%tbl", "%i", 8)
+    v = f.load(p, 8, dest="%v")
+    empty = f.cmp("eq", "%v", 0)
+    f.br(empty, "next", "use")
+    f.block("use")
+    f.add("%acc", "%v", dest="%acc")
+    f.jmp("next")
+    f.block("next")
+    f.add("%i", 1, dest="%i")
+    f.jmp("loop")
+    f.block("out")
+    f.ret("%acc")
+
+
+def _add_parse_select(b: ModuleBuilder, bug: str) -> None:
+    """``parse_select(line, len)``: walk the query, register identifiers.
+
+    Handles the bug-specific clauses:
+    * 787fa71: '(' opens a co-routine subquery, ')' closes it; the buggy
+      path increments ``coro_count`` twice for nested opens.
+    * 4e8e485: 'or' in the WHERE clause allocates a cursor only for the
+      first branch.
+    """
+    f = b.function("parse_select", ["line", "len"])
+    f.block("entry")
+    f.const(0, dest="%pos")
+    f.const(0, dest="%in_where")
+    f.const(0, dest="%or_seen")
+    f.jmp("scan")
+
+    f.block("scan")
+    at_end = f.cmp("uge", "%pos", "%len")
+    f.br(at_end, "done", "look")
+    f.block("look")
+    p = f.gep("%line", "%pos", 1)
+    ch = f.load(p, 1, dest="%ch")
+    is_space = f.cmp("eq", "%ch", 32, width=8)
+    f.br(is_space, "skip", "classify")
+    f.block("skip")
+    f.add("%pos", 1, dest="%pos")
+    f.jmp("scan")
+
+    f.block("classify")
+    is_open = f.cmp("eq", "%ch", 40, width=8)   # '('
+    f.br(is_open, "open_sub", "classify2")
+    f.block("classify2")
+    is_close = f.cmp("eq", "%ch", 41, width=8)  # ')'
+    f.br(is_close, "close_sub", "word")
+
+    f.block("open_sub")
+    if bug == "787fa71":
+        d = f.global_addr("subq_depth", dest="%dp")
+        dv = f.load("%dp", 8, dest="%dv")
+        f.add("%dv", 1, dest="%dv")
+        f.store("%dp", "%dv", 8)
+        c = f.global_addr("coro_count", dest="%cp")
+        cv = f.load("%cp", 8, dest="%cv")
+        # BUG: nested subqueries double-count the co-routine
+        nested = f.cmp("ugt", "%dv", 1)
+        bump = f.select(nested, 2, 1)
+        f.add("%cv", bump, dest="%cv")
+        f.store("%cp", "%cv", 8)
+    else:
+        d = f.global_addr("subq_depth", dest="%dp")
+        dv = f.load("%dp", 8, dest="%dv")
+        f.add("%dv", 1, dest="%dv")
+        f.store("%dp", "%dv", 8)
+    f.add("%pos", 1, dest="%pos")
+    f.jmp("scan")
+
+    f.block("close_sub")
+    d2 = f.global_addr("subq_depth", dest="%dp2")
+    dv2 = f.load("%dp2", 8, dest="%dv2")
+    pos_d = f.cmp("ugt", "%dv2", 0)
+    f.br(pos_d, "dec_sub", "after_close")
+    f.block("dec_sub")
+    f.sub("%dv2", 1, dest="%dv2")
+    f.store("%dp2", "%dv2", 8)
+    if bug == "787fa71":
+        c2 = f.global_addr("coro_count", dest="%cp2")
+        cv2 = f.load("%cp2", 8, dest="%cv2")
+        f.sub("%cv2", 1, dest="%cv2")
+        f.store("%cp2", "%cv2", 8)
+    f.jmp("after_close")
+    f.block("after_close")
+    f.add("%pos", 1, dest="%pos")
+    f.jmp("scan")
+
+    # a word: copy into token_buf, measure, classify keyword vs identifier
+    f.block("word")
+    tb = f.global_addr("token_buf", dest="%tb")
+    f.const(0, dest="%tl")
+    f.jmp("wloop")
+    f.block("wloop")
+    at_end2 = f.cmp("uge", "%pos", "%len")
+    f.br(at_end2, "wdone", "wchk")
+    f.block("wchk")
+    wp = f.gep("%line", "%pos", 1)
+    wc = f.load(wp, 1, dest="%wc")
+    sp = f.cmp("eq", "%wc", 32, width=8)
+    f.br(sp, "wdone", "wchk2")
+    f.block("wchk2")
+    op = f.cmp("eq", "%wc", 40, width=8)
+    f.br(op, "wdone", "wchk3")
+    f.block("wchk3")
+    cl = f.cmp("eq", "%wc", 41, width=8)
+    f.br(cl, "wdone", "wput")
+    f.block("wput")
+    toolong = f.cmp("uge", "%tl", 23)
+    f.br(toolong, "wdone", "wstore")
+    f.block("wstore")
+    tp = f.gep("%tb", "%tl", 1)
+    f.store(tp, "%wc", 1)
+    f.add("%tl", 1, dest="%tl")
+    f.add("%pos", 1, dest="%pos")
+    f.jmp("wloop")
+    f.block("wdone")
+    tend = f.gep("%tb", "%tl", 1)
+    f.store(tend, 0, 1)
+
+    kw_where = f.global_addr("kw_where")
+    m_where = f.call("kw_match", ["%tb", kw_where], dest="%mw")
+    f.br("%mw", "set_where", "chk_or")
+    f.block("set_where")
+    f.const(1, dest="%in_where")
+    f.jmp("scan")
+    f.block("chk_or")
+    kw_or = f.global_addr("kw_or")
+    m_or = f.call("kw_match", ["%tb", kw_or], dest="%mo")
+    f.br("%mo", "handle_or", "chk_from")
+    f.block("handle_or")
+    if bug == "4e8e485":
+        # BUG: cursor is allocated only for the first OR branch
+        first = f.cmp("eq", "%or_seen", 0)
+        f.br(first, "alloc_cursor", "skip_cursor")
+        f.block("alloc_cursor")
+        cur = f.malloc(32, dest="%cur")
+        cur_tbl = f.global_addr("or_cursors", dest="%ct")
+        f.store("%ct", "%cur", 8)
+        f.const(1, dest="%or_seen")
+        f.jmp("scan")
+        f.block("skip_cursor")
+        f.const(2, dest="%or_seen")
+        f.jmp("scan")
+    else:
+        f.const(1, dest="%or_seen")
+        f.jmp("scan")
+    f.block("chk_from")
+    kw_from = f.global_addr("kw_from")
+    m_from = f.call("kw_match", ["%tb", kw_from], dest="%mf")
+    f.br("%mf", "scan_more", "identifier")
+    f.block("scan_more")
+    f.jmp("scan")
+    f.block("identifier")
+    has_len = f.cmp("ugt", "%tl", 0)
+    f.br(has_len, "register", "scan2")
+    f.block("register")
+    f.call("sym_insert", ["%tb", "%tl"])
+    f.jmp("scan2")
+    f.block("scan2")
+    f.jmp("scan")
+
+    f.block("done")
+    f.ret("%or_seen")
+
+
+def _add_dot_command(b: ModuleBuilder, bug: str) -> None:
+    """``dot_command(line, len)``: '.stats' and '.eqp' handling."""
+    f = b.function("dot_command", ["line", "len"])
+    f.block("entry")
+    p1 = f.gep("%line", 1, 1)
+    c1 = f.load(p1, 1, dest="%c1")
+    f1 = f.call("fold", ["%c1"], dest="%f1")
+    is_s = f.cmp("eq", "%f1", ord("s"), width=8)
+    f.br(is_s, "stats", "chk_e")
+    f.block("stats")
+    g = f.global_addr("stats_flag", dest="%sf")
+    f.store("%sf", 1, 8)
+    f.ret(1)
+    f.block("chk_e")
+    is_e = f.cmp("eq", "%f1", ord("e"), width=8)
+    f.br(is_e, "eqp", "unknown")
+    f.block("eqp")
+    g2 = f.global_addr("eqp_flag", dest="%ef")
+    f.store("%ef", 1, 8)
+    if bug == "7be932d":
+        # BUG: enabling .eqp resets the explain statement pointer and
+        # the re-prepare that should follow is skipped
+        g3 = f.global_addr("eqp_stmt", dest="%es")
+        f.store("%es", 0, 8)
+    f.ret(1)
+    f.block("unknown")
+    f.ret(0)
+
+
+def _add_finish_query(b: ModuleBuilder, bug: str) -> None:
+    """``finish_query(or_seen)``: post-execution bug sites."""
+    f = b.function("finish_query", ["or_seen"])
+    f.block("entry")
+    if bug == "7be932d":
+        sf = f.global_addr("stats_flag", dest="%sf")
+        sv = f.load("%sf", 8, dest="%sv")
+        f.br("%sv", "stats_on", "out")
+        f.block("stats_on")
+        ef = f.global_addr("eqp_flag", dest="%ef")
+        ev = f.load("%ef", 8, dest="%ev")
+        f.br("%ev", "print_eqp", "out")
+        f.block("print_eqp")
+        es = f.global_addr("eqp_stmt", dest="%es")
+        stmt = f.load("%es", 8, dest="%stmt")
+        # NULL deref: stmt was cleared by the .eqp handler
+        counters = f.load("%stmt", 8, dest="%ctr")
+        f.output("stdout", "%ctr", 8)
+        f.jmp("out")
+    elif bug == "787fa71":
+        dp = f.global_addr("subq_depth", dest="%dp")
+        dv = f.load("%dp", 8, dest="%dv")
+        closed = f.cmp("eq", "%dv", 0)
+        f.br(closed, "chk_coro", "out")
+        f.block("chk_coro")
+        cp = f.global_addr("coro_count", dest="%cp")
+        cv = f.load("%cp", 8, dest="%cv")
+        ok = f.cmp("eq", "%cv", 0)
+        f.assert_(ok, "coroutine bookkeeping inconsistent")
+        f.jmp("out")
+    elif bug == "4e8e485":
+        two = f.cmp("uge", "%or_seen", 2)
+        f.br(two, "second_or", "out")
+        f.block("second_or")
+        # NULL deref: second OR branch's cursor was never allocated
+        ct = f.global_addr("or_cursors", dest="%ct")
+        second = f.gep("%ct", 1, 8)
+        cur = f.load(second, 8, dest="%cur")
+        field = f.load("%cur", 8, dest="%fv")
+        f.output("stdout", "%fv", 8)
+        f.jmp("out")
+    else:
+        f.nop()
+        f.jmp("out")
+        f.block("out")
+        f.ret(0)
+        return
+    f.block("out")
+    f.ret(0)
+
+
+def _add_main(b: ModuleBuilder) -> None:
+    f = b.function("main", [])
+    f.block("entry")
+    f.jmp("repl")
+    f.block("repl")
+    n = f.call("read_line", [], dest="%n")
+    empty = f.cmp("eq", "%n", 0)
+    f.br(empty, "out", "dispatch")
+    f.block("dispatch")
+    buf = f.global_addr("line_buf", dest="%buf")
+    c0 = f.load("%buf", 1, dest="%c0")
+    is_dot = f.cmp("eq", "%c0", ord("."), width=8)
+    f.br(is_dot, "dot", "query")
+    f.block("dot")
+    f.call("dot_command", ["%buf", "%n"])
+    f.jmp("repl")
+    f.block("query")
+    kw_sel = f.global_addr("kw_select")
+    # match only the first word: rely on kw_match stopping at NUL in kw
+    tokp = f.global_addr("token_buf", dest="%tb0")
+    f.const(0, dest="%k")
+    f.jmp("copy1")
+    f.block("copy1")
+    done1 = f.cmp("uge", "%k", 6)
+    f.br(done1, "fin1", "cp1")
+    f.block("cp1")
+    sp1 = f.gep("%buf", "%k", 1)
+    ch1 = f.load(sp1, 1, dest="%ch1")
+    dp1 = f.gep("%tb0", "%k", 1)
+    f.store(dp1, "%ch1", 1)
+    f.add("%k", 1, dest="%k")
+    f.jmp("copy1")
+    f.block("fin1")
+    endp1 = f.gep("%tb0", 6, 1)
+    f.store(endp1, 0, 1)
+    m = f.call("kw_match", ["%tb0", kw_sel], dest="%m")
+    f.br("%m", "do_select", "repl")
+    f.block("do_select")
+    ors = f.call("parse_select", ["%buf", "%n"], dest="%ors")
+    f.call("exec_symbols", [])
+    f.call("finish_query", ["%ors"])
+    f.jmp("repl")
+    f.block("out")
+    f.ret(0)
+
+
+# ----------------------------------------------------------------------
+# environments
+
+def _sql_bytes(*lines: str) -> bytes:
+    return ("\n".join(lines) + "\n").encode() + b"\x00"
+
+
+def _failing_7be932d(occurrence: int) -> Environment:
+    tables = ["orders", "people", "events", "items"]
+    t = tables[occurrence % len(tables)]
+    return Environment({"sql": _sql_bytes(
+        f"select a b from {t}",
+        ".eqp",
+        ".stats",
+        f"select x y {t}",
+    )})
+
+
+def _failing_787fa71(occurrence: int) -> Environment:
+    names = ["aa", "bb", "cc", "dd"]
+    n = names[occurrence % len(names)]
+    return Environment({"sql": _sql_bytes(
+        f"select {n} ( ( inner ) )",
+    )})
+
+
+def _failing_4e8e485(occurrence: int) -> Environment:
+    cols = ["price", "qty", "name", "age"]
+    c = cols[occurrence % len(cols)]
+    return Environment({"sql": _sql_bytes(
+        f"select {c} from t where a or b or c",
+    )})
+
+
+_BENIGN_QUERIES = [
+    "select col1 col2 from tab",
+    "select name from people where age",
+    ".stats",
+    "select a from b",
+    "select x ( sub ) from t",
+    "select q from r where s or t",
+]
+
+
+def _benign_env(seed: int) -> Environment:
+    rng = random.Random(seed)
+    lines = [rng.choice(_BENIGN_QUERIES) for _ in range(rng.randint(40, 60))]
+    # never both .stats and .eqp, never unbalanced parens with assert path
+    return Environment({"sql": _sql_bytes(*lines)})
+
+
+def sqlite_workloads():
+    """The three SQLite rows of Table 1."""
+    second = 2 * WORK_PER_SECOND
+    return [
+        Workload(
+            name="sqlite-7be932d", app="SQLite 3.27.0", bug_id="7be932d",
+            bug_type="NULL pointer dereference", multithreaded=False,
+            expected_kind=FailureKind.NULL_DEREF,
+            build=lambda: _build_engine("7be932d"),
+            failing_env=_failing_7be932d, benign_env=_benign_env,
+            bench_name="Official fuzz test", work_limit=60_000,
+            paper_occurrences=3, paper_instrs=1_408_411),
+        Workload(
+            name="sqlite-787fa71", app="SQLite 3.8.11", bug_id="787fa71",
+            bug_type="Inconsistent data-structure", multithreaded=False,
+            expected_kind=FailureKind.ASSERT,
+            build=lambda: _build_engine("787fa71"),
+            failing_env=_failing_787fa71, benign_env=_benign_env,
+            bench_name="Official fuzz test", work_limit=15_000,
+            paper_occurrences=4, paper_instrs=1_115_003),
+        Workload(
+            name="sqlite-4e8e485", app="SQLite 3.25.0", bug_id="4e8e485",
+            bug_type="NULL pointer dereference", multithreaded=False,
+            expected_kind=FailureKind.NULL_DEREF,
+            build=lambda: _build_engine("4e8e485"),
+            failing_env=_failing_4e8e485, benign_env=_benign_env,
+            bench_name="Official fuzz test", work_limit=40_000,
+            paper_occurrences=3, paper_instrs=1_349_129),
+    ]

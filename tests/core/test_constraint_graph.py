@@ -1,0 +1,116 @@
+"""Constraint graph: chains, bottleneck sets (§3.3)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.constraint_graph import ConstraintGraph, WriteChain
+from repro.solver import terms as T
+from repro.symex.result import StallInfo
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    T.clear_term_cache()
+    yield
+
+
+def _chain(name, size, indices, values=None):
+    arr = T.array(name, bytes(size))
+    node = arr
+    for i, idx in enumerate(indices):
+        value = values[i] if values else T.const(i, 8)
+        node = T.store(node, idx, value)
+    return node
+
+
+class TestChains:
+    def test_single_chain_found(self):
+        top = _chain("A", 64, [T.var("i"), T.var("j")])
+        graph = ConstraintGraph([top])
+        chains = graph.write_chains()
+        assert len(chains) == 1 and len(chains[0]) == 2
+        assert chains[0].top is top
+
+    def test_longest_vs_largest(self):
+        long_small = _chain("S", 16, [T.var(f"i{k}") for k in range(5)])
+        short_big = _chain("B", 4096, [T.var("j")])
+        graph = ConstraintGraph([long_small, short_big])
+        assert graph.longest_chain().base.args[0] == "S"
+        assert graph.largest_object_chain().base.args[0] == "B"
+
+    def test_no_chains(self):
+        graph = ConstraintGraph([T.cmp("eq", T.var("a"), T.const(1), 8)])
+        assert graph.write_chains() == []
+        assert graph.longest_chain() is None
+        assert graph.bottleneck_set() == []
+
+    def test_object_size(self):
+        chain = WriteChain([_chain("A", 128, [T.var("i")])])
+        assert chain.object_size == 128
+
+
+class TestBottleneck:
+    def test_symbolic_members_only(self):
+        idx = T.var("i")
+        top = _chain("A", 64, [idx, T.const(3)],
+                     values=[T.const(1, 8), T.var("v")])
+        graph = ConstraintGraph([top])
+        members = graph.bottleneck_set()
+        assert idx in members and T.var("v") in members
+        assert all(not m.is_const for m in members)
+
+    def test_members_deduplicated(self):
+        idx = T.var("i")
+        top = _chain("A", 64, [idx, idx])
+        graph = ConstraintGraph([top])
+        assert graph.bottleneck_set().count(idx) == 1
+
+    def test_union_of_both_chains(self):
+        long_small = _chain("S", 16, [T.var("a"), T.var("b")])
+        short_big = _chain("B", 4096, [T.var("c")])
+        graph = ConstraintGraph([long_small, short_big])
+        names = {m.args[0] for m in graph.bottleneck_set()}
+        assert names == {"a", "b", "c"}
+
+    def test_from_stall(self):
+        top = _chain("A", 64, [T.var("i")])
+        stall = StallInfo(constraints=[T.cmp("ult", T.var("i"),
+                                             T.const(64), 8)],
+                          stall_terms=[], chains=[top],
+                          exec_counts=Counter())
+        graph = ConstraintGraph.from_stall(stall)
+        assert graph.bottleneck_set() == [T.var("i")]
+
+    def test_node_count(self):
+        top = _chain("A", 8, [T.var("i")])
+        graph = ConstraintGraph([top])
+        # store + array + var + const value
+        assert graph.node_count == 4
+
+
+class TestPaperExample:
+    """The Fig. 3 / Fig. 4 walkthrough, straight from the paper."""
+
+    def _fig4_graph(self):
+        # V: 1024-byte array; writes: V[x]=1, V[λc]=512, V[V[x]]=x
+        V = T.array("V", bytes(1024))
+        lam_a, lam_b, lam_c = T.var("a"), T.var("b"), T.var("c")
+        x = T.binop("add", lam_a, lam_b, 32)
+        w2 = T.store(V, x, T.const(1, 8))
+        w3 = T.store(w2, lam_c, T.const(512))
+        vx = T.read(w3, x)              # V[x]
+        w4 = T.store(w3, vx, x)         # V[V[x]] = x
+        return w4, x, lam_c, vx
+
+    def test_bottleneck_is_x_c_vx(self):
+        w4, x, lam_c, vx = self._fig4_graph()
+        graph = ConstraintGraph([w4])
+        members = set(graph.bottleneck_set())
+        assert members == {x, lam_c, vx}
+
+    def test_single_chain_of_three(self):
+        w4, *_ = self._fig4_graph()
+        graph = ConstraintGraph([w4])
+        chains = graph.write_chains()
+        assert len(chains) == 1 and len(chains[0]) == 3

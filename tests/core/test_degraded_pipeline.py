@@ -1,0 +1,59 @@
+"""End-to-end reconstruction through a degraded trace pipeline.
+
+Combines the §4 mapping loss (8.5 % of TNT bits become gaps) with §3.4
+per-CPU buffer merging (equal-timestamp chunk order lost) and runs the
+full iterative loop with trace recovery enabled.
+"""
+
+import pytest
+
+from repro.core import ExecutionReconstructor, ProductionSite
+from repro.trace.degrade import gap_count
+from repro.workloads import get_workload
+
+PIPELINE_TARGETS = ["bash-108885", "libpng-2004-0597",
+                    "objdump-2018-6323", "python-2018-1000030",
+                    "memcached-2019-11596"]
+
+
+@pytest.mark.parametrize("name", PIPELINE_TARGETS)
+def test_reconstruction_with_degraded_traces(name):
+    workload = get_workload(name)
+    er = ExecutionReconstructor(workload.fresh_module(),
+                                work_limit=workload.work_limit * 20,
+                                max_occurrences=15,
+                                trace_recovery=True)
+    site = ProductionSite(workload.failing_env, mapping_loss=0.085,
+                          per_cpu_buffers=True)
+    report = er.reconstruct(site)
+    assert report.success and report.verified
+
+
+def test_degradation_actually_happens():
+    workload = get_workload("libpng-2004-0597")
+    site = ProductionSite(workload.failing_env, mapping_loss=0.5)
+    occurrence = site.run_once(workload.fresh_module())
+    assert gap_count(occurrence.trace) > 50
+
+
+def test_exact_pipeline_unaffected_by_recovery_driver():
+    workload = get_workload("bash-108885")
+    er = ExecutionReconstructor(workload.fresh_module(),
+                                work_limit=workload.work_limit,
+                                trace_recovery=True)
+    report = er.reconstruct(ProductionSite(workload.failing_env))
+    assert report.success and report.occurrences == 1
+
+
+def test_exact_driver_cannot_handle_gaps():
+    """Without recovery, a degraded trace is a hard error (documented)."""
+    from repro.errors import ReconstructionError
+
+    workload = get_workload("bash-108885")
+    er = ExecutionReconstructor(workload.fresh_module(),
+                                work_limit=workload.work_limit,
+                                max_occurrences=3,
+                                trace_recovery=False)
+    site = ProductionSite(workload.failing_env, mapping_loss=1.0)
+    with pytest.raises(ReconstructionError):
+        er.reconstruct(site)

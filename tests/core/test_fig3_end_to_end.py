@@ -1,0 +1,121 @@
+"""The paper's Fig. 3 running example, reconstructed end to end.
+
+Builds the exact ``foo(a, b, c, d)`` program from §3.2, lets it fail in
+'production' with ``foo(0, 2, 0, 2)``, and checks that the iterative
+loop behaves like the walkthrough: the first selection records ``x``,
+and reconstruction completes with a verified test case in a handful of
+occurrences.
+"""
+
+import struct
+
+import pytest
+
+from repro.core import ExecutionReconstructor, ProductionSite
+from repro.interp.env import Environment
+from repro.interp.failures import FailureKind
+from repro.interp.interpreter import Interpreter
+from repro.ir.builder import ModuleBuilder
+
+
+def build_fig3():
+    b = ModuleBuilder("fig3")
+    b.global_("V", 1024)  # uint32 V[256]
+    f = b.function("foo", ["a", "b", "c", "d"])
+    f.block("entry")
+    f.add("%a", "%b", width=32, dest="%x")
+    f.br(f.cmp("ult", "%x", 256, width=32), "chk_c", "out")
+    f.block("chk_c")
+    f.br(f.cmp("ult", "%c", 256, width=32), "chk_d", "out")
+    f.block("chk_d")
+    f.br(f.cmp("ult", "%d", 256, width=32), "body", "out")
+    f.block("body")
+    f.global_addr("V", dest="%V")
+    p1 = f.gep("%V", "%x", 4)
+    f.store(p1, 1, 4)                       # V[x] = 1
+    p2 = f.gep("%V", "%c", 4)
+    f.load(p2, 4, dest="%vc")               # V[c]
+    f.br(f.cmp("eq", "%vc", 0, width=32), "set_c", "after_c")
+    f.block("set_c")
+    f.store(p2, 512, 4)                     # V[c] = 512
+    f.jmp("after_c")
+    f.block("after_c")
+    f.load(p1, 4, dest="%vx")               # V[x]
+    p3 = f.gep("%V", "%vx", 4)
+    f.store(p3, "%x", 4)                    # V[V[x]] = x
+    f.br(f.cmp("ult", "%c", "%d", width=32), "chk2", "out")
+    f.block("chk2")
+    pd = f.gep("%V", "%d", 4)
+    f.load(pd, 4, dest="%vd")               # V[d]
+    pvd = f.gep("%V", "%vd", 4)
+    f.load(pvd, 4, dest="%vvd")             # V[V[d]]
+    f.br(f.cmp("eq", "%vvd", "%x", width=32), "boom", "out")
+    f.block("boom")
+    f.abort("fig3 abort")
+    f.block("out")
+    f.ret(0)
+
+    m = b.function("main", [])
+    m.block("entry")
+    args = [m.input("stdin", 4) for _ in range(4)]
+    m.call("foo", args)
+    m.ret(0)
+    return b.build()
+
+
+def fig3_env(occ=1):
+    return Environment({"stdin": struct.pack("<IIII", 0, 2, 0, 2)})
+
+
+@pytest.fixture(scope="module")
+def fig3_module():
+    return build_fig3()
+
+
+class TestFig3Concrete:
+    def test_production_input_aborts(self, fig3_module):
+        run = Interpreter(fig3_module, fig3_env()).run()
+        assert run.failure is not None
+        assert run.failure.kind == FailureKind.ABORT
+        assert run.failure.point.block == "boom"
+
+    def test_benign_input_passes(self, fig3_module):
+        env = Environment({"stdin": struct.pack("<IIII", 1, 2, 4, 8)})
+        assert Interpreter(fig3_module, env).run().failure is None
+
+
+class TestFig3Reconstruction:
+    def test_small_budget_iterates_and_succeeds(self, fig3_module):
+        er = ExecutionReconstructor(fig3_module, work_limit=400,
+                                    max_occurrences=10)
+        report = er.reconstruct(ProductionSite(fig3_env))
+        assert report.success and report.verified
+        assert 2 <= report.occurrences <= 6
+
+    def test_first_selection_records_x(self, fig3_module):
+        er = ExecutionReconstructor(fig3_module, work_limit=400,
+                                    max_occurrences=10)
+        report = er.reconstruct(ProductionSite(fig3_env))
+        first = report.iterations[0].recorded_items
+        assert "%x" in {item.register for item in first}
+
+    def test_generated_input_relations(self, fig3_module):
+        """Any generated input must satisfy x == d and c != x (paper §1)."""
+        er = ExecutionReconstructor(fig3_module, work_limit=400,
+                                    max_occurrences=10)
+        report = er.reconstruct(ProductionSite(fig3_env))
+        data = report.test_case.streams["stdin"]
+        a, b, c, d = struct.unpack("<IIII", data[:16].ljust(16, b"\x00"))
+        x = (a + b) & 0xFFFFFFFF
+        assert x == d
+        assert c != x
+        assert c < d
+
+    def test_larger_budget_fewer_occurrences(self, fig3_module):
+        small = ExecutionReconstructor(fig3_module, work_limit=400,
+                                       max_occurrences=10).reconstruct(
+            ProductionSite(fig3_env))
+        large = ExecutionReconstructor(fig3_module, work_limit=100_000,
+                                       max_occurrences=10).reconstruct(
+            ProductionSite(fig3_env))
+        assert large.occurrences <= small.occurrences

@@ -1,0 +1,54 @@
+"""ProductionSite operational modes: buffer growth, deferred tracing."""
+
+import pytest
+
+from repro.core.production import ProductionSite
+from repro.core.reconstructor import ExecutionReconstructor
+from repro.errors import ReconstructionError
+from repro.interp.env import Environment
+
+
+def failing_factory(occ):
+    return Environment({"stdin": b"\xc8"})
+
+
+class TestAutoGrowBuffer:
+    def test_tiny_buffer_grows_until_trace_fits(self, abort_module):
+        site = ProductionSite(failing_factory, ring_capacity=4)
+        occurrence = site.run_once(abort_module)
+        assert occurrence.failure is not None
+        assert site.ring_capacity >= occurrence.trace_bytes
+        assert site.occurrences_so_far > 1  # retraced after growing
+
+    def test_growth_disabled_raises(self, abort_module):
+        site = ProductionSite(failing_factory, ring_capacity=4,
+                              auto_grow_buffer=False)
+        with pytest.raises(ReconstructionError, match="ring buffer"):
+            site.run_once(abort_module)
+
+    def test_reconstruction_survives_small_initial_buffer(self,
+                                                          abort_module):
+        er = ExecutionReconstructor(abort_module)
+        report = er.reconstruct(
+            ProductionSite(failing_factory, ring_capacity=16))
+        assert report.success and report.verified
+
+
+class TestDeferredTracing:
+    def test_first_failures_not_traced(self, abort_module):
+        site = ProductionSite(failing_factory, trace_after=3)
+        occurrence = site.run_once(abort_module)
+        assert occurrence.failure is not None
+        # 3 untraced failures + 1 traced one
+        assert site.occurrences_so_far == 4
+
+    def test_zero_means_always_on(self, abort_module):
+        site = ProductionSite(failing_factory, trace_after=0)
+        site.run_once(abort_module)
+        assert site.occurrences_so_far == 1
+
+    def test_reconstruction_with_deferred_tracing(self, abort_module):
+        er = ExecutionReconstructor(abort_module)
+        report = er.reconstruct(
+            ProductionSite(failing_factory, trace_after=2))
+        assert report.success

@@ -1,0 +1,155 @@
+"""Key data value selection: costs, min-cost determining sets, the
+paper's running-example outcome."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.selection import (PTW_HEADER_BYTES, RecordingItem,
+                                  select_key_values)
+from repro.ir.module import ProgramPoint
+from repro.solver import terms as T
+from repro.symex.result import StallInfo
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    T.clear_term_cache()
+    yield
+
+
+def _pt(func, block, index):
+    return ProgramPoint(func, block, index)
+
+
+def _tag(term, func, block, index, reg, size):
+    term.prov = (_pt(func, block, index), reg, size)
+    return term
+
+
+class TestRecordingItemCost:
+    def test_cost_counts_packet_framing(self):
+        item = RecordingItem(_pt("f", "b", 0), "%x", 4)
+        counts = Counter({_pt("f", "b", 0): 3})
+        assert item.cost(counts) == (4 + PTW_HEADER_BYTES) * 3
+
+    def test_unexecuted_point_costs_one_packet(self):
+        item = RecordingItem(_pt("f", "b", 0), "%x", 4)
+        assert item.cost(Counter()) == 4 + PTW_HEADER_BYTES
+
+
+class TestPaperExample:
+    """§3.3.2: bottleneck {x, λc, V[x]} minimizes to record {x, λc}."""
+
+    def _stall(self):
+        V = T.array("V", bytes(1024))
+        lam_a = _tag(T.var("a"), "main", "entry", 0, "%ina", 4)
+        lam_b = _tag(T.var("b"), "main", "entry", 1, "%inb", 4)
+        lam_c = _tag(T.var("c"), "main", "entry", 2, "%inc", 4)
+        x = _tag(T.binop("add", lam_a, lam_b, 32), "foo", "entry", 0,
+                 "%x", 4)
+        w2 = T.store(V, x, T.const(1, 8))
+        w3 = T.store(w2, lam_c, T.const(512))
+        vx = _tag(T.read(w3, x), "foo", "after", 0, "%vx", 4)
+        w4 = T.store(w3, vx, x)
+        counts = Counter({p: 1 for p in [
+            _pt("main", "entry", 0), _pt("main", "entry", 1),
+            _pt("main", "entry", 2), _pt("foo", "entry", 0),
+            _pt("foo", "after", 0)]})
+        return StallInfo(constraints=[], stall_terms=[], chains=[w4],
+                         exec_counts=counts)
+
+    def test_recording_set_is_x_and_c(self):
+        plan = select_key_values(self._stall())
+        registers = {item.register for item in plan.items}
+        assert registers == {"%x", "%inc"}
+
+    def test_vx_not_recorded(self):
+        plan = select_key_values(self._stall())
+        assert "%vx" not in {item.register for item in plan.items}
+
+    def test_bottleneck_has_three_members(self):
+        plan = select_key_values(self._stall())
+        assert len(plan.bottleneck) == 3
+
+
+class TestMinimization:
+    def test_cheap_children_replace_expensive_parent(self):
+        # parent executed 100x; children once each
+        a = _tag(T.var("a"), "f", "b", 0, "%a", 1)
+        b_ = _tag(T.var("b"), "f", "b", 1, "%b", 1)
+        parent = _tag(T.binop("add", a, b_, 8), "f", "hot", 0, "%p", 8)
+        arr = T.array("A", bytes(64))
+        chain = T.store(arr, parent, T.const(1, 8))
+        counts = Counter({_pt("f", "hot", 0): 100,
+                          _pt("f", "b", 0): 1, _pt("f", "b", 1): 1})
+        stall = StallInfo(constraints=[], stall_terms=[], chains=[chain],
+                          exec_counts=counts)
+        plan = select_key_values(stall)
+        assert {i.register for i in plan.items} == {"%a", "%b"}
+
+    def test_expensive_children_keep_parent(self):
+        a = _tag(T.var("a"), "f", "hot", 0, "%a", 8)
+        b_ = _tag(T.var("b"), "f", "hot", 1, "%b", 8)
+        parent = _tag(T.binop("add", a, b_, 8), "f", "cold", 0, "%p", 1)
+        arr = T.array("A", bytes(64))
+        chain = T.store(arr, parent, T.const(1, 8))
+        counts = Counter({_pt("f", "cold", 0): 1,
+                          _pt("f", "hot", 0): 50, _pt("f", "hot", 1): 50})
+        stall = StallInfo(constraints=[], stall_terms=[], chains=[chain],
+                          exec_counts=counts)
+        plan = select_key_values(stall)
+        assert {i.register for i in plan.items} == {"%p"}
+
+    def test_unrecordable_term_skipped(self):
+        free = T.var("nowhere")  # no provenance anywhere
+        arr = T.array("A", bytes(8))
+        chain = T.store(arr, free, T.const(1, 8))
+        stall = StallInfo(constraints=[], stall_terms=[], chains=[chain],
+                          exec_counts=Counter())
+        plan = select_key_values(stall)
+        assert plan.items == []
+
+
+class TestExclusions:
+    def test_already_recorded_forces_deeper(self):
+        a = _tag(T.var("a"), "f", "b", 0, "%a", 8)
+        parent = _tag(T.binop("add", a, T.const(1), 8), "f", "b", 1,
+                      "%p", 1)
+        arr = T.array("A", bytes(8))
+        chain = T.store(arr, parent, T.const(1, 8))
+        stall = StallInfo(constraints=[], stall_terms=[], chains=[chain],
+                          exec_counts=Counter())
+        first = select_key_values(stall)
+        assert {i.register for i in first.items} == {"%p"}
+        second = select_key_values(stall, frozenset({("f", "%p")}))
+        assert {i.register for i in second.items} == {"%a"}
+
+    def test_everything_excluded_yields_empty(self):
+        a = _tag(T.var("a"), "f", "b", 0, "%a", 1)
+        arr = T.array("A", bytes(8))
+        chain = T.store(arr, a, T.const(1, 8))
+        stall = StallInfo(constraints=[], stall_terms=[], chains=[chain],
+                          exec_counts=Counter())
+        plan = select_key_values(stall, frozenset({("f", "%a")}))
+        assert plan.items == []
+
+
+class TestFallbacks:
+    def test_no_chains_uses_stall_terms(self):
+        x = _tag(T.binop("mul", T.var("a"), T.const(3), 8), "f", "b", 0,
+                 "%x", 4)
+        x.args[0].prov = (_pt("f", "in", 0), "%ina", 1)
+        stall = StallInfo(constraints=[], stall_terms=[x], chains=[],
+                          exec_counts=Counter())
+        plan = select_key_values(stall)
+        assert plan.items  # found something to record
+
+    def test_no_chains_no_stall_terms_uses_constraints(self):
+        a = _tag(T.var("a"), "f", "in", 0, "%a", 1)
+        constraint = T.cmp("eq", T.binop("mul", a, T.const(3), 8),
+                           T.const(5), 8)
+        stall = StallInfo(constraints=[constraint], stall_terms=[],
+                          chains=[], exec_counts=Counter())
+        plan = select_key_values(stall)
+        assert {i.register for i in plan.items} == {"%a"}

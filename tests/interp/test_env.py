@@ -1,0 +1,74 @@
+"""Environment streams, clock, event accounting."""
+
+from repro.interp.env import CLOCK_STREAM, IO_CHUNK, Environment
+
+
+class TestStreams:
+    def test_sequential_reads(self):
+        env = Environment({"s": b"abcd"})
+        assert env.read("s", 2) == b"ab"
+        assert env.read("s", 2) == b"cd"
+
+    def test_dry_stream_yields_zeros(self):
+        env = Environment({"s": b"a"})
+        assert env.read("s", 4) == b"a\x00\x00\x00"
+        assert env.read("s", 2) == b"\x00\x00"
+
+    def test_unknown_stream_is_empty(self):
+        env = Environment({})
+        assert env.read("nope", 3) == b"\x00\x00\x00"
+
+    def test_bytes_consumed(self):
+        env = Environment({"s": b"abcdef"})
+        env.read("s", 4)
+        assert env.bytes_consumed("s") == 4
+
+    def test_clone_resets_cursors(self):
+        env = Environment({"s": b"ab"})
+        env.read("s", 2)
+        clone = env.clone()
+        assert clone.read("s", 1) == b"a"
+
+    def test_clone_preserves_quantum(self):
+        env = Environment({}, quantum=7)
+        assert env.clone().quantum == 7
+
+
+class TestClock:
+    def test_clock_monotonic(self):
+        env = Environment({}, clock_start=100, clock_step=5)
+        first = int.from_bytes(env.read(CLOCK_STREAM, 8), "little")
+        second = int.from_bytes(env.read(CLOCK_STREAM, 8), "little")
+        assert second == first + 5
+
+    def test_clock_truncates_to_size(self):
+        env = Environment({}, clock_start=0x1FF, clock_step=1)
+        assert env.read(CLOCK_STREAM, 1) == b"\xff"
+
+
+class TestEvents:
+    def test_events_recorded_in_order(self):
+        env = Environment({"a": b"xy", "b": b"z"})
+        env.read("a", 1)
+        env.read("b", 1)
+        env.read("a", 1)
+        assert [e.stream for e in env.events] == ["a", "b", "a"]
+
+    def test_event_count(self):
+        env = Environment({"a": b"xyz"})
+        for _ in range(3):
+            env.read("a", 1)
+        assert env.event_count() == 3
+
+    def test_syscall_estimate_buffers_stream_io(self):
+        env = Environment({"a": bytes(IO_CHUNK * 2)})
+        for _ in range(IO_CHUNK * 2):
+            env.read("a", 1)
+        # 2 chunks of buffered reads + spawn/exit
+        assert env.syscall_estimate() == 2 + 2
+
+    def test_syscall_estimate_counts_clock_individually(self):
+        env = Environment({})
+        for _ in range(5):
+            env.read(CLOCK_STREAM, 8)
+        assert env.syscall_estimate() == 5 + 2

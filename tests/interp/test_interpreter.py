@@ -1,0 +1,280 @@
+"""The concrete interpreter: semantics, control flow, failures, threads."""
+
+import pytest
+
+from repro.errors import InterpError
+from repro.interp.env import Environment
+from repro.interp.failures import FailureKind
+from repro.interp.interpreter import Interpreter
+from repro.ir.builder import ModuleBuilder
+
+
+def run_main(build_body, data=b"", quantum=50, **kwargs):
+    """Build main with ``build_body(f)`` and run it."""
+    b = ModuleBuilder("t")
+    f = b.function("main", [])
+    f.block("entry")
+    build_body(f, b)
+    module = b.build()
+    env = Environment({"stdin": data}, quantum=quantum)
+    return Interpreter(module, env, **kwargs).run()
+
+
+class TestArithmetic:
+    def test_const_and_output(self):
+        def body(f, b):
+            x = f.const(0x1234)
+            f.output("stdout", x, 2)
+            f.ret(0)
+        res = run_main(body)
+        assert res.outputs["stdout"] == b"\x34\x12"
+
+    def test_width_masked_add(self):
+        def body(f, b):
+            x = f.add(250, 10, width=8)
+            f.output("stdout", x, 1)
+            f.ret(0)
+        assert run_main(body).outputs["stdout"] == bytes([4])
+
+    def test_select(self):
+        def body(f, b):
+            c = f.cmp("ult", 3, 5)
+            x = f.select(c, 10, 20)
+            f.output("stdout", x, 1)
+            f.ret(0)
+        assert run_main(body).outputs["stdout"] == bytes([10])
+
+    def test_trunc_and_sext(self):
+        def body(f, b):
+            x = f.const(0xFF80)
+            t = f.trunc(x, width=8)       # 0x80
+            s = f.sext(t, from_width=8)   # sign-extended
+            f.output("stdout", s, 8)
+            f.ret(0)
+        out = int.from_bytes(run_main(body).outputs["stdout"], "little")
+        assert out == 0xFFFFFFFFFFFFFF80
+
+    def test_division_by_zero_fails(self):
+        def body(f, b):
+            zero = f.input("stdin", 1)
+            x = f.udiv(10, zero)
+            f.ret(x)
+        res = run_main(body, data=b"\x00")
+        assert res.failure.kind == FailureKind.DIV_BY_ZERO
+
+
+class TestControlFlow:
+    def test_loop_counts(self):
+        def body(f, b):
+            f.const(0, dest="%i")
+            f.jmp("loop")
+            f.block("loop")
+            done = f.cmp("uge", "%i", 5)
+            f.br(done, "out", "again")
+            f.block("again")
+            f.add("%i", 1, dest="%i")
+            f.jmp("loop")
+            f.block("out")
+            f.output("stdout", "%i", 1)
+            f.ret(0)
+        res = run_main(body)
+        assert res.outputs["stdout"] == bytes([5])
+        assert res.branch_count == 6
+
+    def test_call_and_return(self, call_module):
+        env = Environment({"stdin": bytes([21])})
+        res = Interpreter(call_module, env).run()
+        assert res.return_value == 42
+
+    def test_recursion_depth_limit(self):
+        b = ModuleBuilder("rec")
+        f = b.function("f", [])
+        f.block("entry")
+        f.call("f", [])
+        f.ret(0)
+        m = b.function("main", [])
+        m.block("entry")
+        m.call("f", [])
+        m.ret(0)
+        env = Environment({})
+        res = Interpreter(b.build(), env, stack_limit=64).run()
+        assert res.failure.kind == FailureKind.STACK_OVERFLOW
+
+    def test_max_steps_raises_without_flag(self):
+        def body(f, b):
+            f.jmp("spin")
+            f.block("spin")
+            f.jmp("spin")
+        with pytest.raises(InterpError):
+            run_main(body, max_steps=100)
+
+    def test_max_steps_hang_as_failure(self):
+        def body(f, b):
+            f.jmp("spin")
+            f.block("spin")
+            f.jmp("spin")
+        res = run_main(body, max_steps=100, hang_as_failure=True)
+        assert res.failure.kind == FailureKind.HANG
+
+
+class TestFailures:
+    def test_abort(self, abort_module):
+        res = Interpreter(abort_module,
+                          Environment({"stdin": b"\xff"})).run()
+        assert res.failure.kind == FailureKind.ABORT
+        assert res.failure.call_stack == ("main",)
+
+    def test_no_failure_on_good_input(self, abort_module):
+        res = Interpreter(abort_module,
+                          Environment({"stdin": b"\x05"})).run()
+        assert res.failure is None
+
+    def test_assert_failure_message(self):
+        def body(f, b):
+            f.assert_(0, "invariant broken")
+            f.ret(0)
+        res = run_main(body)
+        assert res.failure.kind == FailureKind.ASSERT
+        assert "invariant broken" in res.failure.message
+
+    def test_failure_point_is_failing_instruction(self, abort_module):
+        res = Interpreter(abort_module,
+                          Environment({"stdin": b"\xff"})).run()
+        assert res.failure.point.block == "boom"
+
+    def test_failing_instruction_not_counted(self):
+        def body(f, b):
+            f.abort("now")
+        res = run_main(body)
+        assert res.instr_count == 0
+
+    def test_matches_is_instance_invariant(self, abort_module):
+        r1 = Interpreter(abort_module, Environment({"stdin": b"\xff"})).run()
+        r2 = Interpreter(abort_module, Environment({"stdin": b"\xcc"})).run()
+        assert r1.failure.matches(r2.failure)
+
+
+class TestMemoryOps:
+    def test_global_store_load(self):
+        b = ModuleBuilder("g")
+        b.global_("G", 16)
+        f = b.function("main", [])
+        f.block("entry")
+        g = f.global_addr("G")
+        f.store(g, 0xAB, 1)
+        v = f.load(g, 1)
+        f.output("stdout", v, 1)
+        f.ret(0)
+        res = Interpreter(b.build(), Environment({})).run()
+        assert res.outputs["stdout"] == b"\xab"
+
+    def test_alloca_freed_on_return(self):
+        b = ModuleBuilder("a")
+        b.global_("leak", 8)
+        f = b.function("callee", [])
+        f.block("entry")
+        p = f.alloca("buf", 8)
+        g = f.global_addr("leak")
+        f.store(g, p, 8)
+        f.ret(0)
+        m = b.function("main", [])
+        m.block("entry")
+        m.call("callee", [])
+        g = m.global_addr("leak")
+        p = m.load(g, 8)
+        m.load(p, 1)  # dangling stack pointer
+        m.ret(0)
+        res = Interpreter(b.build(), Environment({})).run()
+        assert res.failure.kind == FailureKind.USE_AFTER_FREE
+
+    def test_malloc_free_cycle(self):
+        def body(f, b):
+            p = f.malloc(16)
+            f.store(p, 7, 1)
+            f.free(p)
+            f.ret(0)
+        assert run_main(body).failure is None
+
+    def test_gep_scaling(self):
+        b = ModuleBuilder("g")
+        b.global_("G", 32)
+        f = b.function("main", [])
+        f.block("entry")
+        g = f.global_addr("G")
+        p = f.gep(g, 3, 4)
+        f.store(p, 0x11, 1)
+        q = f.gep(g, 12, 1)
+        v = f.load(q, 1)
+        f.output("stdout", v, 1)
+        f.ret(0)
+        res = Interpreter(b.build(), Environment({})).run()
+        assert res.outputs["stdout"] == b"\x11"
+
+
+class TestThreads:
+    def test_spawn_join_and_shared_counter(self, spawn_module):
+        res = Interpreter(spawn_module,
+                          Environment({}, quantum=1000)).run()
+        # coarse quantum: no interleaving, both increments land
+        assert res.outputs["stdout"] == (20).to_bytes(8, "little")
+        assert res.thread_count == 3
+
+    def test_lost_update_with_fine_quantum(self, spawn_module):
+        res = Interpreter(spawn_module, Environment({}, quantum=3)).run()
+        total = int.from_bytes(res.outputs["stdout"], "little")
+        assert total < 20  # the race loses updates
+
+    def test_deterministic_given_quantum(self, spawn_module):
+        runs = [Interpreter(spawn_module,
+                            Environment({}, quantum=7)).run().outputs
+                for _ in range(2)]
+        assert runs[0] == runs[1]
+
+    def test_deadlock_detected(self):
+        b = ModuleBuilder("dl")
+        f = b.function("other", [])
+        f.block("entry")
+        f.lock(1)
+        f.ret(0)
+        m = b.function("main", [])
+        m.block("entry")
+        m.lock(1)
+        t = m.spawn("other", [], dest="%t")
+        m.join("%t")  # waits for a thread stuck on our mutex
+        m.ret(0)
+        res = Interpreter(b.build(), Environment({})).run()
+        assert res.failure.kind == FailureKind.HANG
+
+    def test_mutex_provides_mutual_exclusion(self):
+        b = ModuleBuilder("mx")
+        b.global_("counter", 8)
+        f = b.function("worker", [])
+        f.block("entry")
+        g = f.global_addr("counter", dest="%g")
+        f.const(0, dest="%i")
+        f.jmp("loop")
+        f.block("loop")
+        done = f.cmp("uge", "%i", 10)
+        f.br(done, "out", "body")
+        f.block("body")
+        f.lock(1)
+        v = f.load("%g", 8, dest="%v")
+        f.add("%v", 1, dest="%v")
+        f.store("%g", "%v", 8)
+        f.unlock(1)
+        f.add("%i", 1, dest="%i")
+        f.jmp("loop")
+        f.block("out")
+        f.ret(0)
+        m = b.function("main", [])
+        m.block("entry")
+        t0 = m.spawn("worker", [], dest="%t0")
+        t1 = m.spawn("worker", [], dest="%t1")
+        m.join("%t0")
+        m.join("%t1")
+        g = m.global_addr("counter", dest="%g")
+        v = m.load("%g", 8, dest="%v")
+        m.output("stdout", "%v", 8)
+        m.ret(0)
+        res = Interpreter(b.build(), Environment({}, quantum=3)).run()
+        assert int.from_bytes(res.outputs["stdout"], "little") == 20

@@ -1,0 +1,119 @@
+"""Scheduler and trace-attribution details of the interpreter."""
+
+import pytest
+
+from repro.interp.env import Environment
+from repro.interp.interpreter import Interpreter
+from repro.ir.builder import ModuleBuilder
+from repro.trace.decoder import decode
+from repro.trace.encoder import PTEncoder
+from repro.trace.ringbuffer import RingBuffer
+
+
+def two_printers(loops=5):
+    """Two threads each emit their tid a few times."""
+    b = ModuleBuilder("printers")
+    for wid in (1, 2):
+        f = b.function(f"worker{wid}", [])
+        f.block("entry")
+        f.const(0, dest="%i")
+        f.jmp("loop")
+        f.block("loop")
+        done = f.cmp("uge", "%i", loops)
+        f.br(done, "out", "body")
+        f.block("body")
+        f.output("log", wid, 1)
+        f.add("%i", 1, dest="%i")
+        f.jmp("loop")
+        f.block("out")
+        f.ret(0)
+    m = b.function("main", [])
+    m.block("entry")
+    t1 = m.spawn("worker1", [], dest="%t1")
+    t2 = m.spawn("worker2", [], dest="%t2")
+    m.join("%t1")
+    m.join("%t2")
+    m.ret(0)
+    return b.build()
+
+
+class TestScheduling:
+    def test_fine_quantum_interleaves_output(self):
+        module = two_printers()
+        run = Interpreter(module, Environment({}, quantum=4)).run()
+        log = run.outputs["log"]
+        assert set(log) == {1, 2}
+        # with a 4-instruction quantum neither thread finishes first
+        first_half = log[: len(log) // 2]
+        assert {1, 2} <= set(first_half)
+
+    def test_coarse_quantum_serializes(self):
+        module = two_printers()
+        run = Interpreter(module, Environment({}, quantum=10_000)).run()
+        log = run.outputs["log"]
+        # each worker's output is contiguous
+        assert bytes(sorted(log)) == log or \
+            log == bytes([1] * 5 + [2] * 5) or log == bytes([2] * 5 + [1] * 5)
+
+    def test_chunk_tids_match_schedule(self):
+        module = two_printers()
+        encoder = PTEncoder(RingBuffer())
+        run = Interpreter(module, Environment({}, quantum=4),
+                          tracer=encoder).run()
+        trace = decode(encoder.buffer)
+        assert set(trace.tids()) == {0, 1, 2}
+        assert trace.instr_count == run.instr_count
+
+    def test_chunk_timestamps_nondecreasing(self):
+        module = two_printers()
+        encoder = PTEncoder(RingBuffer())
+        Interpreter(module, Environment({}, quantum=4),
+                    tracer=encoder).run()
+        trace = decode(encoder.buffer)
+        timestamps = [c.timestamp for c in trace.chunks]
+        assert timestamps == sorted(timestamps)
+
+    def test_spawn_returns_tids_in_order(self):
+        module = two_printers()
+        interp = Interpreter(module, Environment({}, quantum=50))
+        interp.run()
+        assert [t.tid for t in interp.threads] == [0, 1, 2]
+
+    def test_join_on_finished_thread_is_instant(self):
+        b = ModuleBuilder("j")
+        f = b.function("quick", [])
+        f.block("entry")
+        f.ret(0)
+        m = b.function("main", [])
+        m.block("entry")
+        t = m.spawn("quick", [], dest="%t")
+        # let it finish: coarse quantum means it runs to completion when
+        # scheduled, before main's join retries
+        m.join("%t")
+        m.ret(0)
+        run = Interpreter(b.build(), Environment({}, quantum=100)).run()
+        assert run.failure is None
+
+
+class TestReportRendering:
+    def test_summary_lists_all_iterations(self, table_module):
+        from repro.core import ExecutionReconstructor, ProductionSite
+
+        er = ExecutionReconstructor(table_module, work_limit=30)
+        report = er.reconstruct(ProductionSite(
+            lambda occ: Environment({"stdin": bytes([9, 9])})))
+        text = report.summary()
+        for iteration in report.iterations:
+            assert f"occurrence {iteration.occurrence}" in text
+        assert "verified by replay: True" in text
+
+    def test_totals_aggregate(self, table_module):
+        from repro.core import ExecutionReconstructor, ProductionSite
+
+        er = ExecutionReconstructor(table_module, work_limit=30)
+        report = er.reconstruct(ProductionSite(
+            lambda occ: Environment({"stdin": bytes([9, 9])})))
+        assert report.total_symex_wall_seconds >= 0
+        assert report.total_symex_modelled_seconds >= 0
+        if report.occurrences > 1:
+            assert report.total_recorded_bytes > 0

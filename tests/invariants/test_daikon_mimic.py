@@ -1,0 +1,177 @@
+"""Daikon-lite invariant inference and MIMIC localization."""
+
+import pytest
+
+from repro.interp.env import Environment
+from repro.invariants.daikon import (Invariant, InvariantMiner, Sample,
+                                     SampleCollector, check_invariants)
+from repro.invariants.mimic import MimicLocalizer
+from repro.ir.builder import ModuleBuilder
+from repro.workloads.coreutils import (build_od, build_pr, od_env,
+                                       od_failing_env, od_passing_envs,
+                                       pr_failing_env, pr_passing_envs)
+
+
+class TestInvariantTemplates:
+    def test_const_invariant(self):
+        inv = Invariant("f", "const", ("%x",), (5,))
+        assert inv.holds({"%x": 5}) is True
+        assert inv.holds({"%x": 6}) is False
+        assert inv.holds({}) is None
+
+    def test_range_invariant(self):
+        inv = Invariant("f", "range", ("%x",), (1, 8))
+        assert inv.holds({"%x": 8}) is True
+        assert inv.holds({"%x": 0}) is False
+
+    def test_signed_interpretation(self):
+        inv = Invariant("f", "range", ("%x",), (-5, 5))
+        assert inv.holds({"%x": (1 << 64) - 1}) is True  # -1 signed
+
+    def test_binary_invariants(self):
+        le = Invariant("f", "le", ("%a", "%b"))
+        assert le.holds({"%a": 2, "%b": 3}) is True
+        diff = Invariant("f", "diff", ("%a", "%b"), (4,))
+        assert diff.holds({"%a": 7, "%b": 3}) is True
+        assert diff.holds({"%a": 8, "%b": 3}) is False
+
+    def test_describe_readable(self):
+        inv = Invariant("layout", "nonzero", ("%cols",))
+        assert "layout" in inv.describe() and "%cols" in inv.describe()
+
+
+class TestMiner:
+    def test_constant_detected(self):
+        miner = InvariantMiner()
+        miner.add_samples([Sample("f", {"%x": 3}), Sample("f", {"%x": 3})])
+        invs = miner.invariants()
+        assert any(i.kind == "const" and i.params == (3,) for i in invs)
+
+    def test_range_detected(self):
+        miner = InvariantMiner()
+        for v in (2, 5, 9):
+            miner.add_samples([Sample("f", {"%x": v})])
+        invs = miner.invariants()
+        rng = next(i for i in invs if i.kind == "range")
+        assert rng.params == (2, 9)
+
+    def test_nonzero_requires_all_nonzero(self):
+        miner = InvariantMiner()
+        miner.add_samples([Sample("f", {"%x": 1}), Sample("f", {"%x": 0})])
+        assert not any(i.kind == "nonzero" for i in miner.invariants())
+
+    def test_pairwise_eq(self):
+        miner = InvariantMiner()
+        miner.add_samples([Sample("f", {"%a": 4, "%b": 4}),
+                           Sample("f", {"%a": 9, "%b": 9})])
+        assert any(i.kind == "eq" for i in miner.invariants())
+
+    def test_min_samples_threshold(self):
+        miner = InvariantMiner()
+        miner.add_samples([Sample("f", {"%x": 3})])
+        assert miner.invariants(min_samples=2) == []
+
+    def test_check_invariants_orders_by_execution(self):
+        invs = [Invariant("f", "const", ("%x",), (1,))]
+        samples = [Sample("f", {"%x": 1}), Sample("f", {"%x": 2}),
+                   Sample("f", {"%x": 3})]
+        violations = check_invariants(invs, samples)
+        assert [s.values["%x"] for _, s in violations] == [2, 3]
+
+
+class TestSampleCollector:
+    def test_collects_entries_and_returns(self, call_module):
+        collector = SampleCollector(call_module)
+        collector.run(Environment({"stdin": bytes([5])}))
+        funcs = {s.func for s in collector.samples}
+        assert "double" in funcs and "double:exit" in funcs
+        exit_sample = next(s for s in collector.samples
+                           if s.func == "double:exit")
+        assert exit_sample.values["return"] == 10
+
+
+class TestMimic:
+    def test_learn_rejects_failing_training_run(self):
+        module = build_od()
+        localizer = MimicLocalizer(module)
+        with pytest.raises(ValueError):
+            localizer.learn([od_failing_env()])
+
+    def test_od_localizes_width_bug(self):
+        module = build_od()
+        localizer = MimicLocalizer(module)
+        localizer.learn(od_passing_envs())
+        loc = localizer.localize(od_failing_env())
+        assert loc.failure is not None
+        assert "format_line" in loc.candidate_functions()
+        assert any("width" in v or "return" in v
+                   for v in loc.violated_invariants())
+
+    def test_pr_localizes_layout_bug(self):
+        module = build_pr()
+        localizer = MimicLocalizer(module)
+        localizer.learn(pr_passing_envs())
+        loc = localizer.localize(pr_failing_env())
+        assert loc.candidate_functions()[0] == "layout"
+
+    def test_passing_input_has_no_violations(self):
+        module = build_od()
+        localizer = MimicLocalizer(module)
+        localizer.learn(od_passing_envs())
+        loc = localizer.localize(od_env(4, seed=77))
+        assert loc.failure is None
+        # width 4 was in the training set: no violation expected
+        assert not any("width" in v for v in loc.violated_invariants())
+
+    def test_localize_before_learn_raises(self):
+        localizer = MimicLocalizer(build_od())
+        with pytest.raises(ValueError):
+            localizer.localize(od_failing_env())
+
+
+class TestExtendedTemplates:
+    def test_oneof_detected(self):
+        miner = InvariantMiner()
+        for v in (1, 2, 4, 2, 1):
+            miner.add_samples([Sample("f", {"%x": v})])
+        invs = miner.invariants()
+        oneof = next(i for i in invs if i.kind == "oneof")
+        assert oneof.params == (1, 2, 4)
+        assert oneof.holds({"%x": 4}) is True
+        assert oneof.holds({"%x": 3}) is False
+
+    def test_oneof_suppressed_for_many_values(self):
+        miner = InvariantMiner()
+        for v in range(10):
+            miner.add_samples([Sample("f", {"%x": v * 3})])
+        assert not any(i.kind == "oneof" for i in miner.invariants())
+
+    def test_modulus_detected(self):
+        miner = InvariantMiner()
+        for v in (4, 8, 16, 12):
+            miner.add_samples([Sample("f", {"%x": v})])
+        invs = miner.invariants()
+        mod = next(i for i in invs if i.kind == "mod")
+        assert mod.params == (4, 0)
+        assert mod.holds({"%x": 20}) is True
+        assert mod.holds({"%x": 21}) is False
+
+    def test_modulus_refined_by_gcd(self):
+        miner = InvariantMiner()
+        for v in (4, 8, 6):
+            miner.add_samples([Sample("f", {"%x": v})])
+        invs = miner.invariants()
+        mod = next(i for i in invs if i.kind == "mod")
+        assert mod.params == (2, 0)
+
+    def test_no_modulus_for_consecutive(self):
+        miner = InvariantMiner()
+        for v in (5, 6, 7):
+            miner.add_samples([Sample("f", {"%x": v})])
+        assert not any(i.kind == "mod" for i in miner.invariants())
+
+    def test_describe_new_kinds(self):
+        assert "in {1, 2}" in Invariant("f", "oneof", ("%x",),
+                                        (1, 2)).describe()
+        assert "% 4 == 1" in Invariant("f", "mod", ("%x",),
+                                       (4, 1)).describe()

@@ -1,0 +1,129 @@
+"""Module structure, program points, and the builder API."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import instructions as ins
+from repro.ir.builder import ModuleBuilder
+from repro.ir.module import Function, Module, ProgramPoint
+
+
+class TestProgramPoint:
+    def test_ordering_and_equality(self):
+        a = ProgramPoint("f", "entry", 0)
+        b = ProgramPoint("f", "entry", 1)
+        assert a < b
+        assert a == ProgramPoint("f", "entry", 0)
+
+    def test_str(self):
+        assert str(ProgramPoint("f", "b", 3)) == "f:b:3"
+
+    def test_usable_as_dict_key(self):
+        counts = {ProgramPoint("f", "b", 0): 2}
+        assert counts[ProgramPoint("f", "b", 0)] == 2
+
+
+class TestModule:
+    def test_duplicate_global_rejected(self):
+        m = Module()
+        m.add_global("g", 8)
+        with pytest.raises(IRError):
+            m.add_global("g", 8)
+
+    def test_duplicate_function_rejected(self):
+        m = Module()
+        m.add_function(Function("f"))
+        with pytest.raises(IRError):
+            m.add_function(Function("f"))
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(IRError):
+            Module().function("nope")
+
+    def test_global_initial_bytes_zero_fill(self):
+        m = Module()
+        g = m.add_global("g", 8, b"\x01\x02")
+        assert g.initial_bytes() == bytearray(b"\x01\x02" + b"\x00" * 6)
+
+    def test_init_truncated_to_size(self):
+        m = Module()
+        g = m.add_global("g", 2, b"\x01\x02\x03")
+        assert g.initial_bytes() == bytearray(b"\x01\x02")
+
+    def test_points_enumerates_in_order(self, abort_module):
+        points = [p for p, _ in abort_module.points()]
+        assert points == sorted(points, key=lambda p: (p.func == "main",))\
+            or len(points) == abort_module.instruction_count()
+
+    def test_instr_at_roundtrip(self, abort_module):
+        for point, instr in abort_module.points():
+            assert abort_module.instr_at(point) is instr
+
+    def test_clone_is_deep(self, abort_module):
+        clone = abort_module.clone()
+        clone.function("main").block("entry").instrs.append(ins.Nop())
+        assert (clone.instruction_count()
+                == abort_module.instruction_count() + 1)
+
+
+class TestBuilder:
+    def test_registers_get_percent_prefix(self):
+        b = ModuleBuilder()
+        f = b.function("main", ["x"])
+        assert f.func.params == ["%x"]
+
+    def test_fresh_names_unique(self):
+        b = ModuleBuilder()
+        f = b.function("main", [])
+        assert f.fresh() != f.fresh()
+
+    def test_emit_requires_block(self):
+        b = ModuleBuilder()
+        f = b.function("main", [])
+        with pytest.raises(IRError):
+            f.const(1)
+
+    def test_no_emission_after_terminator(self):
+        b = ModuleBuilder()
+        f = b.function("main", [])
+        f.block("entry")
+        f.ret(0)
+        with pytest.raises(IRError):
+            f.const(1)
+
+    def test_at_switches_back_to_block(self):
+        b = ModuleBuilder()
+        f = b.function("main", [])
+        f.block("one")
+        f.jmp("two")
+        f.block("two")
+        f.ret(0)
+        with pytest.raises(IRError):
+            f.at("one").nop()  # already terminated
+
+    def test_build_verifies(self):
+        b = ModuleBuilder()
+        f = b.function("main", [])
+        f.block("entry")
+        f.jmp("nowhere")
+        with pytest.raises(IRError):
+            b.build()
+
+    def test_string_global_nul_terminated(self):
+        b = ModuleBuilder()
+        b.string("s", "hi")
+        f = b.function("main", [])
+        f.block("entry")
+        f.ret(0)
+        m = b.build()
+        assert m.globals["s"].init == b"hi\x00"
+
+    def test_operands_accept_ints_and_registers(self):
+        b = ModuleBuilder()
+        f = b.function("main", [])
+        f.block("entry")
+        x = f.add(1, 2)
+        y = f.add(x, "x" if False else x)
+        f.ret(y)
+        m = b.build()
+        assert m.instruction_count() == 3

@@ -1,0 +1,104 @@
+"""Shared arithmetic semantics (the interp/symex/solver contract)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.ops import apply_binop, apply_cmp
+from repro.ir.types import mask, to_signed
+
+values = st.integers(min_value=0, max_value=(1 << 64) - 1)
+widths = st.sampled_from((8, 16, 32, 64))
+
+
+class TestBinop:
+    def test_add_wraps(self):
+        assert apply_binop("add", 0xFF, 1, 8) == 0
+
+    def test_sub_wraps(self):
+        assert apply_binop("sub", 0, 1, 8) == 0xFF
+
+    def test_mul_masks(self):
+        assert apply_binop("mul", 16, 16, 8) == 0
+
+    def test_udiv(self):
+        assert apply_binop("udiv", 7, 2, 8) == 3
+
+    def test_sdiv_truncates_toward_zero(self):
+        minus7 = mask(-7, 8)
+        assert to_signed(apply_binop("sdiv", minus7, 2, 8), 8) == -3
+
+    def test_srem_sign_follows_dividend(self):
+        minus7 = mask(-7, 8)
+        assert to_signed(apply_binop("srem", minus7, 2, 8), 8) == -1
+
+    def test_shift_count_masked_by_width(self):
+        # x86-style: shl by width is shl by 0
+        assert apply_binop("shl", 1, 8, 8) == 1
+        assert apply_binop("shl", 1, 9, 8) == 2
+
+    def test_ashr_replicates_sign(self):
+        assert apply_binop("ashr", 0x80, 1, 8) == 0xC0
+
+    def test_lshr_zero_fills(self):
+        assert apply_binop("lshr", 0x80, 1, 8) == 0x40
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError):
+            apply_binop("frob", 1, 2, 8)
+
+    @given(values, values, widths)
+    def test_results_fit_width(self, a, b, w):
+        for op in ("add", "sub", "mul", "and", "or", "xor", "shl",
+                   "lshr", "ashr"):
+            assert 0 <= apply_binop(op, a, b, w) < (1 << w)
+
+    @given(values, values, widths)
+    def test_add_commutes(self, a, b, w):
+        assert apply_binop("add", a, b, w) == apply_binop("add", b, a, w)
+
+    @given(values, values, widths)
+    def test_add_matches_python(self, a, b, w):
+        assert apply_binop("add", a, b, w) == (mask(a, w) + mask(b, w)) % (1 << w)
+
+    @given(values, st.integers(min_value=1, max_value=(1 << 64) - 1), widths)
+    def test_udiv_matches_python(self, a, b, w):
+        if mask(b, w) == 0:
+            return
+        assert apply_binop("udiv", a, b, w) == mask(a, w) // mask(b, w)
+
+    @given(values, values, widths)
+    def test_xor_self_inverse(self, a, b, w):
+        once = apply_binop("xor", a, b, w)
+        assert apply_binop("xor", once, b, w) == mask(a, w)
+
+
+class TestCmp:
+    def test_eq(self):
+        assert apply_cmp("eq", 0x100, 0, 8) == 1  # masked equal
+
+    def test_unsigned_vs_signed(self):
+        assert apply_cmp("ult", 1, 0xFF, 8) == 1
+        assert apply_cmp("slt", 1, 0xFF, 8) == 0  # 0xFF is -1 signed
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            apply_cmp("wat", 1, 2, 8)
+
+    @given(values, values, widths)
+    def test_total_order(self, a, b, w):
+        lt = apply_cmp("ult", a, b, w)
+        gt = apply_cmp("ugt", a, b, w)
+        eq = apply_cmp("eq", a, b, w)
+        assert lt + gt + eq == 1
+
+    @given(values, values, widths)
+    def test_negation_pairs(self, a, b, w):
+        for op, neg in (("eq", "ne"), ("ult", "uge"), ("ule", "ugt"),
+                        ("slt", "sge"), ("sle", "sgt")):
+            assert apply_cmp(op, a, b, w) == 1 - apply_cmp(neg, a, b, w)
+
+    @given(values, values, widths)
+    def test_signed_matches_python(self, a, b, w):
+        expected = int(to_signed(a, w) < to_signed(b, w))
+        assert apply_cmp("slt", a, b, w) == expected

@@ -1,0 +1,74 @@
+"""Scalar helpers: masking, signedness, byte codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.types import (MASK64, bytes_le, from_signed, int_le, mask,
+                            sign_extend, to_signed)
+
+WIDTHS = (1, 8, 16, 32, 64)
+
+
+class TestMask:
+    def test_mask_truncates(self):
+        assert mask(0x1FF, 8) == 0xFF
+
+    def test_mask_default_is_64_bits(self):
+        assert mask(1 << 64) == 0
+        assert mask((1 << 64) + 5) == 5
+
+    def test_mask_identity_when_fits(self):
+        assert mask(42, 8) == 42
+
+    @given(st.integers(min_value=-(1 << 70), max_value=1 << 70),
+           st.sampled_from(WIDTHS))
+    def test_mask_range(self, value, width):
+        assert 0 <= mask(value, width) < (1 << width)
+
+
+class TestSigned:
+    def test_to_signed_negative(self):
+        assert to_signed(0xFF, 8) == -1
+        assert to_signed(0x80, 8) == -128
+
+    def test_to_signed_positive(self):
+        assert to_signed(0x7F, 8) == 127
+
+    def test_from_signed_roundtrip(self):
+        assert from_signed(-1, 8) == 0xFF
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_signed_roundtrip_64(self, value):
+        assert to_signed(from_signed(value, 64), 64) == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1),
+           st.sampled_from((8, 16, 32)))
+    def test_to_from_signed_inverse(self, value, width):
+        value = mask(value, width)
+        assert from_signed(to_signed(value, width), width) == value
+
+
+class TestSignExtend:
+    def test_extends_negative(self):
+        assert sign_extend(0xFF, 8, 64) == MASK64
+
+    def test_keeps_positive(self):
+        assert sign_extend(0x7F, 8, 64) == 0x7F
+
+    def test_extend_32_to_64(self):
+        assert sign_extend(0x80000000, 32, 64) == 0xFFFFFFFF80000000
+
+
+class TestByteCodec:
+    def test_bytes_le(self):
+        assert bytes_le(0x0102, 2) == b"\x02\x01"
+
+    def test_int_le(self):
+        assert int_le(b"\x02\x01") == 0x0102
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.sampled_from((1, 2, 4, 8)))
+    def test_roundtrip(self, value, size):
+        value = mask(value, size * 8)
+        assert int_le(bytes_le(value, size)) == value

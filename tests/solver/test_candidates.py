@@ -1,0 +1,94 @@
+"""Candidate derivation: inversion patterns the search relies on."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import UnsatError
+from repro.solver import terms as T
+from repro.solver.solver import Solver
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    T.clear_term_cache()
+    yield
+
+
+def solve_eq(expr, target, width=8):
+    return Solver().solve([T.cmp("eq", expr, T.const(target), width)])
+
+
+class TestMulInversion:
+    def test_odd_factor(self):
+        x = T.var("x#0")
+        m = solve_eq(T.binop("mul", T.const(31), x, 8), 0x5F)
+        assert (31 * m["x#0"]) % 256 == 0x5F
+
+    @given(st.integers(1, 127).map(lambda v: v * 2 + 1),
+           st.integers(0, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_any_odd_factor(self, factor, target):
+        T.clear_term_cache()
+        x = T.var("x#0")
+        m = solve_eq(T.binop("mul", T.const(factor), x, 8), target)
+        assert (factor * m["x#0"]) % 256 == target
+
+    def test_even_factor_unsat_when_odd_target(self):
+        x = T.var("x#0")
+        with pytest.raises(UnsatError):
+            solve_eq(T.binop("mul", T.const(2), x, 8), 0x55)
+
+
+class TestShiftInversion:
+    def test_shl(self):
+        y = T.var("y#0")
+        m = solve_eq(T.binop("shl", y, T.const(3), 8), 0xA8)
+        assert (m["y#0"] << 3) % 256 == 0xA8
+
+    def test_shl_impossible_low_bits(self):
+        y = T.var("y#0")
+        with pytest.raises(UnsatError):
+            solve_eq(T.binop("shl", y, T.const(4), 8), 0x0F)
+
+    def test_lshr(self):
+        y = T.var("y#0")
+        m = solve_eq(T.binop("lshr", y, T.const(2), 8), 0x15)
+        assert m["y#0"] >> 2 == 0x15
+
+
+class TestNestedInversion:
+    def test_add_of_mul(self):
+        x = T.var("x#0")
+        expr = T.binop("add", T.binop("mul", T.const(5), x, 8),
+                       T.const(7), 8)
+        m = solve_eq(expr, 0x2C)
+        assert (5 * m["x#0"] + 7) % 256 == 0x2C
+
+    def test_xor_chain(self):
+        x = T.var("x#0")
+        inner = T.binop("xor", x, T.const(0xAA), 8)
+        outer = T.binop("add", inner, T.const(3), 8)
+        m = solve_eq(outer, 0x40)
+        assert ((m["x#0"] ^ 0xAA) + 3) % 256 == 0x40
+
+    def test_through_concat(self):
+        word = T.concat([T.var("a#0"), T.var("a#1")])
+        expr = T.binop("add", word, T.const(0x100), 16)
+        m = solve_eq(expr, 0x1234, width=16)
+        value = m["a#0"] | (m["a#1"] << 8)
+        assert (value + 0x100) % 65536 == 0x1234
+
+
+class TestSignedComparisons:
+    def test_slt_solvable(self):
+        x = T.var("x#0")
+        # x interpreted signed must be negative
+        m = Solver().solve([T.cmp("slt", x, T.const(0), 8)])
+        assert m["x#0"] >= 0x80
+
+    def test_sge_with_bound(self):
+        x = T.var("x#0")
+        m = Solver().solve([T.cmp("sge", x, T.const(0x70), 8),
+                            T.cmp("slt", x, T.const(0x7F), 8)])
+        assert 0x70 <= m["x#0"] < 0x7F

@@ -1,0 +1,158 @@
+"""Three-valued evaluation: partial knowledge and work charging."""
+
+import pytest
+
+from repro.errors import SolverTimeout
+from repro.solver import terms as T
+from repro.solver.budget import Budget, UnlimitedBudget
+from repro.solver.evaluator import tv_eval
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    T.clear_term_cache()
+    yield
+
+
+def ev(term, env=None, budget=None):
+    return tv_eval(term, env or {}, budget or UnlimitedBudget())
+
+
+class TestBasics:
+    def test_const(self):
+        assert ev(T.const(7)) == 7
+
+    def test_unassigned_var_unknown(self):
+        assert ev(T.var("a")) is None
+
+    def test_assigned_var(self):
+        assert ev(T.var("a"), {"a": 9}) == 9
+
+    def test_binop_known(self):
+        t = T.binop("add", T.var("a"), T.var("b"), 8)
+        assert ev(t, {"a": 200, "b": 100}) == 44
+
+    def test_binop_partial_unknown(self):
+        t = T.binop("add", T.var("a"), T.var("b"))
+        assert ev(t, {"a": 1}) is None
+
+    def test_and_zero_short_circuits(self):
+        t = T.binop("and", T.const(0), T.var("a"))
+        assert ev(t) == 0
+
+    def test_mul_zero_short_circuits(self):
+        t = T.binop("mul", T.var("a"), T.const(0))
+        # folded at construction, but check via non-folded shape
+        t2 = T.binop("mul", T.var("a"), T.var("b"))
+        assert ev(t2, {"b": 0}) == 0
+
+    def test_cmp(self):
+        t = T.cmp("ult", T.var("a"), T.const(5), 8)
+        assert ev(t, {"a": 3}) == 1
+        assert ev(t, {"a": 9}) == 0
+
+    def test_division_by_zero_infeasible(self):
+        t = T.binop("udiv", T.const(4), T.var("a"), 8)
+        assert ev(t, {"a": 0}) is None
+
+    def test_concat_and_extract(self):
+        t = T.concat([T.var("a"), T.var("b")])
+        assert ev(t, {"a": 0x34, "b": 0x12}) == 0x1234
+        assert ev(T.extract(t, 1), {"a": 0x34, "b": 0x12}) == 0x12
+
+    def test_ite_evaluates_only_taken_branch(self):
+        cond = T.cmp("eq", T.var("c"), T.const(1), 8)
+        t = T.ite(cond, T.const(10), T.var("unset"))
+        assert ev(t, {"c": 1}) == 10
+
+
+class TestReads:
+    def _chain(self, n_stores=3):
+        arr = T.array("A", bytes(range(16)))
+        node = arr
+        for i in range(n_stores):
+            node = T.store(node, T.var(f"i{i}"), T.const(100 + i, 8))
+        return node
+
+    def test_read_resolves_through_chain(self):
+        chain = self._chain(2)
+        env = {"i0": 3, "i1": 7, "j": 3}
+        # i1 != 3, i0 == 3 -> value 100
+        assert ev(T.read(chain, T.var("j")), env) == 100
+
+    def test_read_hits_topmost_store(self):
+        chain = self._chain(2)
+        env = {"i0": 3, "i1": 3, "j": 3}
+        assert ev(T.read(chain, T.var("j")), env) == 101
+
+    def test_read_falls_through_to_base(self):
+        chain = self._chain(2)
+        env = {"i0": 3, "i1": 7, "j": 5}
+        assert ev(T.read(chain, T.var("j")), env) == 5
+
+    def test_unknown_index_is_unknown(self):
+        chain = self._chain(1)
+        assert ev(T.read(chain, T.var("j")), {"i0": 0}) is None
+
+    def test_unknown_store_index_blocks(self):
+        chain = self._chain(1)
+        assert ev(T.read(chain, T.var("j")), {"j": 5}) is None
+
+    def test_out_of_bounds_read_infeasible(self):
+        arr = T.array("A", bytes(4))
+        assert ev(T.read(arr, T.var("j")), {"j": 99}) is None
+
+
+class TestWorkCharging:
+    def test_budget_charged_per_node(self):
+        budget = Budget(1_000_000)
+        t = T.binop("add", T.var("a"), T.var("b"))
+        tv_eval(t, {"a": 1, "b": 2}, budget)
+        assert budget.spent >= 3
+
+    def test_chain_walk_costs_per_store(self):
+        arr = T.array("A", bytes(16))
+        node = arr
+        for i in range(10):
+            node = T.store(node, T.const(i), T.var(f"v{i}"))
+        env = {f"v{i}": 0 for i in range(10)}
+        env["j"] = 15
+        short_budget = Budget(1_000_000)
+        tv_eval(T.read(T.store(arr, T.const(0), T.var("v0")),
+                       T.var("j")), env, short_budget)
+        long_budget = Budget(1_000_000)
+        tv_eval(T.read(node, T.var("j")), env, long_budget)
+        assert long_budget.spent > short_budget.spent
+
+    def test_large_object_costs_more_when_unresolved(self):
+        small = T.array("S", bytes(16))
+        large = T.array("L", bytes(4096))
+        env = {}  # index unknown
+        b_small, b_large = Budget(10**9), Budget(10**9)
+        tv_eval(T.read(small, T.var("i")), env, b_small)
+        tv_eval(T.read(large, T.var("i")), env, b_large)
+        assert b_large.spent > b_small.spent
+
+    def test_timeout_raised(self):
+        budget = Budget(2)
+        t = T.binop("add", T.var("a"),
+                    T.binop("mul", T.var("b"), T.var("c")))
+        with pytest.raises(SolverTimeout):
+            tv_eval(t, {"a": 1, "b": 2, "c": 3}, budget)
+
+    def test_unlimited_budget_never_raises(self):
+        budget = UnlimitedBudget()
+        arr = T.array("A", bytes(4096))
+        node = arr
+        for i in range(100):
+            node = T.store(node, T.var(f"i{i}"), T.const(0, 8))
+        tv_eval(T.read(node, T.var("j")), {}, budget)
+        assert budget.spent > 0
+
+    def test_memoization_shares_subterms(self):
+        shared = T.binop("mul", T.var("a"), T.var("b"))
+        tree = T.binop("add", shared, shared)
+        budget = Budget(10**9)
+        tv_eval(tree, {"a": 3, "b": 4}, budget)
+        # shared subterm evaluated once: cost well below 2x
+        assert budget.spent <= 6

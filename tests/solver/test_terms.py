@@ -1,0 +1,171 @@
+"""Term construction: interning, folding, array collapse, widths."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.ir.ops import apply_binop, apply_cmp
+from repro.solver import terms as T
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    T.clear_term_cache()
+    yield
+
+
+class TestInterning:
+    def test_structural_identity(self):
+        assert T.const(5) is T.const(5)
+        assert T.var("a") is T.var("a")
+
+    def test_distinct_terms_differ(self):
+        assert T.const(5) is not T.const(6)
+
+    def test_compound_interning(self):
+        a = T.binop("add", T.var("x"), T.const(1))
+        b = T.binop("add", T.var("x"), T.const(1))
+        assert a is b
+
+    def test_cache_clear(self):
+        a = T.var("x")
+        T.clear_term_cache()
+        assert T.var("x") is not a
+
+
+class TestFolding:
+    def test_binop_consts_fold(self):
+        t = T.binop("add", T.const(200), T.const(100), 8)
+        assert t.is_const and t.value == 44
+
+    def test_cmp_consts_fold(self):
+        assert T.cmp("ult", T.const(1), T.const(2)) is T.TRUE
+
+    def test_add_zero_identity(self):
+        x = T.var("x")
+        assert T.binop("add", x, T.const(0)) is x
+
+    def test_mul_zero_annihilates(self):
+        assert T.binop("mul", T.var("x"), T.const(0)).value == 0
+
+    def test_mul_one_identity(self):
+        x = T.var("x")
+        assert T.binop("mul", T.const(1), x) is x
+
+    def test_nested_const_adds_fold(self):
+        # (c1 + (c2 + x)) -> (c1+c2) + x keeps address bases foldable
+        x = T.var("x")
+        inner = T.binop("add", T.const(10), x)
+        outer = T.binop("add", T.const(5), inner)
+        assert outer.args[0].value == 15
+
+    def test_eq_same_term_true(self):
+        x = T.binop("add", T.var("x"), T.var("y"))
+        assert T.cmp("eq", x, x) is T.TRUE
+        assert T.cmp("ne", x, x) is T.FALSE
+
+    def test_concat_consts(self):
+        t = T.concat([T.const(0x34, 8), T.const(0x12, 8)])
+        assert t.value == 0x1234
+
+    def test_extract_of_concat(self):
+        b0, b1 = T.var("a"), T.var("b")
+        t = T.concat([b0, b1])
+        assert T.extract(t, 0) is b0
+        assert T.extract(t, 1) is b1
+
+    def test_extract_beyond_width_is_zero(self):
+        assert T.extract(T.var("a"), 3).value == 0
+
+    def test_ite_folds_const_cond(self):
+        a, b = T.var("a"), T.var("b")
+        assert T.ite(T.TRUE, a, b) is a
+        assert T.ite(T.FALSE, a, b) is b
+
+    def test_not_flips_comparison(self):
+        t = T.cmp("ult", T.var("a"), T.const(5))
+        assert T.not_(t).op == "uge"
+
+    def test_trunc_const(self):
+        assert T.trunc(T.const(0x1FF), 8).value == 0xFF
+
+    def test_sext_const(self):
+        assert T.sext(T.const(0x80), 8).value == 0xFFFFFFFFFFFFFF80
+
+    def test_division_by_const_zero_raises(self):
+        with pytest.raises(SolverError):
+            T.binop("udiv", T.const(5), T.const(0), 8)
+
+
+class TestArrays:
+    def test_read_concrete_base(self):
+        arr = T.array("A", b"\x01\x02\x03")
+        assert T.read(arr, T.const(1)).value == 2
+
+    def test_read_over_matching_store(self):
+        arr = T.array("A", bytes(8))
+        st_ = T.store(arr, T.const(3), T.const(9, 8))
+        assert T.read(st_, T.const(3)).value == 9
+
+    def test_read_skips_nonmatching_const_store(self):
+        arr = T.array("A", b"\x05" * 8)
+        st_ = T.store(arr, T.const(3), T.const(9, 8))
+        assert T.read(st_, T.const(4)).value == 5
+
+    def test_read_blocked_by_symbolic_store(self):
+        arr = T.array("A", bytes(8))
+        st_ = T.store(arr, T.var("i"), T.const(9, 8))
+        read = T.read(st_, T.const(3))
+        assert read.op == "read"  # cannot see through
+
+    def test_symbolic_index_stays_symbolic(self):
+        arr = T.array("A", bytes(8))
+        assert T.read(arr, T.var("i")).op == "read"
+
+    def test_store_into_non_array_rejected(self):
+        with pytest.raises(SolverError):
+            T.store(T.var("x"), T.const(0), T.const(0))
+
+    def test_chain_length(self):
+        arr = T.array("A", bytes(4))
+        node = arr
+        for i in range(5):
+            node = T.store(node, T.var(f"i{i}"), T.const(1, 8))
+        assert T.chain_length(node) == 5
+        assert T.base_array(node) is arr
+
+    def test_symbolic_store_count(self):
+        arr = T.array("A", bytes(4))
+        node = T.store(arr, T.const(0), T.const(1, 8))
+        node = T.store(node, T.var("i"), T.const(2, 8))
+        assert T.symbolic_store_count(node) == 1
+
+
+class TestFreeVars:
+    def test_leaf_vars(self):
+        assert T.var("a").free_vars() == frozenset({"a"})
+        assert T.const(1).free_vars() == frozenset()
+
+    def test_compound(self):
+        t = T.binop("add", T.var("a"),
+                    T.binop("mul", T.var("b"), T.const(2)))
+        assert t.free_vars() == frozenset({"a", "b"})
+
+    def test_through_arrays(self):
+        arr = T.array("A", bytes(4))
+        st_ = T.store(arr, T.var("i"), T.var("v"))
+        assert T.read(st_, T.var("j")).free_vars() == \
+            frozenset({"i", "v", "j"})
+
+
+class TestWidths:
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1),
+           st.sampled_from((8, 16, 32, 64)))
+    def test_binop_width_bounds_value(self, a, b, w):
+        t = T.binop("add", T.const(a), T.const(b), w)
+        assert t.value < (1 << t.width)
+
+    def test_term_size(self):
+        t = T.binop("add", T.var("a"), T.var("b"))
+        assert T.term_size(t) == 3

@@ -1,0 +1,156 @@
+"""Engine options: no_timeout, feasibility toggling, banned picks."""
+
+import pytest
+
+from repro.interp.env import Environment
+from repro.interp.interpreter import Interpreter
+from repro.ir.builder import ModuleBuilder
+from repro.symex.engine import ShepherdedSymex
+from repro.trace.decoder import decode
+from repro.trace.encoder import PTEncoder
+from repro.trace.ringbuffer import RingBuffer
+
+
+def traced_run(module, env):
+    encoder = PTEncoder(RingBuffer())
+    result = Interpreter(module, env, tracer=encoder).run()
+    return result, decode(encoder.buffer)
+
+
+def chain_module(stores=40, table=2048):
+    """A long symbolic write chain + dependent check (stall generator)."""
+    b = ModuleBuilder("chain")
+    b.global_("T", table)
+    f = b.function("main", [])
+    f.block("entry")
+    g = f.global_addr("T", dest="%T")
+    f.const(0, dest="%k")
+    f.jmp("loop")
+    f.block("loop")
+    done = f.cmp("uge", "%k", stores)
+    f.br(done, "chk", "body")
+    f.block("body")
+    idx = f.input("stdin", 1, dest="%idx")
+    p = f.gep("%T", "%idx", 1)
+    f.store(p, "%k", 1)
+    f.add("%k", 1, dest="%k")
+    f.jmp("loop")
+    f.block("chk")
+    probe = f.input("stdin", 1, dest="%probe")
+    q = f.gep("%T", "%probe", 1)
+    v = f.load(q, 1, dest="%v")
+    bad = f.cmp("eq", "%v", stores - 1, width=8)
+    f.br(bad, "boom", "ok")
+    f.block("boom")
+    f.abort("hit the last write")
+    f.block("ok")
+    f.ret(0)
+    return b.build()
+
+
+def chain_env(stores=40):
+    data = bytes(range(10, 10 + stores)) + bytes([10 + stores - 1])
+    return Environment({"stdin": data})
+
+
+class TestStallBehaviour:
+    def test_small_budget_stalls(self):
+        module = chain_module()
+        run, trace = traced_run(module, chain_env())
+        result = ShepherdedSymex(module, trace, run.failure,
+                                 work_limit=300).run()
+        assert result.stalled
+        assert result.stall.chains  # the write chain is in the graph
+
+    def test_no_timeout_completes(self):
+        module = chain_module()
+        run, trace = traced_run(module, chain_env())
+        result = ShepherdedSymex(module, trace, run.failure,
+                                 no_timeout=True).run()
+        assert result.completed
+        assert result.stats.solver_work > 300  # more than the stall budget
+
+    def test_continue_on_stall_reaches_trace_end(self):
+        module = chain_module()
+        run, trace = traced_run(module, chain_env())
+        capped = ShepherdedSymex(module, trace, run.failure,
+                                 work_limit=300, continue_on_stall=True)
+        result = capped.run()
+        # per-access checks get skipped; replay itself continues
+        assert result.stats.instrs_executed >= trace.instr_count or \
+            result.stalled
+
+    def test_stall_point_identifies_access(self):
+        module = chain_module()
+        run, trace = traced_run(module, chain_env())
+        result = ShepherdedSymex(module, trace, run.failure,
+                                 work_limit=300).run()
+        assert result.stall.point is not None
+
+    def test_work_accounted_in_stats(self):
+        module = chain_module(stores=4)
+        run, trace = traced_run(module, chain_env(stores=4))
+        result = ShepherdedSymex(module, trace, run.failure,
+                                 no_timeout=True).run()
+        assert result.stats.solver_calls >= 1
+        assert result.stats.progress  # (instrs, work) samples recorded
+        xs = [x for x, _ in result.stats.progress]
+        assert xs == sorted(xs)
+
+
+class TestBannedConcretizations:
+    def _malloc_module(self):
+        b = ModuleBuilder("alloc")
+        f = b.function("main", [])
+        f.block("entry")
+        n = f.input("stdin", 1, dest="%n")
+        ok = f.cmp("uge", "%n", 4, width=8)
+        f.br(ok, "sz2", "out")
+        f.block("sz2")
+        ok2 = f.cmp("ule", "%n", 32, width=8)
+        f.br(ok2, "alloc", "out")
+        f.block("alloc")
+        buf = f.malloc("%n", dest="%buf")
+        f.const(0, dest="%i")
+        f.jmp("fill")
+        f.block("fill")
+        done = f.cmp("uge", "%i", "%n", width=8)
+        f.br(done, "boom", "body")
+        f.block("body")
+        p = f.gep("%buf", "%i", 1)
+        f.store(p, "%i", 1)
+        f.add("%i", 1, dest="%i")
+        f.jmp("fill")
+        f.block("boom")
+        over = f.gep("%buf", "%n", 1)
+        f.load(over, 1)   # one past the end: the failure
+        f.ret(0)
+        f.block("out")
+        f.ret(0)
+        return b.build()
+
+    def test_conflicting_pick_reported_as_stall(self):
+        module = self._malloc_module()
+        run, trace = traced_run(module,
+                                Environment({"stdin": bytes([9])}))
+        assert run.failure is not None
+        result = ShepherdedSymex(module, trace, run.failure).run()
+        # first feasible size (4) contradicts the 9-iteration fill loop
+        assert result.stalled
+        assert result.stall.concretization_conflict is not None
+
+    def test_banning_the_pick_retries_to_success(self):
+        module = self._malloc_module()
+        run, trace = traced_run(module,
+                                Environment({"stdin": bytes([9])}))
+        banned = {}
+        for _ in range(40):
+            result = ShepherdedSymex(module, trace, run.failure,
+                                     banned_concretizations=banned).run()
+            if result.completed:
+                break
+            conflict = result.stall.concretization_conflict
+            assert conflict is not None
+            banned.setdefault(conflict[0], set()).add(conflict[1])
+        assert result.completed
+        assert result.model.streams()["stdin"][0] == 9

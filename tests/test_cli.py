@@ -1,0 +1,89 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.ir import format_module
+
+EIR = pathlib.Path(__file__).parent.parent / "examples" / "programs" \
+    / "checksum.eir"
+
+
+class TestList:
+    def test_lists_all_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "php-2012-2386" in out and "pbzip2-uaf" in out
+
+
+class TestRun:
+    def test_runs_eir_program(self, capsys):
+        assert main(["run", str(EIR), "--stream",
+                     "stdin=text:hello"]) == 0
+        out = capsys.readouterr().out
+        assert "exit value: 0" in out
+
+    def test_hex_stream(self, capsys):
+        assert main(["run", str(EIR), "--stream", "stdin=414200"]) == 0
+
+    def test_file_stream(self, capsys, tmp_path):
+        data = tmp_path / "input.bin"
+        data.write_bytes(b"xy\x00")
+        assert main(["run", str(EIR), "--stream",
+                     f"stdin=@{data}"]) == 0
+
+    def test_failure_returns_nonzero(self, capsys):
+        # empty input: h stays 0 -> the program aborts
+        assert main(["run", str(EIR)]) == 1
+        assert "FAILURE" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nope/missing.eir"]) == 2
+
+    def test_bad_stream_spec(self):
+        with pytest.raises(SystemExit):
+            main(["run", str(EIR), "--stream", "garbage"])
+
+
+class TestTrace:
+    def test_dumps_decoded_trace(self, capsys):
+        assert main(["trace", str(EIR), "--stream",
+                     "stdin=text:hi"]) == 0
+        out = capsys.readouterr().out
+        assert "decoded trace" in out and "chunk" in out
+        assert "trace bytes" in out
+
+
+class TestReproduce:
+    def test_reproduces_workload(self, capsys):
+        assert main(["reproduce", "bash-108885"]) == 0
+        out = capsys.readouterr().out
+        assert "succeeded" in out and "verified by replay: True" in out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["reproduce", "no-such-bug"]) == 2
+
+    def test_work_limit_override(self, capsys):
+        assert main(["reproduce", "libpng-2004-0597",
+                     "--work-limit", "400000"]) == 0
+
+
+class TestReport:
+    def test_report_subset_to_file(self, capsys, tmp_path):
+        out_file = tmp_path / "report.md"
+        assert main(["report", "--only", "Figure 1",
+                     "-o", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "# ER evaluation report" in text
+        assert "Figure 1" in text
+
+
+class TestEirFixture:
+    def test_sample_program_roundtrips(self):
+        from repro.ir import parse_module, verify_module
+
+        module = parse_module(EIR.read_text())
+        verify_module(module)
+        assert format_module(module) == EIR.read_text()

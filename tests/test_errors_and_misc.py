@@ -1,0 +1,94 @@
+"""The error hierarchy and small shared helpers."""
+
+import pytest
+
+from repro.errors import (GuestFailure, IRError, IRParseError,
+                          ReconstructionError, ReproError, SolverError,
+                          SolverTimeout, SymexError, TraceDivergence,
+                          TraceError, TraceTruncatedError, UnsatError)
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for exc in (IRError("x"), IRParseError("x"), SolverError("x"),
+                    SolverTimeout(1, 1), UnsatError("x"), TraceError("x"),
+                    TraceTruncatedError("x"), SymexError("x"),
+                    TraceDivergence("x"), ReconstructionError("x")):
+            assert isinstance(exc, ReproError)
+
+    def test_timeout_is_solver_error(self):
+        assert isinstance(SolverTimeout(1, 1), SolverError)
+
+    def test_divergence_is_symex_error(self):
+        assert isinstance(TraceDivergence("x"), SymexError)
+
+    def test_truncated_is_trace_error(self):
+        assert isinstance(TraceTruncatedError("x"), TraceError)
+
+
+class TestMessages:
+    def test_parse_error_includes_line(self):
+        exc = IRParseError("bad token", line_no=7, line="  frob %x")
+        assert "line 7" in str(exc) and "frob" in str(exc)
+
+    def test_parse_error_without_line(self):
+        assert str(IRParseError("oops")) == "oops"
+
+    def test_timeout_reports_work(self):
+        exc = SolverTimeout(1500, 1000, context="bounds check")
+        assert "1500" in str(exc) and "bounds check" in str(exc)
+        assert exc.work_spent == 1500 and exc.work_limit == 1000
+
+    def test_guest_failure_wraps_info(self, abort_module):
+        from repro.interp import Environment, Interpreter
+
+        run = Interpreter(abort_module,
+                          Environment({"stdin": b"\xff"})).run()
+        wrapped = GuestFailure(run.failure)
+        assert wrapped.info is run.failure
+        assert "abort" in str(wrapped)
+
+
+class TestParserNumerics:
+    def test_negative_immediates(self):
+        from repro.ir import parse_module
+
+        module = parse_module(
+            "func main() {\nentry:\n  %x = const -1\n  ret %x\n}")
+        from repro.interp import Environment, Interpreter
+
+        result = Interpreter(module, Environment({})).run()
+        assert result.return_value == (1 << 64) - 1
+
+    def test_hex_immediates(self):
+        from repro.ir import parse_module
+
+        module = parse_module(
+            "func main() {\nentry:\n  %x = const 0xFF\n  ret %x\n}")
+        from repro.interp import Environment, Interpreter
+
+        assert Interpreter(module, Environment({})).run().return_value == 255
+
+
+class TestPackageSurface:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports(self):
+        import repro.core, repro.solver, repro.symex, repro.trace
+        import repro.baselines, repro.invariants, repro.usecases
+        import repro.workloads, repro.evaluation
+
+        for pkg in (repro.core, repro.solver, repro.symex, repro.trace,
+                    repro.baselines, repro.invariants, repro.usecases,
+                    repro.workloads):
+            for name in pkg.__all__:
+                assert hasattr(pkg, name), (pkg.__name__, name)
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__

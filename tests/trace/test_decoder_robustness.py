@@ -1,0 +1,48 @@
+"""Decoder robustness: corrupt streams fail cleanly, never crash."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.trace.decoder import decode
+from repro.trace.encoder import PTEncoder
+from repro.trace.ringbuffer import RingBuffer
+
+
+class TestCorruptStreams:
+    @settings(max_examples=200, deadline=None)
+    @given(st.binary(max_size=120), st.booleans())
+    def test_random_bytes_raise_trace_error_or_decode(self, data, allow):
+        rb = RingBuffer()
+        rb.write(data)
+        try:
+            trace = decode(rb, allow_truncated=allow)
+        except TraceError:
+            return
+        assert trace.instr_count >= 0  # decoded something structured
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(min_size=1, max_size=16),
+           st.integers(min_value=0, max_value=200))
+    def test_bitflips_in_valid_stream(self, noise, position):
+        enc = PTEncoder(RingBuffer())
+        for i in range(4):
+            enc.begin_chunk(0, i)
+            for bit in (True, False, True):
+                enc.on_branch(bit)
+            enc.on_ptwrite(i, i * 7)
+            enc.end_chunk(10)
+        data = bytearray(enc.buffer.contents())
+        position %= len(data)
+        data[position: position + len(noise)] = noise
+        rb = RingBuffer()
+        rb.write(bytes(data))
+        try:
+            decode(rb)
+        except TraceError:
+            pass  # clean rejection is the contract
+
+    def test_empty_buffer_decodes_empty(self):
+        rb = RingBuffer()
+        trace = decode(rb)
+        assert trace.chunks == [] and not trace.truncated

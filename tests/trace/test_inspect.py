@@ -1,0 +1,55 @@
+"""Trace inspector rendering."""
+
+from repro.interp.env import Environment
+from repro.interp.interpreter import Interpreter
+from repro.trace.decoder import decode
+from repro.trace.encoder import PTEncoder
+from repro.trace.inspect import format_chunk_events, format_trace
+from repro.trace.packets import PtwEvent, TntEvent
+from repro.trace.ringbuffer import RingBuffer
+
+
+class TestFormatEvents:
+    def test_tnt_symbols(self):
+        lines = format_chunk_events([TntEvent(True), TntEvent(False)])
+        assert lines == ["+-"]
+
+    def test_ptw_inline(self):
+        lines = format_chunk_events([TntEvent(True),
+                                     PtwEvent(3, 0x10)])
+        assert lines == ["+[ptw 3=0x10]"]
+
+    def test_wrapping(self):
+        lines = format_chunk_events([TntEvent(True)] * 50, per_line=24)
+        assert len(lines) > 1
+        assert all(len(line) <= 24 for line in lines)
+
+    def test_empty(self):
+        assert format_chunk_events([]) == [""]
+
+
+class TestFormatTrace:
+    def _trace(self, abort_module):
+        encoder = PTEncoder(RingBuffer())
+        Interpreter(abort_module, Environment({"stdin": b"\x05"}),
+                    tracer=encoder).run()
+        return decode(encoder.buffer)
+
+    def test_header_counts(self, abort_module):
+        trace = self._trace(abort_module)
+        text = format_trace(trace)
+        assert "1 chunk(s)" in text
+        assert f"{trace.instr_count} instructions" in text
+
+    def test_chunk_lines(self, abort_module):
+        trace = self._trace(abort_module)
+        text = format_trace(trace)
+        assert "tid=0" in text
+
+    def test_chunk_cap(self, spawn_module):
+        encoder = PTEncoder(RingBuffer())
+        Interpreter(spawn_module, Environment({}, quantum=2),
+                    tracer=encoder).run()
+        trace = decode(encoder.buffer)
+        text = format_trace(trace, max_chunks=3)
+        assert "more chunks" in text

@@ -1,0 +1,90 @@
+"""Overhead model: relative costs and orderings, not absolute numbers."""
+
+from repro.interp.env import Environment
+from repro.interp.interpreter import Interpreter
+from repro.ir.builder import ModuleBuilder
+from repro.trace.encoder import PTEncoder
+from repro.trace.overhead import OverheadModel
+from repro.trace.ringbuffer import RingBuffer
+
+
+def _run(io_bytes=64, compute=500, quantum=50):
+    """A run with configurable I/O density."""
+    b = ModuleBuilder("oh")
+    f = b.function("main", [])
+    f.block("entry")
+    f.const(0, dest="%i")
+    f.jmp("io")
+    f.block("io")
+    done = f.cmp("uge", "%i", io_bytes)
+    f.br(done, "spin", "rd")
+    f.block("rd")
+    f.input("stdin", 1)
+    f.add("%i", 1, dest="%i")
+    f.jmp("io")
+    f.block("spin")
+    f.const(0, dest="%j")
+    f.jmp("loop")
+    f.block("loop")
+    fin = f.cmp("uge", "%j", compute)
+    f.br(fin, "out", "body")
+    f.block("body")
+    f.add("%j", 1, dest="%j")
+    f.jmp("loop")
+    f.block("out")
+    f.ret(0)
+    enc = PTEncoder(RingBuffer())
+    env = Environment({"stdin": bytes(io_bytes)}, quantum=quantum)
+    result = Interpreter(b.build(), env, tracer=enc).run()
+    return result, enc
+
+
+class TestOverheadModel:
+    def test_er_far_cheaper_than_rr(self):
+        run, enc = _run()
+        model = OverheadModel(noise=0.0)
+        er = model.er_sample(run, enc.bytes_emitted).overhead
+        rr = model.rr_sample(run).overhead
+        assert 0 < er < 0.05 < rr
+
+    def test_er_overhead_scales_with_trace_bytes(self):
+        run, enc = _run()
+        model = OverheadModel(noise=0.0)
+        small = model.er_sample(run, 100).overhead
+        large = model.er_sample(run, 10_000).overhead
+        assert large > small
+
+    def test_rr_overhead_scales_with_io_density(self):
+        dense_run, _ = _run(io_bytes=256, compute=100)
+        sparse_run, _ = _run(io_bytes=16, compute=4000)
+        model = OverheadModel(noise=0.0)
+        assert (model.rr_sample(dense_run).overhead
+                > model.rr_sample(sparse_run).overhead)
+
+    def test_noise_zero_is_deterministic(self):
+        run, enc = _run()
+        model = OverheadModel(noise=0.0)
+        a = model.er_sample(run, enc.bytes_emitted).overhead
+        b = model.er_sample(run, enc.bytes_emitted).overhead
+        assert a == b
+
+    def test_seeded_noise_reproducible(self):
+        run, enc = _run()
+        a = OverheadModel(seed=42).er_sample(run, 100).overhead
+        b = OverheadModel(seed=42).er_sample(run, 100).overhead
+        assert a == b
+
+    def test_ptwrites_add_cost(self):
+        run, enc = _run()
+        model = OverheadModel(noise=0.0)
+        without = model.er_sample(run, enc.bytes_emitted).overhead
+        run.ptwrite_count = 500
+        with_ptw = model.er_sample(run, enc.bytes_emitted).overhead
+        assert with_ptw > without
+
+    def test_single_thread_pays_no_chunk_cost(self):
+        run, _ = _run(quantum=5)   # many chunks, one thread
+        model = OverheadModel(noise=0.0)
+        base = model.rr_sample(run).overhead
+        run.chunk_count *= 100
+        assert model.rr_sample(run).overhead == base

@@ -1,0 +1,64 @@
+"""Packet codecs: varint, TNT bit packing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.trace.packets import (TNT_CAPACITY, decode_tnt, decode_varint,
+                                 encode_tnt, encode_varint)
+
+
+class TestVarint:
+    def test_small(self):
+        assert encode_varint(5) == b"\x05"
+
+    def test_multibyte(self):
+        assert encode_varint(300) == b"\xac\x02"
+
+    def test_negative_rejected(self):
+        with pytest.raises(TraceError):
+            encode_varint(-1)
+
+    def test_truncated(self):
+        with pytest.raises(TraceError):
+            decode_varint(b"\x80", 0)
+
+    @given(st.integers(min_value=0, max_value=(1 << 63) - 1))
+    def test_roundtrip(self, value):
+        data = encode_varint(value)
+        decoded, pos = decode_varint(data, 0)
+        assert decoded == value and pos == len(data)
+
+    @given(st.integers(min_value=0, max_value=1 << 40),
+           st.integers(min_value=0, max_value=1 << 40))
+    def test_concatenated_stream(self, a, b):
+        data = encode_varint(a) + encode_varint(b)
+        first, pos = decode_varint(data, 0)
+        second, end = decode_varint(data, pos)
+        assert (first, second, end) == (a, b, len(data))
+
+
+class TestTnt:
+    def test_single_bit(self):
+        packet = encode_tnt([True])
+        assert decode_tnt(packet[1]) == [True]
+
+    def test_full_packet(self):
+        bits = [True, False, True, True, False, False]
+        packet = encode_tnt(bits)
+        assert decode_tnt(packet[1]) == bits
+
+    def test_capacity_enforced(self):
+        with pytest.raises(TraceError):
+            encode_tnt([True] * (TNT_CAPACITY + 1))
+        with pytest.raises(TraceError):
+            encode_tnt([])
+
+    def test_bad_payload(self):
+        with pytest.raises(TraceError):
+            decode_tnt(0)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=TNT_CAPACITY))
+    def test_roundtrip(self, bits):
+        assert decode_tnt(encode_tnt(bits)[1]) == bits

@@ -1,0 +1,155 @@
+"""Mechanics of the remaining workload bugs, at the guest level.
+
+Each Table-1 bug has a specific arithmetic or interleaving mechanism
+(a 32-bit wrap, a 16-bit check truncation, a TOCTOU window); these
+tests pin the mechanism itself, not just 'it crashes'.
+"""
+
+import pytest
+
+from repro.interp.env import Environment
+from repro.interp.failures import FailureKind
+from repro.interp.interpreter import Interpreter
+from repro.workloads.libpng import TYPE_IEND, TYPE_TRNS, _chunk, _png
+from repro.workloads.libpng import build_libpng
+from repro.workloads.objdump import _obj_file, build_objdump
+from repro.workloads.php import (_php2386_payload, _php74194_payload,
+                                 build_php_2012_2386, build_php_74194)
+from repro.workloads.pbzip2 import _tar, build_pbzip2
+import random
+
+
+class TestPhpIntegerOverflow:
+    @pytest.fixture(scope="class")
+    def module(self):
+        return build_php_2012_2386()
+
+    def _run(self, module, count, elems=()):
+        payload = _php2386_payload("Obj", count, elems)
+        return Interpreter(module, Environment({"php": payload})).run()
+
+    def test_small_count_is_safe(self, module):
+        assert self._run(module, 3, [1, 2, 3]).failure is None
+
+    def test_wrap_point_exact(self, module):
+        # 12 + 12*count == 4 (mod 2^32): the minimal overflowing count
+        count = 0x2AAAAAAA
+        result = self._run(module, count)
+        assert result.failure is not None
+        assert result.failure.kind == FailureKind.OUT_OF_BOUNDS
+
+    def test_large_but_nonwrapping_rejected(self, module):
+        # total > 4096 without wrapping: the size check rejects it
+        assert self._run(module, 100_000).failure is None
+
+    def test_other_wrap_values_also_crash(self, module):
+        # 12 + 12*count == 16 (mod 2^32) -> a 16-byte alloc, header fits,
+        # so the first element write crashes instead
+        count = (0x100000004 // 12) + 1  # makes body wrap past 2^32
+        result = self._run(module, 0x2AAAAAAB, [7])
+        assert result.failure is not None
+
+
+class TestPhpEscapeExpansion:
+    @pytest.fixture(scope="class")
+    def module(self):
+        return build_php_74194()
+
+    def _run(self, module, payload):
+        cfg = [(0, 0)] * 3
+        data = _php74194_payload(cfg, payload)
+        return Interpreter(module, Environment({"php": data})).run()
+
+    def test_low_bytes_fit_exactly(self, module):
+        assert self._run(module, bytes(range(16))).failure is None
+
+    def test_all_high_bytes_overflow(self, module):
+        result = self._run(module, bytes([0x80] * 24))
+        assert result.failure is not None
+        assert result.failure.kind == FailureKind.OUT_OF_BOUNDS
+
+    def test_boundary_density(self, module):
+        # n=24, buffer 40: crash needs the cursor to pass 39 before the
+        # last write; 15 high bytes keeps j <= 39 for every write
+        ok = bytes([0x80] * 15 + [0x00] * 9)
+        assert self._run(module, ok).failure is None
+
+
+class TestObjdumpTruncatedCheck:
+    @pytest.fixture(scope="class")
+    def module(self):
+        return build_objdump()
+
+    def _run(self, module, nsec, entsize):
+        data = _obj_file(nsec, entsize, bytes(64))
+        return Interpreter(module, Environment({"obj": data})).run()
+
+    def test_small_entsize_safe(self, module):
+        assert self._run(module, 8, 16).failure is None
+
+    def test_wrapping_end_check_bypassed(self, module):
+        # idx=1: off = 0xFFFE, end16 = 2 <= 256 passes, read is wild
+        result = self._run(module, 2, 0xFFFE)
+        assert result.failure is not None
+        assert result.failure.kind == FailureKind.OUT_OF_BOUNDS
+
+    def test_nonwrapping_large_entsize_skipped(self, module):
+        # end check (no 16-bit wrap within 8 sections): all skipped
+        assert self._run(module, 8, 0x1000).failure is None
+
+    def test_bad_magic_rejected(self, module):
+        result = Interpreter(module, Environment(
+            {"obj": b"XX" + bytes(70)})).run()
+        assert result.failure is None
+
+
+class TestPbzipWindow:
+    def test_fine_quantum_races(self):
+        module = build_pbzip2()
+        rng = random.Random(1)
+        result = Interpreter(module, Environment({"tar": _tar(rng, 2)},
+                                                  quantum=10)).run()
+        assert result.failure is not None
+        assert result.failure.kind == FailureKind.USE_AFTER_FREE
+        assert result.failure.point.func == "consumer"
+
+    def test_coarse_quantum_safe(self):
+        module = build_pbzip2()
+        rng = random.Random(1)
+        result = Interpreter(module, Environment({"tar": _tar(rng, 2)},
+                                                  quantum=400)).run()
+        assert result.failure is None
+
+    def test_single_block_still_races_fine_quantum(self):
+        module = build_pbzip2()
+        rng = random.Random(1)
+        result = Interpreter(module, Environment({"tar": _tar(rng, 1)},
+                                                  quantum=10)).run()
+        # the last (only) block is the eagerly-freed one
+        assert result.failure is not None
+
+
+class TestLibpngChunks:
+    @pytest.fixture(scope="class")
+    def module(self):
+        return build_libpng()
+
+    def test_exact_buffer_fill_is_safe(self, module):
+        trns = _chunk(TYPE_TRNS, bytes(256))
+        result = Interpreter(module, Environment({"png": _png(trns)})).run()
+        assert result.failure is None
+
+    def test_one_past_crashes(self, module):
+        trns = _chunk(TYPE_TRNS, bytes(257))
+        result = Interpreter(module, Environment({"png": _png(trns)})).run()
+        assert result.failure is not None
+
+    def test_unknown_chunks_skipped(self, module):
+        blob = _chunk(0x12345678, bytes(500))
+        result = Interpreter(module, Environment({"png": _png(blob)})).run()
+        assert result.failure is None
+
+    def test_iend_stops_parsing(self, module):
+        data = _png() + b"\xff" * 50  # trailing garbage after IEND
+        result = Interpreter(module, Environment({"png": data})).run()
+        assert result.failure is None

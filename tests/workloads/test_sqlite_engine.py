@@ -1,0 +1,131 @@
+"""Program-level tests of the mini-SQL engine's components.
+
+These drive the *guest* code through the interpreter — the engine's
+tokenizer, keyword matcher and symbol table are programs, and their
+behaviour (case folding, hashing, flag handling) is what the SQLite
+bugs and the 'sEleCT' accuracy result depend on.
+"""
+
+import pytest
+
+from repro.interp.env import Environment
+from repro.interp.interpreter import Interpreter
+from repro.workloads.sqlite import _build_engine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return _build_engine("7be932d")
+
+
+def run_sql(engine, *lines, quantum=50):
+    text = ("\n".join(lines) + "\n").encode() + b"\x00"
+    return Interpreter(engine, Environment({"sql": text},
+                                           quantum=quantum)).run()
+
+
+class TestTokenizer:
+    def test_benign_query_runs_clean(self, engine):
+        result = run_sql(engine, "select a b from t")
+        assert result.failure is None
+
+    def test_keywords_case_insensitive(self, engine):
+        for variant in ("SELECT x y", "Select x y", "sElEcT x y"):
+            result = run_sql(engine, variant)
+            assert result.failure is None
+            # the select path executes parse_select + the VM
+            assert result.instr_count > 400, variant
+
+    def test_non_select_lines_skipped_cheaply(self, engine):
+        select = run_sql(engine, "select a b")
+        other = run_sql(engine, "zzzzzz a b")
+        assert other.instr_count < select.instr_count
+
+    def test_empty_input_terminates(self, engine):
+        result = run_sql(engine)
+        assert result.failure is None
+
+
+class TestSymbolTable:
+    def _table_bytes(self, engine, *lines):
+        interp = Interpreter(engine, Environment(
+            {"sql": ("\n".join(lines) + "\n").encode() + b"\x00"}))
+        interp.run()
+        obj = next(o for o in interp.memory.objects()
+                   if o.name == "sym_table")
+        return bytes(obj.data)
+
+    def test_identifiers_registered(self, engine):
+        table = self._table_bytes(engine, "select alpha beta")
+        assert any(table)  # hashes landed somewhere
+
+    def test_same_identifier_same_slot(self, engine):
+        one = self._table_bytes(engine, "select zig")
+        two = self._table_bytes(engine, "select zig zig")
+        assert one == two
+
+    def test_case_folded_identifiers_collide(self, engine):
+        lower = self._table_bytes(engine, "select abc")
+        upper = self._table_bytes(engine, "select ABC")
+        assert lower == upper  # folding happens before hashing
+
+
+class TestDotCommands:
+    def _flags(self, engine, *lines):
+        interp = Interpreter(engine, Environment(
+            {"sql": ("\n".join(lines) + "\n").encode() + b"\x00"}))
+        result = interp.run()
+        flags = {}
+        for name in ("stats_flag", "eqp_flag", "eqp_stmt"):
+            obj = next(o for o in interp.memory.objects()
+                       if o.name == name)
+            flags[name] = int.from_bytes(bytes(obj.data), "little")
+        return result, flags
+
+    def test_stats_sets_flag(self, engine):
+        _result, flags = self._flags(engine, ".stats")
+        assert flags["stats_flag"] == 1 and flags["eqp_flag"] == 0
+
+    def test_eqp_clears_statement_pointer(self, engine):
+        _result, flags = self._flags(engine, ".eqp")
+        assert flags["eqp_flag"] == 1 and flags["eqp_stmt"] == 0
+
+    def test_stats_alone_is_safe(self, engine):
+        result, _ = self._flags(engine, ".stats", "select a b")
+        assert result.failure is None
+
+    def test_both_flags_crash_on_next_select(self, engine):
+        result = run_sql(engine, ".eqp", ".stats", "select a b")
+        assert result.failure is not None
+        assert result.failure.point.func == "finish_query"
+
+
+class TestSubqueryBookkeeping:
+    def test_flat_query_balances(self):
+        engine = _build_engine("787fa71")
+        result = run_sql(engine, "select a ( inner )")
+        assert result.failure is None
+
+    def test_nested_subquery_trips_assert(self):
+        engine = _build_engine("787fa71")
+        result = run_sql(engine, "select a ( ( inner ) )")
+        assert result.failure is not None
+        assert result.failure.kind.value == "assertion-failure"
+
+    def test_sibling_subqueries_fine(self):
+        engine = _build_engine("787fa71")
+        result = run_sql(engine, "select a ( x ) ( y )")
+        assert result.failure is None
+
+
+class TestOrCursors:
+    def test_single_or_fine(self):
+        engine = _build_engine("4e8e485")
+        result = run_sql(engine, "select a from t where x or y")
+        assert result.failure is None
+
+    def test_second_or_dereferences_null(self):
+        engine = _build_engine("4e8e485")
+        result = run_sql(engine, "select a from t where x or y or z")
+        assert result.failure is not None
+        assert result.failure.kind.value == "null-pointer-dereference"
