@@ -16,8 +16,9 @@ Top-level convenience re-exports cover the end-to-end workflow::
     print(report.test_case)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+from . import telemetry
 from .errors import (
     GuestFailure,
     IRError,
@@ -32,6 +33,7 @@ from .ir import Module, ModuleBuilder, format_module, parse_module
 
 __all__ = [
     "__version__",
+    "telemetry",
     "GuestFailure",
     "IRError",
     "ReconstructionError",

@@ -15,15 +15,26 @@ Commands
     Execute under the PT tracer and dump the decoded trace.
 ``report``
     Regenerate every evaluation table/figure into one markdown file.
+``stats TELEMETRY.jsonl``
+    Render the per-iteration cost breakdown of a recorded run.
+
+Diagnostics (every command): ``-v``/``-vv`` or ``--log-level`` turn on
+logging to stderr, ``--telemetry OUT.jsonl`` streams structured spans,
+events, and a final metric snapshot to a JSONL file, and ``--json``
+(where offered) switches the output to machine-readable JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
+import logging
 import pathlib
 import sys
 from typing import Dict, List, Optional
 
+from . import telemetry
 from .core import ExecutionReconstructor, ProductionSite
 from .errors import ReproError
 from .evaluation.formatting import render_table
@@ -35,6 +46,8 @@ from .trace.encoder import PTEncoder
 from .trace.inspect import format_trace
 from .trace.ringbuffer import RingBuffer
 from .workloads import all_workloads, get_workload
+
+logger = logging.getLogger(__name__)
 
 
 def _parse_streams(pairs: List[str]) -> Dict[str, bytes]:
@@ -58,6 +71,54 @@ def _load_module(path: str):
     module = parse_module(text)
     verify_module(module)
     return module
+
+
+# ----------------------------------------------------------------------
+# diagnostics wiring
+
+def _setup_logging(args) -> None:
+    """Configure the ``repro`` root logger from -v/-vv/--log-level.
+
+    Only the CLI attaches handlers (library code never calls
+    ``basicConfig``); rerunning ``main`` replaces the handler instead of
+    stacking duplicates.
+    """
+    verbosity = getattr(args, "verbose", 0)
+    level = logging.WARNING
+    if verbosity == 1:
+        level = logging.INFO
+    elif verbosity >= 2:
+        level = logging.DEBUG
+    explicit = getattr(args, "log_level", None)
+    if explicit:
+        level = getattr(logging, explicit.upper())
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_cli", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)-7s %(name)s: %(message)s"))
+    handler._repro_cli = True
+    root.addHandler(handler)
+    root.setLevel(level)
+
+
+@contextlib.contextmanager
+def _telemetry_scope(args):
+    """Install a fresh registry (JSONL sink if ``--telemetry``) for one
+    command invocation; emits the final snapshot on the way out."""
+    path = getattr(args, "telemetry", None)
+    if not path:
+        yield telemetry.get()
+        return
+    registry = telemetry.Telemetry(telemetry.JsonlSink(path))
+    with telemetry.scoped(registry):
+        try:
+            yield registry
+        finally:
+            registry.close()
+            logger.info("telemetry written to %s", path)
 
 
 # ----------------------------------------------------------------------
@@ -85,12 +146,27 @@ def cmd_reproduce(args) -> int:
     site = ProductionSite(workload.failing_env,
                           trace_after=args.trace_after)
     report = reconstructor.reconstruct(site)
-    print(report.summary())
+
+    minimized = None
     if report.success and args.minimize:
         from .core.minimize import minimize_test_case
 
         minimized = minimize_test_case(workload.fresh_module(),
                                        report.test_case, report.failure)
+
+    if args.json:
+        data = report.to_dict(
+            telemetry_snapshot=telemetry.get().snapshot())
+        data["workload"] = args.workload
+        if minimized is not None:
+            data["minimized_streams"] = {
+                name: stream.hex()
+                for name, stream in sorted(minimized.streams.items())}
+        print(json.dumps(data, indent=2))
+        return 0 if report.success else 1
+
+    print(report.summary())
+    if minimized is not None:
         print("\nminimized test case:")
         for stream, data in sorted(minimized.streams.items()):
             print(f"  input {stream!r}: {data!r}")
@@ -127,10 +203,16 @@ def cmd_trace(args) -> int:
 
 
 def cmd_report(args) -> int:
-    from .evaluation.report import run_full_report
+    echo = (lambda m: print(m, file=sys.stderr))
+    if args.json:
+        from .evaluation.report import run_report_sections
 
-    text = run_full_report(only=args.only,
-                           echo=lambda m: print(m, file=sys.stderr))
+        sections = run_report_sections(only=args.only, echo=echo)
+        text = json.dumps({"sections": sections}, indent=2)
+    else:
+        from .evaluation.report import run_full_report
+
+        text = run_full_report(only=args.only, echo=echo)
     if args.output:
         pathlib.Path(args.output).write_text(text)
         print(f"wrote {args.output}", file=sys.stderr)
@@ -139,18 +221,45 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    try:
+        events = telemetry.read_jsonl(args.file)
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.file} is not a telemetry JSONL log ({exc})",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({
+            "iterations": telemetry.iteration_rows(events),
+            "snapshot": telemetry.final_snapshot(events),
+        }, indent=2))
+        return 0
+    print(telemetry.render_stats(events))
+    return 0
+
+
 # ----------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
+    diag = argparse.ArgumentParser(add_help=False)
+    diag.add_argument("-v", "--verbose", action="count", default=0,
+                      help="log to stderr (-v info, -vv debug)")
+    diag.add_argument("--log-level", default=None,
+                      choices=["debug", "info", "warning", "error"],
+                      help="explicit log level (overrides -v)")
+    diag.add_argument("--telemetry", metavar="OUT.jsonl", default=None,
+                      help="stream spans/events/metrics to a JSONL file")
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Execution Reconstruction (PLDI 2021) — reproduce "
                     "production failures from traces + reoccurrences")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the Table-1 workloads")
+    sub.add_parser("list", help="list the Table-1 workloads",
+                   parents=[diag])
 
-    p = sub.add_parser("reproduce",
+    p = sub.add_parser("reproduce", parents=[diag],
                        help="reconstruct one workload's failure")
     p.add_argument("workload")
     p.add_argument("--work-limit", type=int, default=None,
@@ -160,11 +269,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable tracing only after N untraced failures")
     p.add_argument("--minimize", action="store_true",
                    help="ddmin-shrink the generated test case")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as machine-readable JSON")
 
     for name, fn_help in (("run", "execute a textual-IR (.eir) program"),
                           ("trace", "execute and dump the decoded PT "
                                     "trace")):
-        p = sub.add_parser(name, help=fn_help)
+        p = sub.add_parser(name, help=fn_help, parents=[diag])
         p.add_argument("file")
         p.add_argument("--stream", action="append", default=[],
                        metavar="NAME=HEX|NAME=@FILE|NAME=text:STR",
@@ -173,12 +284,21 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "trace":
             p.add_argument("--max-chunks", type=int, default=50)
 
-    p = sub.add_parser("report",
+    p = sub.add_parser("report", parents=[diag],
                        help="regenerate every evaluation table/figure")
     p.add_argument("-o", "--output", default=None)
     p.add_argument("--only", action="append", default=None,
                    metavar="KEYWORD",
                    help="run only sections whose title contains KEYWORD")
+    p.add_argument("--json", action="store_true",
+                   help="emit sections as machine-readable JSON")
+
+    p = sub.add_parser("stats", parents=[diag],
+                       help="per-iteration cost breakdown from a "
+                            "telemetry JSONL log")
+    p.add_argument("file", metavar="TELEMETRY.jsonl")
+    p.add_argument("--json", action="store_true",
+                   help="emit the breakdown as machine-readable JSON")
 
     return parser
 
@@ -189,13 +309,16 @@ COMMANDS = {
     "run": cmd_run,
     "trace": cmd_trace,
     "report": cmd_report,
+    "stats": cmd_stats,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _setup_logging(args)
     try:
-        return COMMANDS[args.command](args)
+        with _telemetry_scope(args):
+            return COMMANDS[args.command](args)
     except (ReproError, FileNotFoundError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

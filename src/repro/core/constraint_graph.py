@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Set
 
+from .. import telemetry
 from ..solver.terms import Term, base_array, iter_nodes
 from ..symex.result import StallInfo
 
@@ -71,7 +72,11 @@ class ConstraintGraph:
     def from_stall(cls, stall: StallInfo) -> "ConstraintGraph":
         roots = list(stall.constraints) + list(stall.stall_terms) + \
             [c for c in stall.chains if c is not None]
-        return cls(roots)
+        graph = cls(roots)
+        tel = telemetry.get()
+        tel.count("graph.builds")
+        tel.histogram("graph.nodes").record(graph.node_count)
+        return graph
 
     @property
     def node_count(self) -> int:
@@ -118,9 +123,11 @@ class ConstraintGraph:
         """
         selected: List[Term] = []
         seen: Set[Term] = set()
+        chain_hist = telemetry.get().histogram("graph.chain_length")
         for chain in (self.longest_chain(), self.largest_object_chain()):
             if chain is None:
                 continue
+            chain_hist.record(len(chain))
             for term in chain.symbolic_members():
                 if term not in seen:
                     seen.add(term)

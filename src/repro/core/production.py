@@ -14,9 +14,11 @@ deployment.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Callable
 
+from .. import telemetry
 from ..errors import ReconstructionError, TraceTruncatedError
 from ..interp.env import Environment
 from ..interp.failures import FailureInfo
@@ -27,6 +29,8 @@ from ..trace.encoder import PTEncoder
 from ..trace.ringbuffer import DEFAULT_CAPACITY, RingBuffer
 
 EnvFactory = Callable[[int], Environment]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -71,32 +75,57 @@ class ProductionSite:
         self.per_cpu_buffers = per_cpu_buffers
         self._occurrence = 0
         self._untraced_failures = 0
+        #: ring-buffer wraps observed and capacity doublings performed
+        self.ring_wraps = 0
+        self.auto_grows = 0
 
     def run_once(self, module: Module) -> Occurrence:
         """Run the deployed module until it fails; ship the trace."""
+        tel = telemetry.get()
         for _ in range(self.max_attempts):
             self._occurrence += 1
             env = self.env_factory(self._occurrence)
             tracing = self._untraced_failures >= self.trace_after
             encoder = PTEncoder(RingBuffer(self.ring_capacity)) \
                 if tracing else None
-            result = Interpreter(module, env, tracer=encoder,
-                                 max_steps=self.max_steps).run()
+            with tel.span("production.attempt",
+                          occurrence=self._occurrence, tracing=tracing):
+                result = Interpreter(module, env, tracer=encoder,
+                                     max_steps=self.max_steps).run()
+            tel.count("production.runs")
             if result.failure is None:
+                tel.count("production.benign_runs")
                 continue  # benign request; wait for the next one
+            tel.count("production.failures")
             if not tracing:
                 # seen, counted, but not yet traced (§3.1 deferred mode)
                 self._untraced_failures += 1
+                tel.count("production.untraced_failures")
                 continue
+            tel.count("production.trace_bytes", encoder.bytes_emitted)
             try:
                 trace = decode(encoder.buffer)
             except TraceTruncatedError:
+                self.ring_wraps += 1
+                tel.count("production.ring_wraps")
+                tel.event("production.ring_wrap",
+                          occurrence=self._occurrence,
+                          capacity=self.ring_capacity,
+                          trace_bytes=encoder.bytes_emitted)
                 if not self.auto_grow_buffer:
                     raise ReconstructionError(
                         f"trace ({encoder.bytes_emitted} bytes) overflowed "
                         f"the {self.ring_capacity}-byte ring buffer")
                 while self.ring_capacity < encoder.bytes_emitted:
                     self.ring_capacity *= 2
+                    self.auto_grows += 1
+                    tel.count("production.auto_grows")
+                tel.gauge("production.ring_capacity").set(self.ring_capacity)
+                logger.info(
+                    "occurrence %d: ring buffer wrapped (%d bytes); "
+                    "grew capacity to %d and re-arming",
+                    self._occurrence, encoder.bytes_emitted,
+                    self.ring_capacity)
                 continue  # re-trace at the next occurrence
             if self.per_cpu_buffers:
                 from ..trace.merge import merge_trace_by_timestamp
@@ -107,6 +136,10 @@ class ProductionSite:
 
                 trace = degrade_trace(trace, loss=self.mapping_loss,
                                       seed=self._occurrence)
+            logger.info(
+                "occurrence %d: %s after %d instrs (%d trace bytes)",
+                self._occurrence, result.failure, result.instr_count,
+                encoder.bytes_emitted)
             return Occurrence(index=self._occurrence,
                               failure=result.failure,
                               trace=trace,

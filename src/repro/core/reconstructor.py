@@ -15,10 +15,12 @@ every recorded value strictly concretizes part of the constraint graph.
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, List, Optional
 
 import dataclasses
 
+from .. import telemetry
 from ..errors import ReconstructionError
 from ..interp.failures import FailureInfo
 from ..interp.interpreter import Interpreter
@@ -33,6 +35,8 @@ from .report import IterationRecord, ReconstructionReport, TestCase
 from .selection import RecordingPlan, select_key_values
 
 SelectionFn = Callable[[StallInfo, frozenset], RecordingPlan]
+
+logger = logging.getLogger(__name__)
 
 
 def _exact_driver(module, trace, failure, **kwargs):
@@ -84,6 +88,19 @@ class ExecutionReconstructor:
     # ------------------------------------------------------------------
 
     def reconstruct(self, production: ProductionSite) -> ReconstructionReport:
+        with telemetry.span("reconstruct"):
+            report = self._reconstruct(production)
+        telemetry.count("reconstruct.runs")
+        telemetry.count("reconstruct.successes" if report.success
+                        else "reconstruct.failures")
+        logger.info("reconstruction %s after %d occurrence(s)",
+                    "succeeded" if report.success else "FAILED",
+                    report.occurrences)
+        return report
+
+    def _reconstruct(self,
+                     production: ProductionSite) -> ReconstructionReport:
+        tel = telemetry.get()
         deployed = self.module.clone()
         next_tag = 0
         signature: Optional[FailureInfo] = None
@@ -91,18 +108,27 @@ class ExecutionReconstructor:
         already_recorded: set = set()
 
         for occurrence_no in range(1, self.max_occurrences + 1):
-            occurrence = production.run_once(deployed)
+            logger.info("iteration %d: waiting for the failure to reoccur",
+                        occurrence_no)
+            with tel.span("reconstruct.production",
+                          iteration=occurrence_no) as prod_span:
+                occurrence = production.run_once(deployed)
             normalized = _normalize_failure(deployed, occurrence.failure)
             if signature is None:
                 signature = normalized
             elif not signature.matches(normalized):
                 # a different bug: keep waiting for ours (paper matches
                 # failures on PC + call stack)
+                logger.info("iteration %d: unrelated failure %s; waiting",
+                            occurrence_no, normalized)
+                tel.count("reconstruct.unrelated_failures")
                 continue
 
-            result = self.symex_driver(deployed, occurrence.trace,
-                                       occurrence.failure,
-                                       work_limit=self.work_limit)
+            with tel.span("reconstruct.symex",
+                          iteration=occurrence_no) as symex_span:
+                result = self.symex_driver(deployed, occurrence.trace,
+                                           occurrence.failure,
+                                           work_limit=self.work_limit)
             record = IterationRecord(
                 occurrence=occurrence_no,
                 status=result.status,
@@ -113,7 +139,14 @@ class ExecutionReconstructor:
                 / WORK_PER_SECOND,
                 solver_calls=result.stats.solver_calls,
             )
+            record.phase_seconds["production"] = prod_span.seconds
+            record.phase_seconds["symex"] = symex_span.seconds
             iterations.append(record)
+            logger.info("iteration %d: symex %s (%d instrs, %d solver "
+                        "calls, %.1f modelled s)", occurrence_no,
+                        result.status, record.instr_count,
+                        record.solver_calls,
+                        record.symex_modelled_seconds)
 
             if result.completed:
                 test_case = TestCase(
@@ -121,12 +154,15 @@ class ExecutionReconstructor:
                     quantum=occurrence.run.env.quantum,
                     description=f"generated for {occurrence.failure}",
                 )
-                verified = (self._verify(deployed, test_case,
-                                         occurrence.failure)
-                            if self.verify else False)
+                with tel.span("reconstruct.verify",
+                              iteration=occurrence_no):
+                    verified = (self._verify(deployed, test_case,
+                                             occurrence.failure)
+                                if self.verify else False)
                 if self.verify and not verified:
                     raise ReconstructionError(
                         "generated test case failed replay verification")
+                self._emit_iteration(tel, record)
                 return ReconstructionReport(
                     success=True, failure=occurrence.failure,
                     test_case=test_case, occurrences=occurrence_no,
@@ -134,19 +170,29 @@ class ExecutionReconstructor:
                     final_module=deployed)
 
             if result.status == "diverged":
+                self._emit_iteration(tel, record)
                 raise ReconstructionError(
                     f"shepherded symbolic execution diverged: "
                     f"{result.divergence_reason}")
 
             # stalled: select key data values and redeploy
-            plan = self.selection(result.stall, frozenset(already_recorded))
+            with tel.span("reconstruct.selection",
+                          iteration=occurrence_no) as sel_span:
+                plan = self.selection(result.stall,
+                                      frozenset(already_recorded))
+            record.phase_seconds["selection"] = sel_span.seconds
             record.recorded_items = list(plan.items)
             record.recording_cost = plan.total_cost
             record.graph_nodes = plan.graph_nodes
             record.stall_point = str(result.stall.point)
+            self._emit_iteration(tel, record)
             if not plan.items:
                 raise ReconstructionError(
                     "stalled but nothing recordable was selected")
+            logger.info(
+                "iteration %d: stalled at %s; recording %d value(s), "
+                "cost %d B/occurrence", occurrence_no, record.stall_point,
+                len(plan.items), plan.total_cost)
             instrumented = instrument(deployed, plan.items, next_tag)
             deployed = instrumented.module
             next_tag = instrumented.next_tag
@@ -157,6 +203,19 @@ class ExecutionReconstructor:
             success=False, failure=signature, test_case=None,
             occurrences=self.max_occurrences, iterations=iterations,
             final_module=deployed)
+
+    @staticmethod
+    def _emit_iteration(tel, record: IterationRecord) -> None:
+        """One structured end-of-iteration event (drives ``repro stats``)."""
+        tel.event("reconstruct.iteration",
+                  iteration=record.occurrence,
+                  status=record.status,
+                  instrs=record.instr_count,
+                  trace_bytes=record.trace_bytes,
+                  solver_calls=record.solver_calls,
+                  modelled_s=round(record.symex_modelled_seconds, 3),
+                  recorded_bytes=record.recording_cost,
+                  stall_point=record.stall_point)
 
     # ------------------------------------------------------------------
 

@@ -15,9 +15,11 @@ an input variable only by recording it.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional
 
+from .. import telemetry
 from ..ir.module import ProgramPoint
 from ..solver.terms import Term, term_size
 from ..symex.result import StallInfo
@@ -27,6 +29,8 @@ from .constraint_graph import ConstraintGraph
 #: recording cost is per *packet*, so low-execution-count values beat
 #: per-byte-cheap but hot ones
 PTW_HEADER_BYTES = 2
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True, order=True)
@@ -140,8 +144,25 @@ def select_key_values(stall: StallInfo,
     earlier iterations; they are excluded so the search digs deeper
     (ultimately to the raw inputs) when a recorded value was not enough.
     """
-    graph = ConstraintGraph.from_stall(stall)
-    bottleneck = graph.bottleneck_set()
+    tel = telemetry.get()
+    with tel.span("selection.select_key_values"):
+        graph = ConstraintGraph.from_stall(stall)
+        bottleneck = graph.bottleneck_set()
+        plan = _plan_from_bottleneck(graph, bottleneck, stall,
+                                     already_recorded)
+    tel.count("selection.rounds")
+    tel.count("selection.values_picked", len(plan.items))
+    tel.histogram("selection.graph_nodes").record(graph.node_count)
+    tel.histogram("selection.recording_cost").record(plan.total_cost)
+    logger.debug("selection: %d graph nodes, %d bottleneck terms -> "
+                 "%d items, cost %d", graph.node_count,
+                 len(plan.bottleneck), len(plan.items), plan.total_cost)
+    return plan
+
+
+def _plan_from_bottleneck(graph: ConstraintGraph, bottleneck: List[Term],
+                          stall: StallInfo,
+                          already_recorded: frozenset) -> RecordingPlan:
     if not bottleneck:
         # No symbolic write chain: the stall came from the query itself
         # (a bounds check over a complex index) or from the final solve.

@@ -8,8 +8,9 @@ Used by ``python -m repro report``; also callable as a library:
 
 from __future__ import annotations
 
-import time
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .. import telemetry
 
 from .accuracy import run_accuracy
 from .casestudy import run_casestudy
@@ -31,20 +32,31 @@ EXPERIMENTS: List[Tuple[str, Callable]] = [
 ]
 
 
-def run_full_report(only: Optional[List[str]] = None,
-                    echo: Optional[Callable[[str], None]] = None) -> str:
-    """Run every evaluation harness; return one markdown document."""
-    sections = []
+def run_report_sections(only: Optional[List[str]] = None,
+                        echo: Optional[Callable[[str], None]] = None
+                        ) -> List[Dict]:
+    """Run the selected harnesses; one dict per section (the structured
+    form behind both the markdown report and ``report --json``)."""
+    sections: List[Dict] = []
     for title, harness in EXPERIMENTS:
         if only and not any(key.lower() in title.lower() for key in only):
             continue
         if echo:
             echo(f"running: {title} ...")
-        started = time.perf_counter()
-        result = harness()
-        elapsed = time.perf_counter() - started
-        sections.append(f"## {title}\n\n```\n{result.render()}\n```\n\n"
-                        f"*(regenerated in {elapsed:.1f} s)*\n")
+        with telemetry.span("evaluation.section", title=title) as sp:
+            result = harness()
+        sections.append({"title": title, "body": result.render(),
+                         "seconds": round(sp.seconds, 3)})
+    return sections
+
+
+def run_full_report(only: Optional[List[str]] = None,
+                    echo: Optional[Callable[[str], None]] = None) -> str:
+    """Run every evaluation harness; return one markdown document."""
+    sections = [
+        f"## {s['title']}\n\n```\n{s['body']}\n```\n\n"
+        f"*(regenerated in {s['seconds']:.1f} s)*\n"
+        for s in run_report_sections(only, echo)]
     header = ("# ER evaluation report\n\n"
               "Regenerated tables and figures for *Execution "
               "Reconstruction* (PLDI 2021); see EXPERIMENTS.md for the "

@@ -19,8 +19,11 @@ exceeding it raises :class:`~repro.errors.SolverTimeout` — ER's stall.
 
 from __future__ import annotations
 
+import logging
+from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .. import telemetry
 from ..errors import SolverTimeout, UnsatError
 from ..ir.types import mask
 from .budget import DEFAULT_WORK_LIMIT, Budget
@@ -34,6 +37,37 @@ _MAX_SCAN_BYTES = 4096
 #: Ceiling on candidate values tried per variable (bytes: full range).
 _MAX_CANDIDATES = 256
 
+logger = logging.getLogger(__name__)
+
+
+@contextmanager
+def _metered(kind: str, budget: Budget):
+    """Account one top-level solver query: work spent, outcome, timeouts.
+
+    Work is charged as the budget delta so queries sharing one budget
+    (e.g. the enumeration loop of ``feasible_values``) are attributed
+    exactly once.
+    """
+    tel = telemetry.get()
+    before = budget.spent
+    try:
+        with tel.span("solver.query", kind=kind):
+            yield
+    except SolverTimeout:
+        tel.count("solver.timeouts")
+        tel.count(f"solver.queries.{kind}")
+        tel.histogram("solver.work_per_query").record(budget.spent - before)
+        logger.debug("solver %s query timed out after %d work (%s)",
+                     kind, budget.spent - before, budget.context)
+        raise
+    except UnsatError:
+        tel.count("solver.unsat")
+        tel.count(f"solver.queries.{kind}")
+        tel.histogram("solver.work_per_query").record(budget.spent - before)
+        raise
+    tel.count(f"solver.queries.{kind}")
+    tel.histogram("solver.work_per_query").record(budget.spent - before)
+
 
 class Solver:
     """Reusable solver facade; each query gets its own budget by default."""
@@ -45,16 +79,22 @@ class Solver:
               budget: Optional[Budget] = None) -> Model:
         """Find a model or raise UnsatError / SolverTimeout."""
         budget = budget if budget is not None else Budget(self.work_limit)
+        with _metered("solve", budget):
+            return self._solve(constraints, budget)
+
+    def _solve(self, constraints: Sequence[Term], budget: Budget) -> Model:
         return _Search(list(constraints), budget).run()
 
     def is_feasible(self, constraints: Sequence[Term],
                     budget: Optional[Budget] = None) -> bool:
         """Satisfiability check; timeouts propagate (they mean 'stall')."""
-        try:
-            self.solve(constraints, budget)
-            return True
-        except UnsatError:
-            return False
+        budget = budget if budget is not None else Budget(self.work_limit)
+        with _metered("feasible", budget):
+            try:
+                self._solve(constraints, budget)
+                return True
+            except UnsatError:
+                return False
 
     def feasible_values(self, term: Term, constraints: Sequence[Term],
                         limit: int = 8,
@@ -70,19 +110,20 @@ class Solver:
         budget = budget if budget is not None else Budget(self.work_limit)
         found: List[int] = []
         extra: List[Term] = []
-        while len(found) < limit:
-            try:
-                model = Solver.solve(self, list(constraints) + extra, budget)
-            except UnsatError:
-                break
-            env = dict(model.assignment)
-            for name in term.free_vars():
-                env.setdefault(name, 0)  # unconstrained bytes default to 0
-            value = tv_eval(term, env, budget)
-            if value is None:
-                break
-            found.append(value)
-            extra.append(cmp("ne", term, const(value), 64))
+        with _metered("values", budget):
+            while len(found) < limit:
+                try:
+                    model = self._solve(list(constraints) + extra, budget)
+                except UnsatError:
+                    break
+                env = dict(model.assignment)
+                for name in term.free_vars():
+                    env.setdefault(name, 0)  # unconstrained bytes: 0
+                value = tv_eval(term, env, budget)
+                if value is None:
+                    break
+                found.append(value)
+                extra.append(cmp("ne", term, const(value), 64))
         return found
 
 

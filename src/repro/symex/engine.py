@@ -18,11 +18,12 @@ The engine replays a decoded PT trace over the IR with symbolic inputs:
 
 from __future__ import annotations
 
-import time
+import logging
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..errors import SolverTimeout, SymexError, TraceDivergence, UnsatError
 from ..interp.failures import FailureInfo, FailureKind
 from ..ir import instructions as ins
@@ -36,6 +37,8 @@ from ..trace.packets import GapEvent, PtwEvent, TntEvent
 from .environment import SymbolicEnvironment
 from .memory import SymMemory, SymObject
 from .result import StallInfo, SymexResult, SymexStats
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -151,22 +154,46 @@ class ShepherdedSymex:
 
     def run(self) -> SymexResult:
         """Shepherd the whole trace; solve for inputs at the end."""
+        with telemetry.span("symex.run",
+                            chunks=len(self.trace.chunks)) as sp:
+            result = self._run()
+        self.stats.wall_seconds = sp.seconds
+        self._publish_stats(result)
+        return result
+
+    def _publish_stats(self, result: SymexResult) -> None:
+        tel = telemetry.get()
+        tel.count("symex.runs")
+        tel.count(f"symex.{result.status}")
+        tel.count("symex.instrs_executed", self.stats.instrs_executed)
+        tel.count("symex.solver_calls", self.stats.solver_calls)
+        tel.count("symex.solver_work", self.stats.solver_work)
+        tel.histogram("symex.wall_seconds").record(self.stats.wall_seconds)
+        logger.debug(
+            "symex %s: %d instrs, %d solver calls, %d work, %.3fs wall",
+            result.status, self.stats.instrs_executed,
+            self.stats.solver_calls, self.stats.solver_work,
+            self.stats.wall_seconds)
+        if result.status == "diverged":
+            logger.info("symex diverged at chunk %d: %s",
+                        result.diverged_chunk, result.divergence_reason)
+            tel.event("symex.divergence", chunk=result.diverged_chunk,
+                      reason=result.divergence_reason)
+
+    def _run(self) -> SymexResult:
         T.clear_term_cache()
-        started = time.perf_counter()
         try:
             self._init_main()
             self._replay_chunks()
             self._apply_failure_constraints()
             model = self._final_solve()
         except _Stall as stall:
-            self.stats.wall_seconds = time.perf_counter() - started
             return SymexResult(status="stalled",
                                constraints=list(self.constraints),
                                stall=stall.info, stats=self.stats,
                                exec_counts=self.exec_counts,
                                gap_bits=list(self.gap_bits_used))
         except TraceDivergence as div:
-            self.stats.wall_seconds = time.perf_counter() - started
             if self._concretized:
                 # the divergence is (most likely) a bad concretization
                 # pick; report a stall naming the concretized terms so
@@ -187,7 +214,6 @@ class ShepherdedSymex:
                                divergence_reason=str(div),
                                diverged_chunk=self._chunk_index,
                                gap_bits=list(self.gap_bits_used))
-        self.stats.wall_seconds = time.perf_counter() - started
         return SymexResult(status="completed",
                            constraints=list(self.constraints), model=model,
                            stats=self.stats, exec_counts=self.exec_counts,
@@ -243,8 +269,8 @@ class ShepherdedSymex:
     def _charge_stats(self, budget: Budget) -> None:
         self.stats.solver_calls += 1
         self.stats.solver_work += budget.spent
-        self.stats.progress.append(
-            (self.stats.instrs_executed, self.stats.solver_work))
+        self.stats.add_progress(self.stats.instrs_executed,
+                                self.stats.solver_work)
 
     def _check_feasible(self, stall_terms: List[Term], context: str) -> None:
         """The per-access solver call of §3.2; may stall."""

@@ -12,13 +12,17 @@ quickly.
 
 from __future__ import annotations
 
+import logging
 from typing import List, Optional
 
+from .. import telemetry
 from ..interp.failures import FailureInfo
 from ..ir.module import Module
 from ..trace.decoder import DecodedTrace
 from .engine import ShepherdedSymex
 from .result import SymexResult
+
+logger = logging.getLogger(__name__)
 
 #: bound on replays (exponential worst case; divergence-guided in practice)
 MAX_GAP_ATTEMPTS = 512
@@ -44,7 +48,14 @@ def replay_with_gap_recovery(module: Module, trace: DecodedTrace,
         result = engine.run()
         result.gap_attempts = attempt
         if result.status != "diverged":
+            telemetry.count("symex.gap_recoveries")
+            telemetry.get().histogram(
+                "symex.gap_attempts").record(attempt)
+            if attempt > 1:
+                logger.debug("gap recovery converged after %d replays",
+                             attempt)
             return result
+        telemetry.count("symex.gap_replays")
         last = result
         # the bits consumed up to the divergence are the DFS prefix
         prefix = list(result.gap_bits)

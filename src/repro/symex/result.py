@@ -11,6 +11,10 @@ from ..solver.model import Model
 from ..solver.terms import Term
 
 
+#: cap on retained progress samples; above it the series is decimated
+PROGRESS_SAMPLE_CAP = 4096
+
+
 @dataclass
 class SymexStats:
     """Bookkeeping for one shepherded run (feeds Fig. 5 / Table 1)."""
@@ -19,13 +23,42 @@ class SymexStats:
     solver_calls: int = 0
     solver_work: int = 0
     wall_seconds: float = 0.0
-    #: (instructions executed, cumulative solver work) samples
+    #: (instructions executed, cumulative solver work) samples, bounded
+    #: by :data:`PROGRESS_SAMPLE_CAP` via stride-doubling decimation
     progress: List[Tuple[int, int]] = field(default_factory=list)
+    _progress_stride: int = 1
+    _progress_pending: int = 0
+
+    def add_progress(self, instrs: int, work: int) -> None:
+        """Append a (instrs, cumulative work) sample, decimating at the
+        cap: every other sample is dropped and the keep-stride doubles,
+        so memory stays O(cap) over arbitrarily long runs while the
+        series keeps its shape (both axes are monotone)."""
+        self._progress_pending += 1
+        if self._progress_pending < self._progress_stride:
+            return
+        self._progress_pending = 0
+        self.progress.append((instrs, work))
+        if len(self.progress) >= PROGRESS_SAMPLE_CAP:
+            del self.progress[::2]
+            self._progress_stride *= 2
 
     def modelled_seconds(self) -> float:
         from ..solver.budget import WORK_PER_SECOND
 
         return self.solver_work / WORK_PER_SECOND
+
+    def to_dict(self) -> dict:
+        """Plain-data form (the CLI ``--json`` surface)."""
+        return {
+            "instrs_executed": self.instrs_executed,
+            "solver_calls": self.solver_calls,
+            "solver_work": self.solver_work,
+            "wall_seconds": self.wall_seconds,
+            "modelled_seconds": self.modelled_seconds(),
+            "progress_samples": len(self.progress),
+            "progress_stride": self._progress_stride,
+        }
 
 
 @dataclass

@@ -1,0 +1,191 @@
+"""The telemetry registry: metrics, nestable timed spans, event stream.
+
+One :class:`Telemetry` instance aggregates everything observable about a
+run of the ER pipeline:
+
+* **metrics** — named :class:`~repro.telemetry.metrics.Counter` /
+  ``Gauge`` / ``Histogram`` objects, created on first use and read back
+  via :meth:`Telemetry.snapshot`;
+* **spans** — ``with telemetry.span("symex.run", iteration=3):`` times a
+  pipeline stage, feeds a per-name duration histogram, and (when a sink
+  is attached) emits a structured ``span`` event carrying its nesting
+  depth and parent; and
+* **events** — ``telemetry.event("production.ring_wrap", bytes=...)``
+  point records, forwarded to the sink.
+
+The process-wide current registry lives in :mod:`repro.telemetry`
+(module functions ``get`` / ``set_current`` / ``scoped``); library code
+reaches it through those so the CLI and tests can swap in a fresh
+registry per run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from .metrics import Counter, Gauge, Histogram
+from .sinks import NULL_SINK, Sink
+
+__all__ = ["Telemetry", "Span"]
+
+
+class Span:
+    """One timed, attributed region; returned by :meth:`Telemetry.span`.
+
+    Usable only as a context manager.  After exit, :attr:`seconds` holds
+    the measured wall time — callers that want the number (e.g. the
+    reconstructor's per-iteration timeline) keep the object around::
+
+        with telemetry.span("trace.decode", bytes=n) as sp:
+            ...
+        record.phase_seconds["decode"] = sp.seconds
+    """
+
+    __slots__ = ("telemetry", "name", "attrs", "seconds", "_started")
+
+    def __init__(self, telemetry: "Telemetry", name: str, attrs: Dict):
+        self.telemetry = telemetry
+        self.name = name
+        self.attrs = attrs
+        self.seconds: float = 0.0
+        self._started: float = 0.0
+
+    def __enter__(self) -> "Span":
+        self.telemetry._enter_span(self)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.seconds = time.perf_counter() - self._started
+        self.telemetry._exit_span(self, error=exc_type is not None)
+
+
+class Telemetry:
+    """A registry of metrics plus a structured event stream.
+
+    Thread-compatible by construction: metric updates are plain attribute
+    arithmetic (atomic enough under the GIL) and the span stack is
+    thread-local, so concurrent production runs cannot corrupt nesting.
+    """
+
+    def __init__(self, sink: Optional[Sink] = None):
+        self.sink: Sink = sink if sink is not None else NULL_SINK
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._local = threading.local()
+        self._seq = 0
+        self._epoch = time.perf_counter()
+
+    # -- metric accessors ------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            metric = self._histograms[name] = Histogram(name)
+            return metric
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Convenience one-shot counter increment."""
+        self.counter(name).add(amount)
+
+    # -- spans -----------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> Span:
+        """A nestable timed region; see :class:`Span`."""
+        return Span(self, name, attrs)
+
+    def _span_stack(self) -> List[str]:
+        try:
+            return self._local.stack
+        except AttributeError:
+            stack = self._local.stack = []
+            return stack
+
+    def _enter_span(self, span: Span) -> None:
+        self._span_stack().append(span.name)
+
+    def _exit_span(self, span: Span, error: bool) -> None:
+        stack = self._span_stack()
+        depth = len(stack)
+        parent = stack[-2] if depth >= 2 else None
+        stack.pop()
+        self.histogram(f"span.{span.name}").record(span.seconds)
+        if self.sink.enabled:
+            event = {"type": "span", "name": span.name,
+                     "dur_s": span.seconds, "depth": depth,
+                     "parent": parent}
+            if error:
+                event["error"] = True
+            if span.attrs:
+                event["attrs"] = span.attrs
+            self._emit(event)
+
+    # -- events ----------------------------------------------------------
+
+    def event(self, name: str, **fields) -> None:
+        """Emit one structured point event (dropped when sink disabled)."""
+        if not self.sink.enabled:
+            return
+        event = {"type": "event", "name": name}
+        if fields:
+            event["attrs"] = fields
+        self._emit(event)
+
+    def emit_snapshot(self) -> None:
+        """Emit the full metric state as one ``snapshot`` event."""
+        if not self.sink.enabled:
+            return
+        self._emit({"type": "snapshot", "name": "telemetry.snapshot",
+                    "metrics": self.snapshot()})
+
+    def _emit(self, event: Dict) -> None:
+        self._seq += 1
+        event["seq"] = self._seq
+        event["ts"] = round(time.perf_counter() - self._epoch, 6)
+        self.sink.emit(event)
+
+    # -- lifecycle / export ----------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """True when a real (non-null) sink is attached."""
+        return self.sink.enabled
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """All metric values as plain data (the ``--json`` surface)."""
+        return {
+            "counters": {n: c.value
+                         for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.to_dict()
+                           for n, h in sorted(self._histograms.items())},
+        }
+
+    def reset(self) -> None:
+        """Drop all metrics (the sink and its stream are untouched)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def close(self) -> None:
+        """Emit a final snapshot and close the sink."""
+        self.emit_snapshot()
+        self.sink.close()

@@ -1,0 +1,105 @@
+"""Event sinks: where the structured telemetry stream goes.
+
+The registry forwards every structured event (spans closing, point
+events, final metric snapshots) to exactly one sink.  The default
+:class:`NullSink` advertises ``enabled = False`` so instrumented code —
+and the registry itself — can skip event *construction* entirely,
+keeping the disabled-telemetry overhead near zero.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+from typing import Dict, List, Union
+
+__all__ = ["Sink", "NullSink", "MemorySink", "JsonlSink", "NULL_SINK"]
+
+
+class Sink:
+    """Base sink interface; subclasses override :meth:`emit`."""
+
+    #: registries skip building event dicts when the sink is disabled
+    enabled = True
+
+    def emit(self, event: Dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; emit() must not be called after."""
+
+
+class NullSink(Sink):
+    """Drops everything; the zero-overhead default."""
+
+    enabled = False
+
+    def emit(self, event: Dict) -> None:
+        pass
+
+
+#: shared default instance — stateless, safe to reuse everywhere
+NULL_SINK = NullSink()
+
+
+class MemorySink(Sink):
+    """Buffers events in a list; the test/debugging sink."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict] = []
+
+    def emit(self, event: Dict) -> None:
+        self.events.append(event)
+
+    def named(self, name: str) -> List[Dict]:
+        return [e for e in self.events if e.get("name") == name]
+
+    def spans(self, name: str = "") -> List[Dict]:
+        return [e for e in self.events if e.get("type") == "span"
+                and (not name or e.get("name") == name)]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class JsonlSink(Sink):
+    """Appends one JSON object per line to a file (or file-like object).
+
+    The format is the interchange surface of the telemetry subsystem:
+    ``repro reproduce --telemetry out.jsonl`` writes it and ``repro
+    stats out.jsonl`` renders it, but any ``jq``-style tool works too.
+    """
+
+    def __init__(self, target: Union[str, pathlib.Path, io.TextIOBase]):
+        if isinstance(target, (str, pathlib.Path)):
+            self._fh = open(target, "w", encoding="utf-8")
+            self._owns_fh = True
+        else:
+            self._fh = target
+            self._owns_fh = False
+        self._closed = False
+
+    def emit(self, event: Dict) -> None:
+        if self._closed:
+            raise ValueError("emit() on a closed JsonlSink")
+        self._fh.write(json.dumps(event, default=str) + "\n")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._fh.flush()
+        if self._owns_fh:
+            self._fh.close()
+
+
+def read_jsonl(path: Union[str, pathlib.Path]) -> List[Dict]:
+    """Load a JSONL event log back into a list of event dicts."""
+    events: List[Dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

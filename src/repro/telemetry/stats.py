@@ -1,0 +1,124 @@
+"""Offline analysis of a telemetry JSONL stream (``repro stats``).
+
+Reconstructs the per-iteration cost breakdown of a reconstruction run
+from its event log: phase spans emitted by the reconstructor carry an
+``iteration`` attribute, deeper spans (trace decode, symex engine runs)
+are attributed to the iteration whose ``reconstruct.iteration`` end
+event follows them in stream order, and the final ``snapshot`` event
+supplies whole-run totals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: span names the reconstructor tags with an ``iteration`` attribute
+PHASE_SPANS = {
+    "reconstruct.production": "production_s",
+    "reconstruct.symex": "symex_s",
+    "reconstruct.selection": "selection_s",
+}
+
+#: untagged inner spans folded into the enclosing iteration
+NESTED_SPANS = {
+    "trace.decode": "decode_s",
+}
+
+
+def _new_row(iteration: int) -> Dict:
+    row = {"iteration": iteration, "status": "?", "instrs": 0,
+           "trace_bytes": 0, "solver_calls": 0, "modelled_s": 0.0,
+           "recorded_bytes": 0}
+    for field in list(PHASE_SPANS.values()) + list(NESTED_SPANS.values()):
+        row[field] = 0.0
+    return row
+
+
+def iteration_rows(events: Sequence[Dict]) -> List[Dict]:
+    """Fold a telemetry event stream into one row per iteration."""
+    rows: Dict[int, Dict] = {}
+    pending_nested: Dict[str, float] = {}
+
+    def row_for(iteration: int) -> Dict:
+        return rows.setdefault(iteration, _new_row(iteration))
+
+    for event in events:
+        kind = event.get("type")
+        name = event.get("name", "")
+        attrs = event.get("attrs", {}) or {}
+        if kind == "span" and name in PHASE_SPANS \
+                and "iteration" in attrs:
+            row = row_for(attrs["iteration"])
+            row[PHASE_SPANS[name]] += event.get("dur_s", 0.0)
+        elif kind == "span" and name in NESTED_SPANS:
+            field = NESTED_SPANS[name]
+            pending_nested[field] = (pending_nested.get(field, 0.0)
+                                     + event.get("dur_s", 0.0))
+        elif kind == "event" and name == "reconstruct.iteration":
+            row = row_for(attrs.get("iteration", len(rows) + 1))
+            row["status"] = attrs.get("status", row["status"])
+            for key in ("instrs", "trace_bytes", "solver_calls",
+                        "modelled_s", "recorded_bytes"):
+                if key in attrs:
+                    row[key] = attrs[key]
+            for field, seconds in pending_nested.items():
+                row[field] += seconds
+            pending_nested.clear()
+    return [rows[i] for i in sorted(rows)]
+
+
+def final_snapshot(events: Sequence[Dict]) -> Optional[Dict]:
+    """The last ``snapshot`` event's metrics, if any."""
+    metrics = None
+    for event in events:
+        if event.get("type") == "snapshot":
+            metrics = event.get("metrics")
+    return metrics
+
+
+def render_stats(events: Sequence[Dict]) -> str:
+    """Human-readable per-iteration breakdown + whole-run totals."""
+    from ..evaluation.formatting import render_table
+
+    parts: List[str] = []
+    rows = iteration_rows(events)
+    if rows:
+        table_rows = []
+        for row in rows:
+            table_rows.append([
+                row["iteration"], row["status"], row["instrs"],
+                row["trace_bytes"],
+                f"{row['production_s']:.3f}", f"{row['decode_s']:.3f}",
+                f"{row['symex_s']:.3f}", f"{row['selection_s']:.3f}",
+                row["solver_calls"], f"{row['modelled_s']:.1f}",
+                row["recorded_bytes"],
+            ])
+        parts.append(render_table(
+            ["iter", "status", "instrs", "trace B", "production s",
+             "decode s", "symex s", "select s", "solver calls",
+             "modelled s", "recorded B"],
+            table_rows, "Per-iteration cost breakdown"))
+    else:
+        parts.append("no per-iteration events in this stream "
+                     "(not a `repro reproduce --telemetry` log?)")
+
+    metrics = final_snapshot(events)
+    if metrics:
+        counters = metrics.get("counters", {})
+        if counters:
+            parts.append(render_table(
+                ["counter", "value"],
+                sorted(counters.items()), "Counters"))
+        histograms = metrics.get("histograms", {})
+        span_rows = []
+        for name, h in sorted(histograms.items()):
+            if not name.startswith("span."):
+                continue
+            span_rows.append([name[len("span."):], h["count"],
+                              f"{h['sum']:.3f}", f"{h['mean']:.4f}",
+                              f"{h['p90']:.4f}"])
+        if span_rows:
+            parts.append(render_table(
+                ["span", "count", "total s", "mean s", "p90 s"],
+                span_rows, "Span timings"))
+    return "\n\n".join(parts)

@@ -7,13 +7,17 @@ timestamp, the retired-instruction count, and the in-order TNT/PTW events.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from .. import telemetry
 from ..errors import TraceError, TraceTruncatedError
 from .packets import (CHD, CHE, OVF, PSB, PTW, TNT, ChunkEvent, PtwEvent,
                       TntEvent, decode_tnt, decode_varint)
 from .ringbuffer import RingBuffer
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -68,7 +72,9 @@ def decode(buffer: RingBuffer, *, allow_truncated: bool = False) -> DecodedTrace
     data = buffer.contents()
     start = 0
     truncated = buffer.wrapped
+    tel = telemetry.get()
     if truncated:
+        tel.count("trace.decode_truncated")
         if not allow_truncated:
             raise TraceTruncatedError(
                 f"ring buffer wrapped: {buffer.total_written - len(data)} "
@@ -76,7 +82,15 @@ def decode(buffer: RingBuffer, *, allow_truncated: bool = False) -> DecodedTrace
         start = data.find(bytes((PSB,)))
         if start < 0:
             return DecodedTrace(chunks=[], truncated=True)
-    return _decode_bytes(data, start, truncated)
+    with tel.span("trace.decode", bytes=len(data)):
+        trace = _decode_bytes(data, start, truncated)
+    tel.count("trace.decodes")
+    tel.count("trace.chunks_decoded", len(trace.chunks))
+    tel.count("trace.events_decoded",
+              sum(len(c.events) for c in trace.chunks))
+    logger.debug("decoded %d bytes into %d chunks (%d instrs)",
+                 len(data), len(trace.chunks), trace.instr_count)
+    return trace
 
 
 def _decode_bytes(data: bytes, pos: int, truncated: bool) -> DecodedTrace:

@@ -9,11 +9,15 @@ models that: a seeded fraction of TNT bits are replaced by
 
 from __future__ import annotations
 
+import logging
 import random
 from typing import Optional
 
+from .. import telemetry
 from .decoder import DecodedChunk, DecodedTrace
 from .packets import GapEvent, TntEvent
+
+logger = logging.getLogger(__name__)
 
 #: the paper's measured mapping accuracy: 91.5 % of events survive
 DEFAULT_LOSS = 0.085
@@ -24,14 +28,26 @@ def degrade_trace(trace: DecodedTrace, loss: float = DEFAULT_LOSS,
     """A copy of ``trace`` with a fraction of TNT bits turned into gaps."""
     rng = random.Random(seed)
     chunks = []
+    lost = 0
     for chunk in trace.chunks:
-        events = [GapEvent() if isinstance(e, TntEvent)
-                  and rng.random() < loss else e
-                  for e in chunk.events]
+        events = []
+        for e in chunk.events:
+            if isinstance(e, TntEvent) and rng.random() < loss:
+                events.append(GapEvent())
+                lost += 1
+            else:
+                events.append(e)
         chunks.append(DecodedChunk(tid=chunk.tid,
                                    timestamp=chunk.timestamp,
                                    n_instrs=chunk.n_instrs,
                                    events=events))
+    tel = telemetry.get()
+    tel.count("trace.degradations")
+    tel.count("trace.tnt_bits_lost", lost)
+    tel.event("trace.degrade", loss=loss, bits_lost=lost, seed=seed)
+    if lost:
+        logger.debug("degraded trace: %d TNT bits -> gaps (loss=%.3f)",
+                     lost, loss)
     return DecodedTrace(chunks=chunks, truncated=trace.truncated)
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from .. import telemetry
 from ..errors import TraceError
 from ..ir.types import MASK64
 from .packets import (CHD, CHE, PSB, PSB_PERIOD, TNT_CAPACITY, encode_tnt,
@@ -26,6 +27,14 @@ class PTEncoder:
         self._tnt_bits: List[bool] = []
         self._in_chunk = False
         self._since_psb = 0
+        # counters cached once: the tracer protocol fires per branch /
+        # per packet, so updates must stay attribute arithmetic
+        tel = telemetry.get()
+        self._c_packets = tel.counter("trace.packets_emitted")
+        self._c_tnt_bits = tel.counter("trace.tnt_bits")
+        self._c_ptw = tel.counter("trace.ptw_packets")
+        self._c_bytes = tel.counter("trace.bytes_emitted")
+        self._c_chunks = tel.counter("trace.chunks_emitted")
         self._emit_psb()
 
     # -- tracer protocol -------------------------------------------------
@@ -47,6 +56,7 @@ class PTEncoder:
         self._require_chunk()
         self._flush_tnt()
         payload = (value & MASK64).to_bytes(8, "little")
+        self._c_ptw.add()
         self._emit(bytes((0x05,)) + encode_varint(tag) + payload)
 
     def end_chunk(self, n_instrs: int) -> None:
@@ -54,6 +64,7 @@ class PTEncoder:
         self._flush_tnt()
         self._emit(bytes((CHE,)) + encode_varint(n_instrs))
         self._in_chunk = False
+        self._c_chunks.add()
         if self._since_psb >= PSB_PERIOD:
             self._emit_psb()
 
@@ -65,11 +76,14 @@ class PTEncoder:
 
     def _flush_tnt(self) -> None:
         if self._tnt_bits:
+            self._c_tnt_bits.add(len(self._tnt_bits))
             self._emit(encode_tnt(self._tnt_bits))
             self._tnt_bits = []
 
     def _emit(self, data: bytes) -> None:
         self.buffer.write(data)
+        self._c_packets.add()
+        self._c_bytes.add(len(data))
         self._since_psb += len(data)
 
     def _emit_psb(self) -> None:

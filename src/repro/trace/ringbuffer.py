@@ -21,14 +21,24 @@ class RingBuffer:
         self.capacity = capacity
         self._buf = bytearray()
         self.total_written = 0
+        #: write() calls that overwrote surviving bytes
+        self.wraps = 0
+        #: bytes lost to overwrite across all wraps
+        self.bytes_dropped = 0
 
     def write(self, data: bytes) -> None:
         self.total_written += len(data)
         if len(data) >= self.capacity:
+            dropped = len(self._buf) + len(data) - self.capacity
+            if dropped:
+                self.wraps += 1
+                self.bytes_dropped += dropped
             self._buf = bytearray(data[-self.capacity:])
             return
         self._buf += data
         if len(self._buf) > self.capacity:
+            self.wraps += 1
+            self.bytes_dropped += len(self._buf) - self.capacity
             del self._buf[: len(self._buf) - self.capacity]
 
     @property

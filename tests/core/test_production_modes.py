@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import telemetry
 from repro.core.production import ProductionSite
 from repro.core.reconstructor import ExecutionReconstructor
 from repro.errors import ReconstructionError
@@ -25,6 +26,37 @@ class TestAutoGrowBuffer:
                               auto_grow_buffer=False)
         with pytest.raises(ReconstructionError, match="ring buffer"):
             site.run_once(abort_module)
+
+    def test_wrap_and_grow_counters(self, abort_module):
+        tel = telemetry.Telemetry()
+        with telemetry.scoped(tel):
+            site = ProductionSite(failing_factory, ring_capacity=4)
+            site.run_once(abort_module)
+        assert site.ring_wraps >= 1
+        assert site.auto_grows >= 1
+        # capacity doubled auto_grows times from the initial 4
+        assert site.ring_capacity == 4 * 2 ** site.auto_grows
+        counters = tel.snapshot()["counters"]
+        assert counters["production.ring_wraps"] == site.ring_wraps
+        assert counters["production.auto_grows"] == site.auto_grows
+        assert tel.gauge("production.ring_capacity").value \
+            == site.ring_capacity
+
+    def test_wrap_event_emitted(self, abort_module):
+        sink = telemetry.MemorySink()
+        with telemetry.scoped(telemetry.Telemetry(sink)):
+            ProductionSite(failing_factory,
+                           ring_capacity=4).run_once(abort_module)
+        wraps = sink.named("production.ring_wrap")
+        assert wraps and wraps[0]["attrs"]["capacity"] == 4
+
+    def test_no_wraps_counted_with_ample_buffer(self, abort_module):
+        tel = telemetry.Telemetry()
+        with telemetry.scoped(tel):
+            site = ProductionSite(failing_factory)
+            site.run_once(abort_module)
+        assert site.ring_wraps == 0 and site.auto_grows == 0
+        assert "production.ring_wraps" not in tel.snapshot()["counters"]
 
     def test_reconstruction_survives_small_initial_buffer(self,
                                                           abort_module):

@@ -1,0 +1,46 @@
+"""SymexStats: bounded progress sampling and the JSON surface."""
+
+from repro.symex.result import PROGRESS_SAMPLE_CAP, SymexStats
+
+
+class TestProgressSampling:
+    def test_small_runs_keep_every_sample(self):
+        stats = SymexStats()
+        for i in range(100):
+            stats.add_progress(i, i * 10)
+        assert stats.progress == [(i, i * 10) for i in range(100)]
+
+    def test_growth_is_bounded_above_the_cap(self):
+        stats = SymexStats()
+        n = PROGRESS_SAMPLE_CAP * 20
+        for i in range(n):
+            stats.add_progress(i, i)
+        assert len(stats.progress) < PROGRESS_SAMPLE_CAP
+
+    def test_decimated_series_stays_monotone_and_spans_run(self):
+        stats = SymexStats()
+        n = PROGRESS_SAMPLE_CAP * 8
+        for i in range(n):
+            stats.add_progress(i, 2 * i)
+        xs = [x for x, _ in stats.progress]
+        ys = [y for _, y in stats.progress]
+        assert xs == sorted(xs) and ys == sorted(ys)
+        # the retained sample still covers most of the run
+        assert xs[-1] >= n * 0.8
+
+    def test_to_dict_reports_sampling_state(self):
+        stats = SymexStats(instrs_executed=10, solver_calls=2,
+                           solver_work=400_000, wall_seconds=0.5)
+        stats.add_progress(5, 200_000)
+        d = stats.to_dict()
+        assert d["instrs_executed"] == 10
+        assert d["solver_calls"] == 2
+        assert d["modelled_seconds"] == 2.0
+        assert d["progress_samples"] == 1
+        assert d["progress_stride"] == 1
+
+    def test_stride_doubles_per_decimation(self):
+        stats = SymexStats()
+        for i in range(PROGRESS_SAMPLE_CAP):
+            stats.add_progress(i, i)
+        assert stats.to_dict()["progress_stride"] == 2

@@ -1,0 +1,86 @@
+"""Counter / Gauge / Histogram primitives."""
+
+import pytest
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.add()
+        c.add(41)
+        assert c.value == 42
+
+    def test_to_dict_is_the_value(self):
+        c = Counter("x")
+        c.add(7)
+        assert c.to_dict() == 7
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("cap")
+        g.set(64)
+        g.set(128)
+        assert g.value == 128
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        h = Histogram("work")
+        for v in (5, 1, 3):
+            h.record(v)
+        assert h.count == 3
+        assert h.total == 9
+        assert h.min == 1 and h.max == 5
+        assert h.mean == pytest.approx(3.0)
+
+    def test_percentiles_small_sample(self):
+        h = Histogram("lat")
+        for v in range(1, 101):        # 1..100
+            h.record(v)
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 100
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(90) == pytest.approx(90.1)
+
+    def test_percentile_validates_range(self):
+        h = Histogram("lat")
+        with pytest.raises(ValueError):
+            h.percentile(101)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("lat").percentile(50) == 0.0
+
+    def test_sample_is_bounded_with_exact_count(self):
+        h = Histogram("big", max_samples=64)
+        n = 10_000
+        for v in range(n):
+            h.record(v)
+        assert h.count == n                  # aggregates stay exact
+        assert h.total == sum(range(n))
+        assert h.sample_size < 64            # sample stays bounded
+        # decimated sample still spans the distribution
+        assert h.percentile(50) == pytest.approx(n / 2, rel=0.25)
+
+    def test_min_max_survive_decimation(self):
+        h = Histogram("big", max_samples=16)
+        for v in range(1000):
+            h.record(v)
+        assert h.min == 0 and h.max == 999
+
+    def test_rejects_tiny_sample_cap(self):
+        with pytest.raises(ValueError):
+            Histogram("x", max_samples=1)
+
+    def test_to_dict_shape(self):
+        h = Histogram("x")
+        h.record(2.0)
+        d = h.to_dict()
+        assert set(d) == {"count", "sum", "min", "max", "mean",
+                          "p50", "p90", "p99"}
+        assert d["count"] == 1 and d["sum"] == 2.0

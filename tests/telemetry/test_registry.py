@@ -1,0 +1,162 @@
+"""The Telemetry registry: metrics-by-name, spans, events, scoping."""
+
+import time
+
+from repro import telemetry
+from repro.telemetry import MemorySink, NullSink, Telemetry
+
+
+class TestMetricAccessors:
+    def test_counter_created_once(self):
+        tel = Telemetry()
+        tel.counter("a").add(1)
+        tel.counter("a").add(2)
+        assert tel.counter("a").value == 3
+
+    def test_count_convenience(self):
+        tel = Telemetry()
+        tel.count("hits")
+        tel.count("hits", 9)
+        assert tel.counter("hits").value == 10
+
+    def test_snapshot_is_plain_data(self):
+        tel = Telemetry()
+        tel.count("c", 5)
+        tel.gauge("g").set(1.5)
+        tel.histogram("h").record(3)
+        snap = tel.snapshot()
+        assert snap["counters"] == {"c": 5}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset_clears_metrics(self):
+        tel = Telemetry()
+        tel.count("c")
+        tel.reset()
+        assert tel.snapshot()["counters"] == {}
+
+
+class TestSpans:
+    def test_span_measures_time(self):
+        tel = Telemetry()
+        with tel.span("work") as sp:
+            time.sleep(0.01)
+        assert sp.seconds >= 0.005
+        hist = tel.histogram("span.work")
+        assert hist.count == 1 and hist.total >= 0.005
+
+    def test_span_nesting_depth_and_parent(self):
+        sink = MemorySink()
+        tel = Telemetry(sink)
+        with tel.span("outer"):
+            with tel.span("middle"):
+                with tel.span("inner"):
+                    pass
+        names = [e["name"] for e in sink.events]
+        # spans emit at close: innermost first
+        assert names == ["inner", "middle", "outer"]
+        by_name = {e["name"]: e for e in sink.events}
+        assert by_name["inner"]["depth"] == 3
+        assert by_name["inner"]["parent"] == "middle"
+        assert by_name["middle"]["parent"] == "outer"
+        assert by_name["outer"]["depth"] == 1
+        assert by_name["outer"]["parent"] is None
+
+    def test_sibling_spans_share_depth(self):
+        sink = MemorySink()
+        tel = Telemetry(sink)
+        with tel.span("a"):
+            with tel.span("b1"):
+                pass
+            with tel.span("b2"):
+                pass
+        by_name = {e["name"]: e for e in sink.events}
+        assert by_name["b1"]["depth"] == by_name["b2"]["depth"] == 2
+        assert by_name["b1"]["parent"] == by_name["b2"]["parent"] == "a"
+
+    def test_span_attrs_and_error_flag(self):
+        sink = MemorySink()
+        tel = Telemetry(sink)
+        try:
+            with tel.span("s", iteration=3):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        (event,) = sink.events
+        assert event["attrs"] == {"iteration": 3}
+        assert event["error"] is True
+        # the stack unwound despite the exception
+        with tel.span("after"):
+            pass
+        assert sink.events[-1]["depth"] == 1
+
+    def test_span_histogram_recorded_even_with_null_sink(self):
+        tel = Telemetry()          # null sink
+        with tel.span("quiet"):
+            pass
+        assert tel.histogram("span.quiet").count == 1
+
+
+class TestEvents:
+    def test_event_carries_fields_seq_ts(self):
+        sink = MemorySink()
+        tel = Telemetry(sink)
+        tel.event("ring_wrap", bytes=128)
+        (event,) = sink.events
+        assert event["type"] == "event"
+        assert event["attrs"] == {"bytes": 128}
+        assert event["seq"] == 1 and event["ts"] >= 0
+
+    def test_seq_is_monotonic(self):
+        sink = MemorySink()
+        tel = Telemetry(sink)
+        for _ in range(5):
+            tel.event("tick")
+        assert [e["seq"] for e in sink.events] == [1, 2, 3, 4, 5]
+
+    def test_null_sink_drops_everything(self):
+        tel = Telemetry()
+        assert not tel.enabled
+        tel.event("dropped", x=1)       # no error, no storage
+        assert isinstance(tel.sink, NullSink)
+
+    def test_emit_snapshot_event(self):
+        sink = MemorySink()
+        tel = Telemetry(sink)
+        tel.count("c", 2)
+        tel.emit_snapshot()
+        (event,) = sink.events
+        assert event["type"] == "snapshot"
+        assert event["metrics"]["counters"] == {"c": 2}
+
+
+class TestCurrentRegistry:
+    def test_scoped_swaps_and_restores(self):
+        outer = telemetry.get()
+        fresh = Telemetry()
+        with telemetry.scoped(fresh):
+            assert telemetry.get() is fresh
+            telemetry.count("scoped.only")
+        assert telemetry.get() is outer
+        assert fresh.counter("scoped.only").value == 1
+
+    def test_passthroughs_follow_current(self):
+        fresh = Telemetry(MemorySink())
+        with telemetry.scoped(fresh):
+            with telemetry.span("via-module"):
+                pass
+            telemetry.event("e")
+            telemetry.gauge("g").set(2)
+            telemetry.histogram("h").record(1)
+        assert fresh.histogram("span.via-module").count == 1
+        assert len(fresh.sink.events) == 2
+        assert fresh.gauge("g").value == 2
+
+    def test_scoped_restores_on_exception(self):
+        outer = telemetry.get()
+        try:
+            with telemetry.scoped(Telemetry()):
+                raise ValueError
+        except ValueError:
+            pass
+        assert telemetry.get() is outer

@@ -1,0 +1,90 @@
+"""Sinks: JSONL round-trip, memory buffering, null-sink overhead."""
+
+import json
+import time
+
+import pytest
+
+from repro.telemetry import (JsonlSink, MemorySink, NullSink, Telemetry,
+                             read_jsonl)
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tel = Telemetry(JsonlSink(path))
+        with tel.span("phase", iteration=1):
+            tel.event("inner", n=3)
+        tel.count("c", 4)
+        tel.close()      # emits the final snapshot and flushes
+
+        events = read_jsonl(path)
+        assert [e["type"] for e in events] == ["event", "span", "snapshot"]
+        assert events[0]["attrs"] == {"n": 3}
+        assert events[1]["name"] == "phase"
+        assert events[1]["attrs"] == {"iteration": 1}
+        assert events[2]["metrics"]["counters"]["c"] == 4
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tel = Telemetry(JsonlSink(path))
+        for i in range(3):
+            tel.event("tick", i=i)
+        tel.sink.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            json.loads(line)     # every line parses standalone
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "x.jsonl")
+        sink.close()
+        sink.close()             # idempotent
+        with pytest.raises(ValueError):
+            sink.emit({"a": 1})
+
+    def test_non_serializable_values_stringified(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"obj": object()})
+        sink.close()
+        (event,) = read_jsonl(path)
+        assert "object" in event["obj"]
+
+
+class TestMemorySink:
+    def test_filters(self):
+        sink = MemorySink()
+        tel = Telemetry(sink)
+        with tel.span("s"):
+            pass
+        tel.event("e")
+        assert len(sink.spans()) == 1
+        assert sink.spans("s")[0]["name"] == "s"
+        assert sink.named("e")[0]["type"] == "event"
+        sink.clear()
+        assert sink.events == []
+
+
+class TestDisabledOverhead:
+    def test_null_sink_skips_event_construction(self):
+        tel = Telemetry()
+        emitted = []
+        tel.sink.emit = lambda e: emitted.append(e)  # would record if called
+        tel.event("x", big=list(range(100)))
+        assert emitted == []     # short-circuited before emit
+
+    def test_disabled_span_cost_is_microseconds(self):
+        """Spans with the null sink must stay cheap enough to leave in
+        production paths: budget 50µs/span, ~25x the observed cost."""
+        tel = Telemetry()
+        n = 2000
+        started = time.perf_counter()
+        for _ in range(n):
+            with tel.span("hot"):
+                pass
+        per_span = (time.perf_counter() - started) / n
+        assert per_span < 50e-6
+
+    def test_null_sink_is_default(self):
+        assert isinstance(Telemetry().sink, NullSink)

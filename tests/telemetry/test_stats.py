@@ -1,0 +1,98 @@
+"""The stats folder: JSONL events -> per-iteration breakdown."""
+
+import pytest
+
+from repro.telemetry.stats import (final_snapshot, iteration_rows,
+                                   render_stats)
+
+
+def span(name, dur, **attrs):
+    e = {"type": "span", "name": name, "dur_s": dur}
+    if attrs:
+        e["attrs"] = attrs
+    return e
+
+
+def iteration_end(n, **extra):
+    attrs = {"iteration": n, "status": "stalled", "instrs": 100,
+             "trace_bytes": 64, "solver_calls": 3, "modelled_s": 1.5,
+             "recorded_bytes": 12}
+    attrs.update(extra)
+    return {"type": "event", "name": "reconstruct.iteration",
+            "attrs": attrs}
+
+
+class TestIterationRows:
+    def test_phase_spans_grouped_by_iteration_attr(self):
+        events = [
+            span("reconstruct.production", 0.5, iteration=1),
+            span("reconstruct.symex", 2.0, iteration=1),
+            iteration_end(1),
+            span("reconstruct.production", 0.25, iteration=2),
+            span("reconstruct.symex", 1.0, iteration=2),
+            iteration_end(2, status="completed", recorded_bytes=0),
+        ]
+        rows = iteration_rows(events)
+        assert len(rows) == 2
+        assert rows[0]["production_s"] == 0.5
+        assert rows[0]["symex_s"] == 2.0
+        assert rows[0]["status"] == "stalled"
+        assert rows[1]["status"] == "completed"
+        assert rows[1]["recorded_bytes"] == 0
+
+    def test_nested_decode_attributed_to_enclosing_iteration(self):
+        events = [
+            span("trace.decode", 0.1),
+            span("trace.decode", 0.2),
+            iteration_end(1),
+            span("trace.decode", 0.4),
+            iteration_end(2),
+        ]
+        rows = iteration_rows(events)
+        assert rows[0]["decode_s"] == pytest.approx(0.3)
+        assert rows[1]["decode_s"] == pytest.approx(0.4)
+
+    def test_unrelated_events_ignored(self):
+        events = [
+            {"type": "event", "name": "production.ring_wrap",
+             "attrs": {"bytes": 9}},
+            span("solver.query", 0.01),
+            iteration_end(1),
+        ]
+        rows = iteration_rows(events)
+        assert len(rows) == 1
+
+    def test_empty_stream(self):
+        assert iteration_rows([]) == []
+        assert "no per-iteration events" in render_stats([])
+
+
+class TestFinalSnapshot:
+    def test_last_snapshot_wins(self):
+        events = [
+            {"type": "snapshot", "metrics": {"counters": {"a": 1}}},
+            {"type": "snapshot", "metrics": {"counters": {"a": 2}}},
+        ]
+        assert final_snapshot(events)["counters"]["a"] == 2
+
+    def test_none_without_snapshot(self):
+        assert final_snapshot([iteration_end(1)]) is None
+
+
+class TestRenderStats:
+    def test_renders_iterations_and_counters(self):
+        events = [
+            span("reconstruct.symex", 1.25, iteration=1),
+            iteration_end(1),
+            {"type": "snapshot",
+             "metrics": {"counters": {"production.runs": 4},
+                         "histograms": {
+                             "span.symex.run": {
+                                 "count": 1, "sum": 1.25, "mean": 1.25,
+                                 "min": 1.25, "max": 1.25, "p50": 1.25,
+                                 "p90": 1.25, "p99": 1.25}}}},
+        ]
+        text = render_stats(events)
+        assert "Per-iteration cost breakdown" in text
+        assert "production.runs" in text
+        assert "symex.run" in text

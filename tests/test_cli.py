@@ -1,5 +1,7 @@
 """The ``python -m repro`` command-line interface."""
 
+import json
+import logging
 import pathlib
 
 import pytest
@@ -68,6 +70,62 @@ class TestReproduce:
     def test_work_limit_override(self, capsys):
         assert main(["reproduce", "libpng-2004-0597",
                      "--work-limit", "400000"]) == 0
+
+    def test_json_output(self, capsys):
+        assert main(["reproduce", "nasm-2004-1287", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["success"] is True
+        assert data["workload"] == "nasm-2004-1287"
+        assert data["occurrences"] == len(data["iterations"])
+        assert data["iterations"][-1]["status"] == "completed"
+        assert data["totals"]["recorded_bytes"] >= 0
+        assert data["test_case"]["streams"]
+        assert "counters" in data["telemetry"]
+
+    def test_verbose_logs_iterations(self, capsys, caplog):
+        with caplog.at_level(logging.INFO, logger="repro"):
+            assert main(["reproduce", "nasm-2004-1287", "-v"]) == 0
+        assert any("waiting for the failure" in r.message
+                   for r in caplog.records)
+
+
+class TestTelemetryFlag:
+    def test_reproduce_writes_jsonl_with_layer_spans(self, tmp_path,
+                                                     capsys):
+        out = tmp_path / "tel.jsonl"
+        assert main(["reproduce", "sqlite-7be932d",
+                     "--telemetry", str(out)]) == 0
+        from repro.telemetry import read_jsonl
+
+        events = read_jsonl(out)
+        span_names = {e["name"] for e in events if e["type"] == "span"}
+        for expected in ("production.attempt", "trace.decode",
+                         "symex.run", "solver.query",
+                         "selection.select_key_values"):
+            assert expected in span_names, expected
+        assert events[-1]["type"] == "snapshot"
+
+    def test_stats_renders_breakdown_from_log(self, tmp_path, capsys):
+        out = tmp_path / "tel.jsonl"
+        main(["reproduce", "sqlite-7be932d", "--telemetry", str(out)])
+        capsys.readouterr()
+        assert main(["stats", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "Per-iteration cost breakdown" in text
+        assert "completed" in text
+        assert "Span timings" in text
+
+    def test_stats_json(self, tmp_path, capsys):
+        out = tmp_path / "tel.jsonl"
+        main(["reproduce", "nasm-2004-1287", "--telemetry", str(out)])
+        capsys.readouterr()
+        assert main(["stats", str(out), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["iterations"]
+        assert data["snapshot"]["counters"]["reconstruct.successes"] == 1
+
+    def test_stats_missing_file(self, capsys):
+        assert main(["stats", "/nope/missing.jsonl"]) == 2
 
 
 class TestReport:

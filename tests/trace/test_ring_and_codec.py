@@ -32,6 +32,33 @@ class TestRingBuffer:
         rb.write(b"abcdef")
         assert rb.total_written == 6
 
+    def test_wrap_counter_counts_overwriting_writes(self):
+        rb = RingBuffer(4)
+        rb.write(b"abc")
+        assert rb.wraps == 0 and rb.bytes_dropped == 0
+        rb.write(b"de")              # drops 'a'
+        assert rb.wraps == 1 and rb.bytes_dropped == 1
+        rb.write(b"fg")              # drops 'bc'... buffer now 'defg'->+2
+        assert rb.wraps == 2 and rb.bytes_dropped == 3
+
+    def test_wrap_counter_oversized_single_write(self):
+        rb = RingBuffer(4)
+        rb.write(b"0123456789")      # 6 bytes can never fit
+        assert rb.wraps == 1 and rb.bytes_dropped == 6
+        assert rb.wrapped
+
+    def test_exact_capacity_write_is_not_a_wrap(self):
+        rb = RingBuffer(4)
+        rb.write(b"abcd")
+        assert rb.wraps == 0 and rb.bytes_dropped == 0
+        assert not rb.wrapped
+
+    def test_dropped_plus_surviving_equals_written(self):
+        rb = RingBuffer(8)
+        for chunk in (b"aaaa", b"bbbb", b"cc", b"ddddd"):
+            rb.write(chunk)
+        assert rb.bytes_dropped + len(rb) == rb.total_written
+
     def test_zero_capacity_rejected(self):
         with pytest.raises(ValueError):
             RingBuffer(0)
