@@ -15,6 +15,10 @@ Commands
     Execute under the PT tracer and dump the decoded trace.
 ``report``
     Regenerate every evaluation table/figure into one markdown file.
+``bench``
+    Batch-reconstruct workloads serially and with a process pool;
+    report the speedup and solver-cache hit rates (``repro bench
+    --parallel 4 -o BENCH_parallel.json``).
 ``stats TELEMETRY.jsonl``
     Render the per-iteration cost breakdown of a recorded run.
 
@@ -207,18 +211,84 @@ def cmd_report(args) -> int:
     if args.json:
         from .evaluation.report import run_report_sections
 
-        sections = run_report_sections(only=args.only, echo=echo)
+        sections = run_report_sections(only=args.only, echo=echo,
+                                       parallel=args.parallel)
         text = json.dumps({"sections": sections}, indent=2)
     else:
         from .evaluation.report import run_full_report
 
-        text = run_full_report(only=args.only, echo=echo)
+        text = run_full_report(only=args.only, echo=echo,
+                               parallel=args.parallel)
     if args.output:
         pathlib.Path(args.output).write_text(text)
         print(f"wrote {args.output}", file=sys.stderr)
     else:
         print(text)
     return 0
+
+
+def cmd_bench(args) -> int:
+    from .parallel import run_batch, write_merged_jsonl
+
+    names = args.workload or None
+    capture = bool(args.merged_telemetry)
+    echo = (lambda m: print(m, file=sys.stderr))
+
+    echo(f"serial baseline over "
+         f"{len(names) if names else 'all'} workload(s) ...")
+    serial = run_batch(names, parallel=1, capture_events=capture)
+    result, speedup = serial, None
+    if args.parallel > 1:
+        echo(f"parallel run, {args.parallel} worker(s) ...")
+        result = run_batch(names, parallel=args.parallel,
+                           capture_events=capture)
+        if result.wall_seconds > 0:
+            speedup = serial.wall_seconds / result.wall_seconds
+
+    import os
+
+    data = {
+        "workloads": [item.workload for item in result.items],
+        "parallelism": args.parallel,
+        "cpu_count": os.cpu_count(),
+        "serial_wall_seconds": round(serial.wall_seconds, 4),
+        "parallel_wall_seconds":
+            round(result.wall_seconds, 4) if args.parallel > 1 else None,
+        "speedup": round(speedup, 3) if speedup is not None else None,
+        "solver_cache": result.solver_cache_stats,
+        "serial": serial.to_dict(),
+        "parallel": result.to_dict() if args.parallel > 1 else None,
+    }
+    if args.output:
+        pathlib.Path(args.output).write_text(json.dumps(data, indent=2))
+        echo(f"wrote {args.output}")
+    if args.merged_telemetry:
+        lines = write_merged_jsonl(result, args.merged_telemetry)
+        echo(f"wrote {args.merged_telemetry} ({lines} events)")
+
+    if args.json:
+        print(json.dumps(data, indent=2))
+    else:
+        rows = [[item.workload,
+                 "ok" if item.success else (item.error or "FAILED"),
+                 item.occurrences, f"{item.wall_seconds:.2f}",
+                 f"{item.solver_cache.get('hit_rate', 0.0):.1%}"]
+                for item in result.items]
+        print(render_table(
+            ["workload", "outcome", "#occur", "wall s", "cache hits"],
+            rows, "Batch reconstruction"))
+        cache = result.solver_cache_stats
+        line = (f"\n{result.succeeded}/{len(result.items)} reproduced; "
+                f"serial {serial.wall_seconds:.2f} s")
+        if speedup is not None:
+            line += (f"; parallel({args.parallel}) "
+                     f"{result.wall_seconds:.2f} s; "
+                     f"speedup {speedup:.2f}x")
+        line += (f"; solver cache {cache['hits']} hits / "
+                 f"{cache['misses']} misses "
+                 f"({cache['hit_rate']:.1%})")
+        print(line)
+    return 0 if result.succeeded == len(result.items) else 1
 
 
 def cmd_stats(args) -> int:
@@ -290,8 +360,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--only", action="append", default=None,
                    metavar="KEYWORD",
                    help="run only sections whose title contains KEYWORD")
+    p.add_argument("--parallel", type=int, default=1, metavar="N",
+                   help="reconstruct Table-1 workloads N at a time")
     p.add_argument("--json", action="store_true",
                    help="emit sections as machine-readable JSON")
+
+    p = sub.add_parser("bench", parents=[diag],
+                       help="batch-reconstruct workloads, serial vs "
+                            "parallel, and report the speedup")
+    p.add_argument("workload", nargs="*",
+                   help="workload names (default: all)")
+    p.add_argument("--parallel", type=int, default=1, metavar="N",
+                   help="process-pool width for the parallel leg")
+    p.add_argument("-o", "--output", default=None, metavar="BENCH.json",
+                   help="write the machine-readable benchmark summary")
+    p.add_argument("--merged-telemetry", default=None,
+                   metavar="OUT.jsonl",
+                   help="write all workers' events as one merged "
+                        "JSONL log (readable by `repro stats`)")
+    p.add_argument("--json", action="store_true",
+                   help="print the benchmark summary as JSON")
 
     p = sub.add_parser("stats", parents=[diag],
                        help="per-iteration cost breakdown from a "
@@ -309,6 +397,7 @@ COMMANDS = {
     "run": cmd_run,
     "trace": cmd_trace,
     "report": cmd_report,
+    "bench": cmd_bench,
     "stats": cmd_stats,
 }
 

@@ -27,6 +27,7 @@ from ..interp.interpreter import Interpreter
 from ..ir import instructions as ins
 from ..ir.module import Module, ProgramPoint
 from ..solver.budget import DEFAULT_WORK_LIMIT, WORK_PER_SECOND
+from ..solver.cache import SolverCache
 from ..symex.engine import ShepherdedSymex
 from ..symex.result import StallInfo
 from .instrument import instrument
@@ -72,12 +73,20 @@ class ExecutionReconstructor:
     def __init__(self, module: Module, *,
                  work_limit: int = DEFAULT_WORK_LIMIT,
                  max_occurrences: int = 20,
+                 max_unrelated_occurrences: Optional[int] = None,
                  verify: bool = True,
                  selection: SelectionFn = select_key_values,
                  trace_recovery: bool = False):
         self.module = module
         self.work_limit = work_limit
         self.max_occurrences = max_occurrences
+        #: occurrences of *other* bugs never consume the reconstruction
+        #: budget — ours still reoccurs regardless of how noisy the
+        #: deployment is — but give-up must stay decidable, so they get
+        #: their own (generous) bound
+        self.max_unrelated = (max_unrelated_occurrences
+                              if max_unrelated_occurrences is not None
+                              else 10 * max_occurrences)
         self.verify = verify
         self.selection = selection
         #: tolerate degraded traces (lost TNT bits, timestamp-merged
@@ -106,29 +115,48 @@ class ExecutionReconstructor:
         signature: Optional[FailureInfo] = None
         iterations: List[IterationRecord] = []
         already_recorded: set = set()
+        #: one cache per reconstruction: each iteration's search warm-
+        #: starts from the previous iteration's partial model, and the
+        #: common constraint prefix hits instead of being re-solved
+        solver_cache = SolverCache()
+        unrelated = 0
 
-        for occurrence_no in range(1, self.max_occurrences + 1):
+        occurrence_no = 0
+        while occurrence_no < self.max_occurrences:
             logger.info("iteration %d: waiting for the failure to reoccur",
-                        occurrence_no)
+                        occurrence_no + 1)
             with tel.span("reconstruct.production",
-                          iteration=occurrence_no) as prod_span:
+                          iteration=occurrence_no + 1) as prod_span:
                 occurrence = production.run_once(deployed)
             normalized = _normalize_failure(deployed, occurrence.failure)
             if signature is None:
                 signature = normalized
             elif not signature.matches(normalized):
                 # a different bug: keep waiting for ours (paper matches
-                # failures on PC + call stack)
-                logger.info("iteration %d: unrelated failure %s; waiting",
-                            occurrence_no, normalized)
+                # failures on PC + call stack) without spending the
+                # reconstruction budget on it
+                unrelated += 1
+                logger.info("unrelated failure %s (%d/%d); waiting",
+                            normalized, unrelated, self.max_unrelated)
                 tel.count("reconstruct.unrelated_failures")
+                if unrelated >= self.max_unrelated:
+                    logger.warning(
+                        "giving up: %d unrelated failures without a "
+                        "reoccurrence of %s", unrelated, signature)
+                    return ReconstructionReport(
+                        success=False, failure=signature, test_case=None,
+                        occurrences=occurrence_no, iterations=iterations,
+                        final_module=deployed,
+                        unrelated_occurrences=unrelated)
                 continue
+            occurrence_no += 1
 
             with tel.span("reconstruct.symex",
                           iteration=occurrence_no) as symex_span:
                 result = self.symex_driver(deployed, occurrence.trace,
                                            occurrence.failure,
-                                           work_limit=self.work_limit)
+                                           work_limit=self.work_limit,
+                                           solver_cache=solver_cache)
             record = IterationRecord(
                 occurrence=occurrence_no,
                 status=result.status,
@@ -167,7 +195,8 @@ class ExecutionReconstructor:
                     success=True, failure=occurrence.failure,
                     test_case=test_case, occurrences=occurrence_no,
                     iterations=iterations, verified=verified,
-                    final_module=deployed)
+                    final_module=deployed,
+                    unrelated_occurrences=unrelated)
 
             if result.status == "diverged":
                 self._emit_iteration(tel, record)
@@ -202,7 +231,7 @@ class ExecutionReconstructor:
         return ReconstructionReport(
             success=False, failure=signature, test_case=None,
             occurrences=self.max_occurrences, iterations=iterations,
-            final_module=deployed)
+            final_module=deployed, unrelated_occurrences=unrelated)
 
     @staticmethod
     def _emit_iteration(tel, record: IterationRecord) -> None:

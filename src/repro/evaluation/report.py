@@ -33,30 +33,38 @@ EXPERIMENTS: List[Tuple[str, Callable]] = [
 
 
 def run_report_sections(only: Optional[List[str]] = None,
-                        echo: Optional[Callable[[str], None]] = None
-                        ) -> List[Dict]:
+                        echo: Optional[Callable[[str], None]] = None,
+                        parallel: int = 1) -> List[Dict]:
     """Run the selected harnesses; one dict per section (the structured
-    form behind both the markdown report and ``report --json``)."""
+    form behind both the markdown report and ``report --json``).
+
+    ``parallel`` fans the workload-heavy harnesses (currently Table 1)
+    out over a process pool; the other sections are cheap and stay
+    serial.
+    """
     sections: List[Dict] = []
     for title, harness in EXPERIMENTS:
         if only and not any(key.lower() in title.lower() for key in only):
             continue
         if echo:
             echo(f"running: {title} ...")
+        kwargs = ({"parallel": parallel}
+                  if parallel > 1 and harness is run_table1 else {})
         with telemetry.span("evaluation.section", title=title) as sp:
-            result = harness()
+            result = harness(**kwargs)
         sections.append({"title": title, "body": result.render(),
                          "seconds": round(sp.seconds, 3)})
     return sections
 
 
 def run_full_report(only: Optional[List[str]] = None,
-                    echo: Optional[Callable[[str], None]] = None) -> str:
+                    echo: Optional[Callable[[str], None]] = None,
+                    parallel: int = 1) -> str:
     """Run every evaluation harness; return one markdown document."""
     sections = [
         f"## {s['title']}\n\n```\n{s['body']}\n```\n\n"
         f"*(regenerated in {s['seconds']:.1f} s)*\n"
-        for s in run_report_sections(only, echo)]
+        for s in run_report_sections(only, echo, parallel=parallel)]
     header = ("# ER evaluation report\n\n"
               "Regenerated tables and figures for *Execution "
               "Reconstruction* (PLDI 2021); see EXPERIMENTS.md for the "

@@ -113,11 +113,37 @@ def run_workload(workload: Workload) -> Table1Row:
     )
 
 
-def run_table1(names: Optional[List[str]] = None) -> Table1Result:
-    """Regenerate Table 1 (optionally for a subset of workloads)."""
-    rows = []
-    for workload in all_workloads():
-        if names is not None and workload.name not in names:
-            continue
-        rows.append(run_workload(workload))
+def _run_workload_row(name: str) -> Table1Row:
+    """Pool-worker body: reconstruct one workload by name.
+
+    Drops the full report before crossing the process boundary — the
+    table only needs the scalar columns, and the report holds module and
+    test-case objects that are expensive (and needless) to pickle.
+    """
+    from ..workloads import get_workload
+
+    row = run_workload(get_workload(name))
+    row.report = None
+    return row
+
+
+def run_table1(names: Optional[List[str]] = None,
+               parallel: int = 1) -> Table1Result:
+    """Regenerate Table 1 (optionally for a subset of workloads).
+
+    ``parallel > 1`` fans the workloads out over a process pool; rows
+    come back in registry order either way, but pooled rows carry no
+    ``report`` (see :func:`_run_workload_row`).
+    """
+    selected = [w for w in all_workloads()
+                if names is None or w.name in names]
+    if parallel > 1 and len(selected) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(parallel, len(selected))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            rows = list(pool.map(_run_workload_row,
+                                 [w.name for w in selected]))
+    else:
+        rows = [run_workload(workload) for workload in selected]
     return Table1Result(rows)

@@ -1,0 +1,211 @@
+"""Parallel batch reconstruction: many workloads, one merged report.
+
+Reconstructions of distinct failures are embarrassingly parallel — each
+one owns its module clone, production site, term space, and solver
+cache — so the batch runner fans workloads out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Process (not thread)
+workers sidestep the GIL: shepherded symbolic execution is pure Python
+and CPU-bound.
+
+Every worker runs under its own telemetry registry and ships back a
+picklable :class:`BatchItem` — outcome summary, metric snapshot, and
+(optionally) the structured event stream.  The parent merges the
+snapshots with :func:`repro.telemetry.merge_snapshots` and can write a
+single combined JSONL log (each event tagged with its workload) that
+``repro stats`` renders like any single-run log.
+
+``parallel=1`` degrades to a plain in-process loop — same code path,
+same reports, no executor — which is also the serial baseline that
+``repro bench`` compares against to measure the speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from . import telemetry
+from .core import ExecutionReconstructor, ProductionSite
+from .workloads import get_workload, workload_names
+
+__all__ = ["BatchItem", "BatchResult", "run_batch", "write_merged_jsonl"]
+
+
+@dataclass
+class BatchItem:
+    """One workload's reconstruction outcome, picklable across processes."""
+
+    workload: str
+    success: bool = False
+    verified: bool = False
+    occurrences: int = 0
+    unrelated_occurrences: int = 0
+    wall_seconds: float = 0.0
+    symex_modelled_seconds: float = 0.0
+    recorded_bytes: int = 0
+    solver_cache: Dict[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
+    #: this worker's full metric snapshot
+    telemetry: Dict = field(default_factory=dict)
+    #: structured event stream (only when events were requested)
+    events: List[Dict] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return {
+            "workload": self.workload,
+            "success": self.success,
+            "verified": self.verified,
+            "occurrences": self.occurrences,
+            "unrelated_occurrences": self.unrelated_occurrences,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "symex_modelled_seconds":
+                round(self.symex_modelled_seconds, 4),
+            "recorded_bytes": self.recorded_bytes,
+            "solver_cache": self.solver_cache,
+            "error": self.error,
+        }
+
+
+@dataclass
+class BatchResult:
+    """The merged outcome of one batch run."""
+
+    items: List[BatchItem]
+    parallelism: int
+    wall_seconds: float
+    #: all workers' metric snapshots folded into one
+    telemetry: Dict = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> int:
+        return sum(1 for i in self.items if i.success)
+
+    @property
+    def solver_cache_stats(self) -> Dict[str, float]:
+        counters = self.telemetry.get("counters", {})
+        hits = counters.get("solver.cache.hits", 0)
+        misses = counters.get("solver.cache.misses", 0)
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "model_probe_hits":
+                counters.get("solver.cache.model_probe_hits", 0),
+            "hit_rate": round(hits / total, 4) if total else 0.0,
+        }
+
+    def to_dict(self) -> Dict:
+        return {
+            "parallelism": self.parallelism,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "succeeded": self.succeeded,
+            "total": len(self.items),
+            "solver_cache": self.solver_cache_stats,
+            "items": [item.to_dict() for item in self.items],
+        }
+
+
+def _reconstruct_one(name: str, capture_events: bool) -> BatchItem:
+    """Worker body: one workload under a private telemetry registry.
+
+    Runs in a pool process (or inline for ``parallel=1``); must only
+    return picklable data, so the report's module/test-case objects are
+    reduced to scalars here rather than shipped back.
+    """
+    sink = telemetry.MemorySink() if capture_events else None
+    registry = telemetry.Telemetry(sink)
+    item = BatchItem(workload=name)
+    started = time.perf_counter()
+    with telemetry.scoped(registry):
+        try:
+            workload = get_workload(name)
+            reconstructor = ExecutionReconstructor(
+                workload.fresh_module(),
+                work_limit=workload.work_limit,
+                max_occurrences=workload.max_occurrences)
+            report = reconstructor.reconstruct(
+                ProductionSite(workload.failing_env))
+            item.success = report.success
+            item.verified = report.verified
+            item.occurrences = report.occurrences
+            item.unrelated_occurrences = report.unrelated_occurrences
+            item.symex_modelled_seconds = \
+                report.total_symex_modelled_seconds
+            item.recorded_bytes = report.total_recorded_bytes
+        except Exception as exc:  # noqa: BLE001 — report, don't kill batch
+            item.error = "".join(traceback.format_exception_only(
+                type(exc), exc)).strip()
+        if capture_events:
+            registry.emit_snapshot()
+    item.wall_seconds = time.perf_counter() - started
+    item.telemetry = registry.snapshot()
+    counters = item.telemetry.get("counters", {})
+    hits = counters.get("solver.cache.hits", 0)
+    misses = counters.get("solver.cache.misses", 0)
+    item.solver_cache = {
+        "hits": hits, "misses": misses,
+        "hit_rate": round(hits / (hits + misses), 4)
+        if hits + misses else 0.0,
+    }
+    if sink is not None:
+        item.events = sink.events
+    return item
+
+
+def run_batch(names: Optional[Sequence[str]] = None, *,
+              parallel: int = 1,
+              capture_events: bool = False) -> BatchResult:
+    """Reconstruct ``names`` (default: every workload), ``parallel``-wide.
+
+    Results come back in input order regardless of completion order.  A
+    workload that raises contributes a :class:`BatchItem` with ``error``
+    set instead of aborting the batch.
+    """
+    names = list(names) if names is not None else workload_names()
+    if parallel < 1:
+        raise ValueError(f"parallel must be >= 1, got {parallel}")
+    started = time.perf_counter()
+    if parallel == 1 or len(names) <= 1:
+        items = [_reconstruct_one(name, capture_events) for name in names]
+    else:
+        workers = min(parallel, len(names))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            items = list(pool.map(_reconstruct_one, names,
+                                  [capture_events] * len(names)))
+    wall = time.perf_counter() - started
+    merged = telemetry.merge_snapshots([item.telemetry for item in items])
+    telemetry.count("parallel.batches")
+    telemetry.count("parallel.workloads", len(items))
+    return BatchResult(items=items, parallelism=parallel,
+                       wall_seconds=wall, telemetry=merged)
+
+
+def write_merged_jsonl(result: BatchResult,
+                       path: Union[str, pathlib.Path]) -> int:
+    """Write all workers' event streams as one combined JSONL log.
+
+    Events keep their per-worker ``seq``/``ts`` and gain a ``workload``
+    field; a final ``snapshot`` event carries the *merged* metrics so
+    ``repro stats`` renders whole-batch counters.  Returns the number of
+    lines written.
+    """
+    lines = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for item in result.items:
+            for event in item.events:
+                if event.get("type") == "snapshot":
+                    continue      # superseded by the merged snapshot
+                fh.write(json.dumps({**event, "workload": item.workload},
+                                    default=str) + "\n")
+                lines += 1
+        fh.write(json.dumps({
+            "type": "snapshot", "name": "telemetry.snapshot",
+            "seq": lines + 1, "ts": round(result.wall_seconds, 6),
+            "metrics": result.telemetry,
+        }) + "\n")
+    return lines + 1

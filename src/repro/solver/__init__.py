@@ -2,15 +2,20 @@
 
 from . import terms
 from .budget import DEFAULT_WORK_LIMIT, WORK_PER_SECOND, Budget, UnlimitedBudget
+from .cache import SolverCache, ValueEnumeration
 from .evaluator import tv_eval
 from .model import Model, input_var_name, parse_var_name
 from .solver import Solver
-from .terms import Term, clear_term_cache
+from .terms import Term, TermSpace, clear_term_cache, term_scope
 
 __all__ = [
     "terms",
     "Term",
+    "TermSpace",
+    "term_scope",
     "clear_term_cache",
+    "SolverCache",
+    "ValueEnumeration",
     "Budget",
     "UnlimitedBudget",
     "DEFAULT_WORK_LIMIT",

@@ -1,0 +1,157 @@
+"""Session-scoped memoization of solver queries (+ warm-start models).
+
+Shepherded symbolic execution issues a solver query at *every* symbolic
+memory access, and consecutive queries share almost all of their
+constraint set — the path constraint grows monotonically, and loops
+re-assert the same in-bounds terms over and over.  Three layers exploit
+that redundancy, all sound by construction:
+
+1. **Exact-key memoization** — feasibility and value-enumeration
+   results are keyed on the *normalized* constraint set (a frozenset of
+   hash-consed terms, so duplicated and reordered constraints collapse
+   to one key).  Loops that re-check an unchanged constraint set hit
+   this layer for free.
+2. **Model probing** — a model that satisfied the previous query very
+   often satisfies the current, slightly larger one.  Before searching,
+   recent models are re-evaluated against the new constraint set with
+   the three-valued evaluator (cost: one propagation pass, charged to
+   the budget); a surviving model answers feasibility immediately.
+3. **Warm-start hints** — the most recent satisfying assignment seeds
+   the search's candidate ordering, so the backtracking solver tries
+   "what worked last time" before anything else.  Across reconstruction
+   iterations the reconstructor shares one cache, warm-starting each
+   iteration's search from the previous iteration's partial model.
+
+Timeouts are never cached (they are budget-dependent), and enumeration
+results are only cached when complete or limit-truncated — never when
+truncated by an unknown value.
+
+A cache belongs to one session (one engine run, or one reconstruction
+when the reconstructor threads its cache through every iteration); keys
+are :class:`~repro.solver.terms.Term` objects, whose structural
+equality keeps them valid even across term-space boundaries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .terms import Term
+
+__all__ = ["SolverCache", "ValueEnumeration"]
+
+
+class ValueEnumeration(List[int]):
+    """``feasible_values`` result: a list plus an explicit completeness flag.
+
+    ``complete`` is True only when the enumeration provably exhausted
+    the value set (the final query was unsatisfiable).  A False flag
+    means *partial*: the ``limit`` was reached, or a model left the term
+    unevaluable (``truncated_reason`` says which) — callers must not
+    treat the list as the full value set.
+    """
+
+    __slots__ = ("complete", "truncated_reason")
+
+    def __init__(self, values: Sequence[int] = (), *,
+                 complete: bool = False,
+                 truncated_reason: Optional[str] = None):
+        super().__init__(values)
+        self.complete = complete
+        self.truncated_reason = truncated_reason
+
+    def __repr__(self):
+        state = "complete" if self.complete \
+            else f"partial:{self.truncated_reason}"
+        return f"ValueEnumeration({list(self)!r}, {state})"
+
+
+class SolverCache:
+    """Memoized query results and warm-start models for one session."""
+
+    def __init__(self, max_entries: int = 4096, max_models: int = 4):
+        self.max_entries = max_entries
+        #: frozenset(constraints) -> bool
+        self._feasible: "OrderedDict[FrozenSet[Term], bool]" = OrderedDict()
+        #: (term, frozenset(constraints), limit) -> ValueEnumeration
+        self._values: "OrderedDict[Tuple, ValueEnumeration]" = OrderedDict()
+        #: recent satisfying assignments, newest last
+        self._models: Deque[Dict[str, int]] = deque(maxlen=max_models)
+        self.hits = 0
+        self.misses = 0
+        self.model_probe_hits = 0
+
+    # -- keys ------------------------------------------------------------
+
+    @staticmethod
+    def key(constraints: Sequence[Term]) -> FrozenSet[Term]:
+        """Normalized constraint-set key: order and duplicates erased."""
+        return frozenset(constraints)
+
+    # -- feasibility -----------------------------------------------------
+
+    def lookup_feasible(self, key: FrozenSet[Term]) -> Optional[bool]:
+        result = self._feasible.get(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self._feasible.move_to_end(key)
+            self.hits += 1
+        return result
+
+    def store_feasible(self, key: FrozenSet[Term], feasible: bool) -> None:
+        self._feasible[key] = feasible
+        self._feasible.move_to_end(key)
+        while len(self._feasible) > self.max_entries:
+            self._feasible.popitem(last=False)
+
+    # -- value enumeration ----------------------------------------------
+
+    def lookup_values(self, term: Term, key: FrozenSet[Term],
+                      limit: int) -> Optional[ValueEnumeration]:
+        result = self._values.get((term, key, limit))
+        if result is None:
+            self.misses += 1
+        else:
+            self._values.move_to_end((term, key, limit))
+            self.hits += 1
+        return result
+
+    def store_values(self, term: Term, key: FrozenSet[Term], limit: int,
+                     values: ValueEnumeration) -> None:
+        self._values[(term, key, limit)] = values
+        while len(self._values) > self.max_entries:
+            self._values.popitem(last=False)
+
+    # -- models ----------------------------------------------------------
+
+    def record_model(self, assignment: Dict[str, int]) -> None:
+        """Remember a satisfying assignment for probing and warm starts."""
+        if assignment and assignment not in self._models:
+            self._models.append(dict(assignment))
+
+    def recent_models(self) -> List[Dict[str, int]]:
+        """Newest first — the best probe order."""
+        return list(reversed(self._models))
+
+    def hints(self) -> Dict[str, int]:
+        """The most recent model, as search-ordering hints."""
+        return dict(self._models[-1]) if self._models else {}
+
+    # -- stats -----------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "model_probe_hits": self.model_probe_hits,
+            "hit_rate": round(self.hit_rate, 4),
+            "feasible_entries": len(self._feasible),
+            "value_entries": len(self._values),
+        }

@@ -27,6 +27,7 @@ from .. import telemetry
 from ..errors import SolverTimeout, UnsatError
 from ..ir.types import mask
 from .budget import DEFAULT_WORK_LIMIT, Budget
+from .cache import SolverCache, ValueEnumeration
 from .evaluator import tv_eval
 from .model import Model
 from .terms import (BINOP_OPS, CMP_OPS, Term, bool_term, cmp, const,
@@ -36,6 +37,10 @@ from .terms import (BINOP_OPS, CMP_OPS, Term, bool_term, cmp, const,
 _MAX_SCAN_BYTES = 4096
 #: Ceiling on candidate values tried per variable (bytes: full range).
 _MAX_CANDIDATES = 256
+#: Model probes may spend at most this fraction of the remaining budget,
+#: so a failed probe can never turn a would-have-succeeded query into a
+#: timeout.
+_PROBE_BUDGET_DIVISOR = 4
 
 logger = logging.getLogger(__name__)
 
@@ -70,10 +75,20 @@ def _metered(kind: str, budget: Budget):
 
 
 class Solver:
-    """Reusable solver facade; each query gets its own budget by default."""
+    """Reusable solver facade; each query gets its own budget by default.
 
-    def __init__(self, work_limit: int = DEFAULT_WORK_LIMIT):
+    With a :class:`~repro.solver.cache.SolverCache` attached (one per
+    symex session, or one per reconstruction when shared across
+    iterations), repeated queries over the same normalized constraint
+    set are memoized, recent models answer feasibility checks without
+    searching, and the latest model warm-starts every search's candidate
+    ordering.  Without a cache, behaviour is the uncached baseline.
+    """
+
+    def __init__(self, work_limit: int = DEFAULT_WORK_LIMIT,
+                 cache: Optional[SolverCache] = None):
         self.work_limit = work_limit
+        self.cache = cache
 
     def solve(self, constraints: Sequence[Term],
               budget: Optional[Budget] = None) -> Model:
@@ -83,22 +98,64 @@ class Solver:
             return self._solve(constraints, budget)
 
     def _solve(self, constraints: Sequence[Term], budget: Budget) -> Model:
-        return _Search(list(constraints), budget).run()
+        hints = self.cache.hints() if self.cache is not None else None
+        model = _Search(list(constraints), budget, hints=hints).run()
+        if self.cache is not None:
+            self.cache.record_model(model.assignment)
+        return model
 
     def is_feasible(self, constraints: Sequence[Term],
                     budget: Optional[Budget] = None) -> bool:
         """Satisfiability check; timeouts propagate (they mean 'stall')."""
         budget = budget if budget is not None else Budget(self.work_limit)
+        cache = self.cache
+        key = None
+        if cache is not None:
+            key = SolverCache.key(constraints)
+            cached = cache.lookup_feasible(key)
+            if cached is not None:
+                telemetry.count("solver.cache.hits")
+                return cached
+            telemetry.count("solver.cache.misses")
+            if self._probe_models(constraints, budget):
+                cache.model_probe_hits += 1
+                telemetry.count("solver.cache.model_probe_hits")
+                cache.store_feasible(key, True)
+                return True
         with _metered("feasible", budget):
             try:
                 self._solve(constraints, budget)
-                return True
+                feasible = True
             except UnsatError:
-                return False
+                feasible = False
+        if cache is not None:
+            cache.store_feasible(key, feasible)
+        return feasible
+
+    def _probe_models(self, constraints: Sequence[Term],
+                      budget: Budget) -> bool:
+        """Does a recently-found model already satisfy ``constraints``?
+
+        Cost: at most one three-valued evaluation pass per recent model,
+        capped at a fraction of the remaining budget (the scratch spend
+        is then charged to the real budget, so probe work is accounted
+        but can never cause the query to time out on its own).
+        """
+        scratch = Budget(max(1, budget.remaining() // _PROBE_BUDGET_DIVISOR),
+                         "model probe")
+        try:
+            for env in self.cache.recent_models():
+                if all(tv_eval(c, env, scratch) == 1 for c in constraints):
+                    budget.charge(scratch.spent)
+                    return True
+        except SolverTimeout:
+            pass  # probe cap reached: fall back to the search
+        budget.charge(min(scratch.spent, budget.remaining()))
+        return False
 
     def feasible_values(self, term: Term, constraints: Sequence[Term],
                         limit: int = 8,
-                        budget: Optional[Budget] = None) -> List[int]:
+                        budget: Optional[Budget] = None) -> ValueEnumeration:
         """Up to ``limit`` distinct concrete values ``term`` may take.
 
         This is the per-access query ER issues for symbolic memory
@@ -106,31 +163,63 @@ class Solver:
         touch.  Cost scales with the number of models enumerated and the
         complexity of the constraints — long write chains make each
         enumeration expensive, which is where stalls bite.
+
+        The result is a :class:`ValueEnumeration`: a plain list of
+        values plus an explicit ``complete`` flag.  ``complete`` is True
+        only when the value set was provably exhausted; otherwise
+        ``truncated_reason`` says whether the ``limit`` was hit or a
+        model left the term unevaluable (an out-of-bounds read, say) —
+        previously such truncation was silent.
         """
         budget = budget if budget is not None else Budget(self.work_limit)
+        cache = self.cache
+        key = None
+        if cache is not None:
+            key = SolverCache.key(constraints)
+            cached = cache.lookup_values(term, key, limit)
+            if cached is not None:
+                telemetry.count("solver.cache.hits")
+                return cached
+            telemetry.count("solver.cache.misses")
         found: List[int] = []
         extra: List[Term] = []
+        complete = False
+        reason: Optional[str] = None
         with _metered("values", budget):
             while len(found) < limit:
                 try:
                     model = self._solve(list(constraints) + extra, budget)
                 except UnsatError:
+                    complete = True  # no further value exists
                     break
                 env = dict(model.assignment)
                 for name in term.free_vars():
                     env.setdefault(name, 0)  # unconstrained bytes: 0
                 value = tv_eval(term, env, budget)
                 if value is None:
+                    # the model leaves the term unevaluable; stopping
+                    # here under-enumerates, so say so explicitly
+                    reason = "unevaluable"
+                    telemetry.count("solver.values.partial")
                     break
                 found.append(value)
                 extra.append(cmp("ne", term, const(value), 64))
-        return found
+            else:
+                reason = "limit"
+        result = ValueEnumeration(found, complete=complete,
+                                  truncated_reason=reason)
+        if cache is not None:
+            cache.store_values(term, key, limit, result)
+        return result
 
 
 class _Search:
-    def __init__(self, constraints: List[Term], budget: Budget):
+    def __init__(self, constraints: List[Term], budget: Budget,
+                 hints: Optional[Dict[str, int]] = None):
         self.budget = budget
         self.env: Dict[str, int] = {}
+        #: warm-start assignment: tried first at every decision point
+        self.hints: Dict[str, int] = hints or {}
         self.constraints: List[Term] = []
         seen: Set[Term] = set()
         for raw in constraints:
@@ -329,6 +418,11 @@ class _Search:
                 seen.add(value)
                 derived.append(value)
 
+        if all(n in self.hints for n in names):
+            word = 0
+            for i, n in enumerate(names):
+                word |= (self.hints[n] & 0xFF) << (8 * i)
+            push(word)  # warm start: what worked last time, first
         for bucket in buckets[depth:]:
             for constraint in bucket:
                 if not (constraint.free_vars() & name_set):
@@ -365,6 +459,11 @@ class _Search:
                     depth: int) -> Iterable[int]:
         derived: List[int] = []
         seen: Set[int] = set()
+        hint = self.hints.get(name)
+        if hint is not None:
+            hint &= 0xFF
+            seen.add(hint)
+            derived.append(hint)  # warm start: last model's value first
         for bucket in buckets[depth:]:
             for constraint in bucket:
                 if name not in constraint.free_vars():

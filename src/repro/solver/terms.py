@@ -20,15 +20,29 @@ extract     (value, byte_index)             8
 ite         (cond, if_true, if_false)       64
 ========== =============================== ==========================
 
-Terms are immutable and interned: structural equality is identity, which
-makes memoized traversals cheap.  Each term optionally carries
-*provenance* — the program point whose destination register held this
-value — which is what turns a constraint-graph node into something ER's
-runtime can record with a ``ptwrite``.
+Terms are immutable and interned: within one :class:`TermSpace`,
+structural equality is identity, which makes memoized traversals cheap.
+Each term optionally carries *provenance* — the program point whose
+destination register held this value — which is what turns a
+constraint-graph node into something ER's runtime can record with a
+``ptwrite``.
+
+Interning is **scoped**, not process-global: constructors intern into
+the context-local active :class:`TermSpace` (installed with
+:func:`term_scope`), falling back to a module-level default space.  A
+symbolic-execution session opens its own space, so concurrent engines in
+one process cannot cross-pollinate their intern tables, and dropping a
+session's space can never invalidate terms held by another session.
+Because spaces are scoped, ``Term.__eq__`` is *structural* with an
+identity fast path: two structurally equal terms from different spaces
+(e.g. a stall term kept across engine runs) still compare and hash
+equal.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..errors import SolverError
@@ -60,6 +74,40 @@ class Term:
 
     def __hash__(self):
         return self._hash
+
+    def __eq__(self, other):
+        """Structural equality with an identity fast path.
+
+        Terms interned in the same :class:`TermSpace` are identical, so
+        same-space comparisons never walk the structure.  Cross-space
+        comparisons (a stall term held across engine runs, a cache key
+        built in a previous session) fall back to an *iterative*
+        structural walk — terms grow far past the recursion limit, so
+        nothing here may recurse.
+        """
+        if self is other:
+            return True
+        if not isinstance(other, Term):
+            return NotImplemented
+        if self._hash != other._hash:
+            return False
+        stack = [(self, other)]
+        while stack:
+            a, b = stack.pop()
+            if a is b:
+                continue
+            if a.op != b.op or a.width != b.width or \
+                    len(a.args) != len(b.args):
+                return False
+            for x, y in zip(a.args, b.args):
+                if isinstance(x, Term) and isinstance(y, Term):
+                    if x is not y:
+                        if x._hash != y._hash:
+                            return False
+                        stack.append((x, y))
+                elif type(x) is not type(y) or x != y:
+                    return False
+        return True
 
     def __repr__(self):
         if self.op == "const":
@@ -105,26 +153,101 @@ class Term:
         return self._free
 
 
-_CACHE: Dict[tuple, Term] = {}
+#: forward declarations — rebound to interned singletons below, after
+#: the first space exists; TermSpace._seed checks for the None window.
+TRUE: Optional[Term] = None
+FALSE: Optional[Term] = None
+
+
+class TermSpace:
+    """One intern table: terms constructed under it share identity.
+
+    A space is cheap (one dict) and lives exactly as long as the session
+    that opened it — a symex engine run, a whole reconstruction in a
+    parallel worker, a test.  The TRUE/FALSE singletons are pre-seeded
+    into every space so identity with them holds everywhere.
+    """
+
+    __slots__ = ("table",)
+
+    def __init__(self):
+        self.table: Dict[tuple, Term] = {}
+        self._seed()
+
+    def _seed(self) -> None:
+        if TRUE is not None:  # module fully initialised
+            self.table[("const", (1,), 1)] = TRUE
+            self.table[("const", (0,), 1)] = FALSE
+
+    def reset(self) -> None:
+        """Drop every interned term except the TRUE/FALSE singletons."""
+        self.table.clear()
+        self._seed()
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+
+#: fallback space for code running outside any term_scope (module-level
+#: constants, ad-hoc library use, legacy tests)
+_DEFAULT_SPACE = TermSpace()
+
+#: the context-local active space; ``None`` means "use the default".
+#: ContextVars are per-thread (and per-async-task), so concurrent
+#: sessions in one process each see their own space.
+_ACTIVE: "ContextVar[Optional[TermSpace]]" = ContextVar(
+    "repro_term_space", default=None)
+
+
+def current_space() -> "TermSpace":
+    """The space constructors intern into right now."""
+    space = _ACTIVE.get()
+    return space if space is not None else _DEFAULT_SPACE
+
+
+@contextmanager
+def term_scope(space: Optional["TermSpace"] = None, *,
+               reuse_active: bool = False):
+    """Install ``space`` (default: a fresh one) for the dynamic extent.
+
+    ``reuse_active=True`` keeps an already-active space instead of
+    nesting a new one — a session that is itself part of a larger
+    session (e.g. a gap-recovery replay inside a reconstruction) shares
+    its parent's intern table.
+    """
+    if reuse_active:
+        active = _ACTIVE.get()
+        if active is not None:
+            yield active
+            return
+    if space is None:
+        space = TermSpace()
+    token = _ACTIVE.set(space)
+    try:
+        yield space
+    finally:
+        _ACTIVE.reset(token)
 
 
 def clear_term_cache() -> None:
-    """Drop all interned terms (call between independent symex runs).
+    """Reset the *current scope's* intern table (test isolation).
 
-    The TRUE/FALSE singletons are re-interned so identity with them
-    survives the reset.
+    Kept for backward compatibility; new code should open a
+    :func:`term_scope` instead.  Unlike the old process-global reset,
+    this touches only the active space, and live terms from before the
+    reset remain structurally equal (``==``) to re-built ones — only
+    ``is`` identity with them is given up.
     """
-    _CACHE.clear()
-    _CACHE[("const", (1,), 1)] = TRUE
-    _CACHE[("const", (0,), 1)] = FALSE
+    current_space().reset()
 
 
 def _intern(op: str, args: tuple, width: int) -> Term:
+    table = current_space().table
     key = (op, args, width)
-    term = _CACHE.get(key)
+    term = table.get(key)
     if term is None:
         term = Term(op, args, width)
-        _CACHE[key] = term
+        table[key] = term
     return term
 
 

@@ -30,6 +30,7 @@ from ..ir import instructions as ins
 from ..ir.module import Function, Module, ProgramPoint
 from ..solver import terms as T
 from ..solver.budget import DEFAULT_WORK_LIMIT, Budget, UnlimitedBudget
+from ..solver.cache import SolverCache
 from ..solver.solver import Solver
 from ..solver.terms import Term
 from ..trace.decoder import DecodedTrace
@@ -84,7 +85,8 @@ class ShepherdedSymex:
                  check_feasibility: bool = True,
                  continue_on_stall: bool = False,
                  banned_concretizations=None,
-                 gap_decisions=None):
+                 gap_decisions=None,
+                 solver_cache: Optional[SolverCache] = None):
         self.module = module
         self.trace = trace
         self.failure = failure
@@ -102,7 +104,12 @@ class ShepherdedSymex:
         self.gap_decisions = list(gap_decisions or [])
         self.gap_bits_used: List[bool] = []
 
-        self.solver = Solver(work_limit)
+        #: per-session solver-query cache; the reconstructor passes one
+        #: shared across iterations so later iterations warm-start from
+        #: the previous iteration's partial model
+        self.solver_cache = (solver_cache if solver_cache is not None
+                             else SolverCache())
+        self.solver = Solver(work_limit, cache=self.solver_cache)
         self.sym_env = SymbolicEnvironment()
         self.memory = SymMemory(module)
         self.threads: Dict[int, SymThread] = {}
@@ -181,7 +188,15 @@ class ShepherdedSymex:
                       reason=result.divergence_reason)
 
     def _run(self) -> SymexResult:
-        T.clear_term_cache()
+        # A fresh term space per run (reusing the reconstruction's space
+        # when one is active) replaces the old process-global cache
+        # clear: concurrent engines in one process can no longer reset
+        # each other's intern tables, and terms held across runs (stall
+        # terms, report payloads) stay structurally valid.
+        with T.term_scope(reuse_active=True):
+            return self._run_in_scope()
+
+    def _run_in_scope(self) -> SymexResult:
         try:
             self._init_main()
             self._replay_chunks()

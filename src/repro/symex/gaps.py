@@ -18,6 +18,8 @@ from typing import List, Optional
 from .. import telemetry
 from ..interp.failures import FailureInfo
 from ..ir.module import Module
+from ..solver import terms as T
+from ..solver.cache import SolverCache
 from ..trace.decoder import DecodedTrace
 from .engine import ShepherdedSymex
 from .result import SymexResult
@@ -40,11 +42,25 @@ def replay_with_gap_recovery(module: Module, trace: DecodedTrace,
     first non-diverged result, or the last divergence after the search
     is exhausted.
     """
+    # every attempt replays the same module and trace, so all attempts
+    # share one term space and one solver cache: the common prefix's
+    # queries hit the cache instead of being re-solved per replay
+    cache = engine_kwargs.pop("solver_cache", None)
+    if cache is None:
+        cache = SolverCache()
+    with T.term_scope(reuse_active=True):
+        return _search_gap_decisions(module, trace, failure, max_attempts,
+                                     cache, engine_kwargs)
+
+
+def _search_gap_decisions(module, trace, failure, max_attempts,
+                          cache, engine_kwargs):
     decisions: List[bool] = []
     last: Optional[SymexResult] = None
     for attempt in range(1, max_attempts + 1):
         engine = ShepherdedSymex(module, trace, failure,
-                                 gap_decisions=decisions, **engine_kwargs)
+                                 gap_decisions=decisions,
+                                 solver_cache=cache, **engine_kwargs)
         result = engine.run()
         result.gap_attempts = attempt
         if result.status != "diverged":

@@ -28,7 +28,8 @@ from .metrics import Counter, Gauge, Histogram
 from .registry import Span, Telemetry
 from .sinks import (NULL_SINK, JsonlSink, MemorySink, NullSink, Sink,
                     read_jsonl)
-from .stats import final_snapshot, iteration_rows, render_stats
+from .stats import (final_snapshot, iteration_rows, merge_snapshots,
+                    render_stats)
 
 __all__ = [
     "Counter",
@@ -44,6 +45,7 @@ __all__ = [
     "read_jsonl",
     "iteration_rows",
     "final_snapshot",
+    "merge_snapshots",
     "render_stats",
     "get",
     "set_current",

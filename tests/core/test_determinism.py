@@ -1,0 +1,133 @@
+"""Reconstruction determinism, cross-run isolation, unrelated-failure
+budgeting — the invariants the batch runner depends on."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import telemetry
+from repro.core import ExecutionReconstructor, ProductionSite
+from repro.interp.env import Environment
+from repro.ir.builder import ModuleBuilder
+
+
+def _report_fingerprint(report):
+    """Everything that should be identical across reruns (no wall times)."""
+    return {
+        "success": report.success,
+        "verified": report.verified,
+        "occurrences": report.occurrences,
+        "unrelated": report.unrelated_occurrences,
+        "statuses": [it.status for it in report.iterations],
+        "recorded": [[(str(i.point), i.register, i.size)
+                      for i in it.recorded_items]
+                     for it in report.iterations],
+        "streams": (sorted(report.test_case.streams.items())
+                    if report.test_case else None),
+    }
+
+
+def _two_bug_module():
+    """Reads x, y; x == 255 hits one bug, the x/y table-alias pattern
+    hits another (which stalls under a small work limit)."""
+    b = ModuleBuilder("two-bugs")
+    b.global_("V", 256)
+    f = b.function("main", [])
+    f.block("entry")
+    f.input("stdin", 1, dest="%x")
+    f.input("stdin", 1, dest="%y")
+    c = f.cmp("eq", "%x", 255, width=8)
+    f.br(c, "other", "table")
+    f.block("other")
+    f.abort("other bug")
+    f.block("table")
+    f.global_addr("V", dest="%V")
+    p = f.gep("%V", "%x", 1)
+    f.store(p, 7, 1)
+    q = f.gep("%V", "%y", 1)
+    f.load(q, 1, dest="%v")
+    c2 = f.cmp("eq", "%v", 7, width=8)
+    f.br(c2, "boom", "ok")
+    f.block("boom")
+    f.abort("aliased")
+    f.block("ok")
+    f.ret(0)
+    return b.build()
+
+
+class TestDeterminism:
+    def test_back_to_back_runs_identical(self, table_module):
+        def run():
+            er = ExecutionReconstructor(table_module.clone(),
+                                        work_limit=150)
+            return er.reconstruct(ProductionSite(
+                lambda occ: Environment({"stdin": bytes([9, 9])})))
+
+        assert _report_fingerprint(run()) == _report_fingerprint(run())
+
+    def test_concurrent_runs_match_serial(self, abort_module, table_module):
+        """Two reconstructions in parallel threads must each behave
+        exactly as they do alone — term spaces and solver caches are
+        per-session, not process-global."""
+        jobs = {
+            "abort": (abort_module, b"\xc8", 300_000),
+            "table": (table_module, bytes([9, 9]), 150),
+        }
+
+        def run(name):
+            module, data, work_limit = jobs[name]
+            er = ExecutionReconstructor(module.clone(),
+                                        work_limit=work_limit)
+            return _report_fingerprint(er.reconstruct(ProductionSite(
+                lambda occ: Environment({"stdin": data}))))
+
+        serial = {name: run(name) for name in jobs}
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = {name: pool.submit(run, name) for name in jobs}
+            concurrent = {name: f.result() for name, f in futures.items()}
+        assert concurrent == serial
+        assert all(r["success"] for r in serial.values())
+
+
+class TestUnrelatedBudget:
+    def test_unrelated_failures_do_not_consume_budget(self):
+        module = _two_bug_module()
+
+        # this needs three occurrences of the table bug (stall, stall,
+        # complete) and sees an unrelated bug after the first — with
+        # max_occurrences=3 it only succeeds if the unrelated failure
+        # costs nothing
+        def factory(occ):
+            data = b"\xff\x00" if occ == 2 else bytes([9, 9])
+            return Environment({"stdin": data})
+
+        registry = telemetry.Telemetry()
+        with telemetry.scoped(registry):
+            er = ExecutionReconstructor(module, work_limit=100,
+                                        max_occurrences=3)
+            report = er.reconstruct(ProductionSite(factory))
+        assert report.success
+        assert report.unrelated_occurrences == 1
+        assert report.occurrences == 3
+        assert registry.counter(
+            "reconstruct.unrelated_failures").value == 1
+        assert report.to_dict()["unrelated_occurrences"] == 1
+
+    def test_gives_up_when_failure_stops_reoccurring(self):
+        module = _two_bug_module()
+
+        # after the first (stalling) occurrence, only the other bug ever
+        # fires: the reconstructor must give up at its unrelated bound
+        # instead of waiting forever
+        def factory(occ):
+            data = bytes([9, 9]) if occ == 1 else b"\xff\x00"
+            return Environment({"stdin": data})
+
+        er = ExecutionReconstructor(module, work_limit=10,
+                                    max_occurrences=5,
+                                    max_unrelated_occurrences=3)
+        report = er.reconstruct(ProductionSite(factory))
+        assert not report.success
+        assert report.unrelated_occurrences == 3
+        assert report.occurrences == 1    # only the real one counted
+        assert "unrelated failures observed: 3" in report.summary()

@@ -69,6 +69,17 @@ class TestTable1:
         text = result.render()
         assert "bash-108885" in text and "Table 1" in text
 
+    def test_parallel_rows_match_serial(self):
+        names = ["objdump-2018-6323", "matrixssl-2014-1569"]
+        serial = run_table1(names=names)
+        pooled = run_table1(names=names, parallel=2)
+        key = lambda r: (r.name, r.verified, r.occurrences,
+                         r.recorded_bytes, r.max_graph_nodes)
+        assert [key(r) for r in pooled.rows] == \
+            [key(r) for r in serial.rows]
+        # pooled rows shed the unpicklable report payload
+        assert all(r.report is None for r in pooled.rows)
+
 
 class TestFigure5:
     @pytest.fixture(scope="class")

@@ -34,6 +34,78 @@ class TestInterning:
         assert T.var("x") is not a
 
 
+class TestTermScopes:
+    def test_scope_has_its_own_table(self):
+        outer = T.var("x")
+        with T.term_scope():
+            inner = T.var("x")
+            assert inner is not outer
+            assert T.var("x") is inner        # interned within the scope
+        assert T.var("x") is outer            # outer table untouched
+
+    def test_structural_equality_across_scopes(self):
+        outer = T.binop("add", T.var("x"), T.const(1))
+        with T.term_scope():
+            inner = T.binop("add", T.var("x"), T.const(1))
+        assert inner is not outer
+        assert inner == outer
+        assert hash(inner) == hash(outer)
+
+    def test_clear_only_resets_current_scope(self):
+        outer = T.var("x")
+        with T.term_scope():
+            T.var("x")
+            T.clear_term_cache()              # clears the scoped table
+        assert T.var("x") is outer            # outer survived the clear
+
+    def test_reuse_active_joins_enclosing_scope(self):
+        with T.term_scope() as space:
+            with T.term_scope(reuse_active=True) as inner:
+                assert inner is space
+
+    def test_reuse_active_without_scope_creates_one(self):
+        outer = T.var("x")
+        with T.term_scope(reuse_active=True):
+            assert T.var("x") is not outer
+
+    def test_true_false_shared_across_scopes(self):
+        with T.term_scope():
+            assert T.cmp("ult", T.const(1), T.const(2)) is T.TRUE
+            assert T.not_(T.TRUE) is T.FALSE
+
+    def test_nested_equality_not_recursive(self):
+        # structural equality must survive terms deeper than the
+        # recursion limit (real constraint chains get that deep)
+        def chain():
+            node = T.var("x")
+            for i in range(4000):
+                node = T.binop("add", node, T.const(1), 64)
+            return node
+        with T.term_scope():
+            a = chain()
+        with T.term_scope():
+            b = chain()
+        assert a == b
+
+    def test_threads_are_isolated(self):
+        import threading
+
+        results = {}
+
+        def worker(name):
+            with T.term_scope():
+                results[name] = T.var("shared")
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results[0] is not results[1]
+        assert results[0] == results[1]
+
+
 class TestFolding:
     def test_binop_consts_fold(self):
         t = T.binop("add", T.const(200), T.const(100), 8)

@@ -96,3 +96,23 @@ class TestRenderStats:
         assert "Per-iteration cost breakdown" in text
         assert "production.runs" in text
         assert "symex.run" in text
+
+    def test_solver_cache_hit_rate_line(self):
+        events = [
+            iteration_end(1),
+            {"type": "snapshot",
+             "metrics": {"counters": {"solver.cache.hits": 3,
+                                      "solver.cache.misses": 1},
+                         "histograms": {}}},
+        ]
+        text = render_stats(events)
+        assert "solver cache: 3 hits / 1 misses (75.0% hit rate)" in text
+
+    def test_no_cache_line_without_cache_counters(self):
+        events = [
+            iteration_end(1),
+            {"type": "snapshot",
+             "metrics": {"counters": {"production.runs": 4},
+                         "histograms": {}}},
+        ]
+        assert "solver cache" not in render_stats(events)

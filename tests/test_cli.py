@@ -138,6 +138,46 @@ class TestReport:
         assert "Figure 1" in text
 
 
+class TestBench:
+    FAST = ["objdump-2018-6323", "matrixssl-2014-1569"]
+
+    def test_serial_bench_table(self, capsys):
+        assert main(["bench", *self.FAST]) == 0
+        out = capsys.readouterr().out
+        assert "Batch reconstruction" in out
+        assert "solver cache" in out
+        for name in self.FAST:
+            assert name in out
+
+    def test_parallel_bench_writes_artifacts(self, capsys, tmp_path):
+        bench = tmp_path / "BENCH_parallel.json"
+        merged = tmp_path / "merged.jsonl"
+        assert main(["bench", *self.FAST, "--parallel", "2",
+                     "-o", str(bench),
+                     "--merged-telemetry", str(merged)]) == 0
+        data = json.loads(bench.read_text())
+        assert data["parallelism"] == 2
+        assert data["speedup"] is not None
+        assert data["serial_wall_seconds"] > 0
+        assert data["parallel_wall_seconds"] > 0
+        assert {"hits", "misses", "hit_rate"} <= set(data["solver_cache"])
+        assert len(data["parallel"]["items"]) == len(self.FAST)
+        # the merged log renders through `repro stats`
+        assert main(["stats", str(merged)]) == 0
+        out = capsys.readouterr().out
+        assert "solver cache" in out or "Counters" in out
+
+    def test_bench_json_output(self, capsys):
+        assert main(["bench", self.FAST[0], "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["workloads"] == [self.FAST[0]]
+        assert data["speedup"] is None        # no parallel leg requested
+
+    def test_bench_unknown_workload_fails(self, capsys):
+        assert main(["bench", "no-such-workload"]) == 1
+        assert "no-such-workload" in capsys.readouterr().out
+
+
 class TestEirFixture:
     def test_sample_program_roundtrips(self):
         from repro.ir import parse_module, verify_module

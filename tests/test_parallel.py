@@ -1,0 +1,114 @@
+"""The batch reconstruction runner and its telemetry merging."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.parallel import BatchResult, run_batch, write_merged_jsonl
+
+#: small, fast workloads — the batch tests stay well under a second each
+FAST = ["objdump-2018-6323", "matrixssl-2014-1569"]
+
+
+class TestRunBatch:
+    def test_serial_batch(self):
+        result = run_batch(FAST, parallel=1)
+        assert [i.workload for i in result.items] == FAST
+        assert result.succeeded == len(FAST)
+        assert all(i.error is None for i in result.items)
+        assert all(i.occurrences >= 1 for i in result.items)
+
+    def test_parallel_matches_serial(self):
+        serial = run_batch(FAST, parallel=1)
+        parallel = run_batch(FAST, parallel=2)
+        fingerprint = lambda r: [(i.workload, i.success, i.verified,
+                                  i.occurrences, i.unrelated_occurrences)
+                                 for i in r.items]
+        assert fingerprint(parallel) == fingerprint(serial)
+
+    def test_merged_telemetry_sums_counters(self):
+        result = run_batch(FAST, parallel=1)
+        counters = result.telemetry["counters"]
+        assert counters["reconstruct.runs"] == len(FAST)
+        # every worker's solver traffic is visible in the merged view
+        assert counters["reconstruct.successes"] == len(FAST)
+
+    def test_solver_cache_stats_surface(self):
+        result = run_batch(FAST, parallel=1)
+        stats = result.solver_cache_stats
+        assert {"hits", "misses", "hit_rate"} <= set(stats)
+        assert stats["misses"] >= 0
+
+    def test_bad_workload_isolated(self):
+        result = run_batch(["objdump-2018-6323", "no-such-workload"])
+        good, bad = result.items
+        assert good.success and good.error is None
+        assert not bad.success and "no-such-workload" in bad.error
+        assert result.succeeded == 1
+
+    def test_rejects_nonpositive_parallel(self):
+        with pytest.raises(ValueError):
+            run_batch(FAST, parallel=0)
+
+    def test_to_dict_round_trips_through_json(self):
+        result = run_batch(FAST[:1])
+        data = json.loads(json.dumps(result.to_dict()))
+        assert data["total"] == 1
+        assert data["items"][0]["workload"] == FAST[0]
+
+
+class TestMergedJsonl:
+    def test_merged_log_readable_by_stats(self, tmp_path):
+        result = run_batch(FAST, parallel=1, capture_events=True)
+        path = tmp_path / "merged.jsonl"
+        lines = write_merged_jsonl(result, path)
+        events = telemetry.read_jsonl(path)
+        assert len(events) == lines
+        # events are tagged with their workload
+        tagged = {e.get("workload") for e in events if "workload" in e}
+        assert tagged == set(FAST)
+        # the final snapshot carries the merged counters
+        snapshot = telemetry.final_snapshot(events)
+        assert snapshot["counters"]["reconstruct.runs"] == len(FAST)
+        # and the human renderer accepts the stream
+        assert "iter" in telemetry.render_stats(events)
+
+    def test_no_events_without_capture(self):
+        result = run_batch(FAST[:1], parallel=1)
+        assert result.items[0].events == []
+
+
+class TestMergeSnapshots:
+    def test_counters_sum(self):
+        merged = telemetry.merge_snapshots([
+            {"counters": {"x": 1}, "gauges": {}, "histograms": {}},
+            {"counters": {"x": 2, "y": 5}, "gauges": {}, "histograms": {}},
+            None,
+        ])
+        assert merged["counters"] == {"x": 3, "y": 5}
+
+    def test_gauges_keep_max(self):
+        merged = telemetry.merge_snapshots([
+            {"counters": {}, "gauges": {"g": 3}, "histograms": {}},
+            {"counters": {}, "gauges": {"g": 7}, "histograms": {}},
+        ])
+        assert merged["gauges"]["g"] == 7
+
+    def test_histograms_merge_exact_aggregates(self):
+        h1 = {"count": 2, "sum": 10.0, "min": 1.0, "max": 9.0,
+              "mean": 5.0, "p50": 5.0, "p90": 9.0, "p99": 9.0}
+        h2 = {"count": 2, "sum": 6.0, "min": 2.0, "max": 4.0,
+              "mean": 3.0, "p50": 3.0, "p90": 4.0, "p99": 4.0}
+        merged = telemetry.merge_snapshots([
+            {"counters": {}, "gauges": {}, "histograms": {"h": h1}},
+            {"counters": {}, "gauges": {}, "histograms": {"h": h2}},
+        ])["histograms"]["h"]
+        assert merged["count"] == 4
+        assert merged["sum"] == 16.0
+        assert merged["min"] == 1.0 and merged["max"] == 9.0
+        assert merged["mean"] == 4.0
+
+    def test_empty_input(self):
+        merged = telemetry.merge_snapshots([])
+        assert merged == {"counters": {}, "gauges": {}, "histograms": {}}
