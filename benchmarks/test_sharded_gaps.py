@@ -1,0 +1,91 @@
+"""Benchmark: sharded gap-recovery search vs the serial DFS.
+
+Degrades a gap-heavy Table-1 trace (the paper's 8.5 % TNT loss), runs
+the decision-vector search once serially and once over a worker pool,
+and records the speedup plus the cold→warm persistent solver-cache hit
+rates to ``benchmarks/out/BENCH_sharded_gaps.json`` — the artifact the
+CI smoke job uploads next to ``BENCH_parallel.json``.  As with the
+batch benchmark, the speedup assertion only arms on multi-core
+machines; a single CPU records the run as informational.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core import ProductionSite
+from repro.parallel import run_batch
+from repro.symex.gaps import replay_with_gap_recovery
+from repro.trace.degrade import gap_count
+from repro.workloads import get_workload
+
+#: deepest decision-vector search among the Table-1 workloads at the
+#: paper's loss rate — enough replays to amortize the pool start-up
+WORKLOAD = "sqlite-7be932d"
+MAPPING_LOSS = 0.085
+SHARDS = 4
+
+
+def test_sharded_gap_speedup(artifact_dir, tmp_path):
+    workload = get_workload(WORKLOAD)
+    module = workload.fresh_module()
+    occurrence = ProductionSite(workload.failing_env,
+                                mapping_loss=MAPPING_LOSS,
+                                per_cpu_buffers=True).run_once(module)
+    kwargs = dict(work_limit=workload.work_limit * 20)
+
+    start = time.perf_counter()
+    serial = replay_with_gap_recovery(module, occurrence.trace,
+                                      occurrence.failure, **kwargs)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    sharded = replay_with_gap_recovery(module, occurrence.trace,
+                                       occurrence.failure, shards=SHARDS,
+                                       **kwargs)
+    sharded_s = time.perf_counter() - start
+
+    # correctness before speed: identical outcome, bit for bit
+    assert sharded.status == serial.status
+    serial_model = serial.model.assignment if serial.model else None
+    sharded_model = sharded.model.assignment if sharded.model else None
+    assert sharded_model == serial_model
+    speedup = serial_s / sharded_s if sharded_s else 0.0
+
+    # cold→warm persistent cache: the second run must hit the disk tier
+    cache_dir = tmp_path / "solver-cache"
+    cache_dir.mkdir()
+    cold = run_batch([WORKLOAD], parallel=1, cache_dir=str(cache_dir))
+    warm = run_batch([WORKLOAD], parallel=1, cache_dir=str(cache_dir))
+    assert cold.succeeded == warm.succeeded == 1
+    assert warm.solver_cache_stats["hit_rate"] > \
+        cold.solver_cache_stats["hit_rate"]
+
+    data = {
+        "workload": WORKLOAD,
+        "mapping_loss": MAPPING_LOSS,
+        "gap_count": gap_count(occurrence.trace),
+        "gap_attempts": serial.gap_attempts,
+        "shards": SHARDS,
+        "cpu_count": os.cpu_count(),
+        "serial_wall_seconds": round(serial_s, 4),
+        "sharded_wall_seconds": round(sharded_s, 4),
+        "speedup": round(speedup, 3),
+        "status": serial.status,
+        "cold_cache": cold.solver_cache_stats,
+        "warm_cache": warm.solver_cache_stats,
+    }
+    (artifact_dir / "BENCH_sharded_gaps.json").write_text(
+        json.dumps(data, indent=2) + "\n")
+    print(f"\nserial {serial_s:.2f}s, sharded({SHARDS}) {sharded_s:.2f}s, "
+          f"speedup {speedup:.2f}x on {os.cpu_count()} cpu(s); "
+          f"cache hit rate {cold.solver_cache_stats['hit_rate']:.1%} cold "
+          f"-> {warm.solver_cache_stats['hit_rate']:.1%} warm")
+
+    if (os.cpu_count() or 1) >= 2:
+        assert speedup >= 1.5, (
+            f"expected >=1.5x on a multi-core host, got {speedup:.2f}x")
+    else:
+        pytest.skip(f"single CPU: speedup {speedup:.2f}x recorded, "
+                    "not asserted")

@@ -143,12 +143,19 @@ def cmd_list(args) -> int:
 def cmd_reproduce(args) -> int:
     workload = get_workload(args.workload)
     module = workload.fresh_module()
+    recovery = bool(args.trace_recovery or args.mapping_loss > 0
+                    or args.shards > 1)
     reconstructor = ExecutionReconstructor(
         module,
         work_limit=args.work_limit or workload.work_limit,
-        max_occurrences=args.max_occurrences or workload.max_occurrences)
+        max_occurrences=args.max_occurrences or workload.max_occurrences,
+        trace_recovery=recovery,
+        shards=args.shards,
+        cache_dir=args.cache_dir)
     site = ProductionSite(workload.failing_env,
-                          trace_after=args.trace_after)
+                          trace_after=args.trace_after,
+                          mapping_loss=args.mapping_loss,
+                          per_cpu_buffers=args.mapping_loss > 0)
     report = reconstructor.reconstruct(site)
 
     minimized = None
@@ -227,37 +234,65 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _parse_pool_widths(spec: str) -> List[int]:
+    """``--parallel`` accepts one width ("4") or a matrix ("1,2,4,8")."""
+    try:
+        widths = [int(part) for part in str(spec).split(",")
+                  if part.strip()]
+    except ValueError:
+        raise SystemExit(f"bad --parallel {spec!r}: want N or N,M,...")
+    if not widths or any(w < 1 for w in widths):
+        raise SystemExit(f"bad --parallel {spec!r}: widths must be >= 1")
+    return widths
+
+
 def cmd_bench(args) -> int:
     from .parallel import run_batch, write_merged_jsonl
 
     names = args.workload or None
+    widths = _parse_pool_widths(args.parallel)
     capture = bool(args.merged_telemetry)
     echo = (lambda m: print(m, file=sys.stderr))
 
     echo(f"serial baseline over "
          f"{len(names) if names else 'all'} workload(s) ...")
-    serial = run_batch(names, parallel=1, capture_events=capture)
+    serial = run_batch(names, parallel=1, capture_events=capture,
+                       cache_dir=args.cache_dir)
     result, speedup = serial, None
-    if args.parallel > 1:
-        echo(f"parallel run, {args.parallel} worker(s) ...")
-        result = run_batch(names, parallel=args.parallel,
-                           capture_events=capture)
-        if result.wall_seconds > 0:
-            speedup = serial.wall_seconds / result.wall_seconds
+    matrix = []
+    for width in widths:
+        if width == 1:
+            leg, leg_speedup = serial, None
+        else:
+            echo(f"parallel run, {width} worker(s) ...")
+            leg = run_batch(names, parallel=width, capture_events=capture,
+                            cache_dir=args.cache_dir)
+            leg_speedup = (serial.wall_seconds / leg.wall_seconds
+                           if leg.wall_seconds > 0 else None)
+            result, speedup = leg, leg_speedup
+        matrix.append({
+            "parallelism": width,
+            "wall_seconds": round(leg.wall_seconds, 4),
+            "speedup": (round(leg_speedup, 3)
+                        if leg_speedup is not None else None),
+            "worker_load": leg.worker_load,
+        })
 
     import os
 
+    final_width = widths[-1]
     data = {
         "workloads": [item.workload for item in result.items],
-        "parallelism": args.parallel,
+        "parallelism": final_width,
         "cpu_count": os.cpu_count(),
         "serial_wall_seconds": round(serial.wall_seconds, 4),
         "parallel_wall_seconds":
-            round(result.wall_seconds, 4) if args.parallel > 1 else None,
+            round(result.wall_seconds, 4) if final_width > 1 else None,
         "speedup": round(speedup, 3) if speedup is not None else None,
         "solver_cache": result.solver_cache_stats,
+        "matrix": matrix,
         "serial": serial.to_dict(),
-        "parallel": result.to_dict() if args.parallel > 1 else None,
+        "parallel": result.to_dict() if final_width > 1 else None,
     }
     if args.output:
         pathlib.Path(args.output).write_text(json.dumps(data, indent=2))
@@ -281,13 +316,23 @@ def cmd_bench(args) -> int:
         line = (f"\n{result.succeeded}/{len(result.items)} reproduced; "
                 f"serial {serial.wall_seconds:.2f} s")
         if speedup is not None:
-            line += (f"; parallel({args.parallel}) "
+            line += (f"; parallel({final_width}) "
                      f"{result.wall_seconds:.2f} s; "
                      f"speedup {speedup:.2f}x")
         line += (f"; solver cache {cache['hits']} hits / "
                  f"{cache['misses']} misses "
                  f"({cache['hit_rate']:.1%})")
         print(line)
+        if len(matrix) > 1:
+            for leg in matrix:
+                load = ", ".join(
+                    f"pid {pid}: {entry['tasks']} tasks "
+                    f"{entry['wall_seconds']:.2f} s"
+                    for pid, entry in sorted(leg["worker_load"].items()))
+                tail = (f"speedup {leg['speedup']:.2f}x"
+                        if leg["speedup"] is not None else "baseline")
+                print(f"  width {leg['parallelism']}: "
+                      f"{leg['wall_seconds']:.2f} s ({tail}) — {load}")
     return 0 if result.succeeded == len(result.items) else 1
 
 
@@ -339,6 +384,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable tracing only after N untraced failures")
     p.add_argument("--minimize", action="store_true",
                    help="ddmin-shrink the generated test case")
+    p.add_argument("--trace-recovery", action="store_true",
+                   help="tolerate degraded traces (gap search during "
+                        "replay)")
+    p.add_argument("--mapping-loss", type=float, default=0.0,
+                   metavar="FRACTION",
+                   help="simulate lost TNT bits (implies "
+                        "--trace-recovery; the paper measures 0.085)")
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="fan the gap-recovery search out over N worker "
+                        "processes (implies --trace-recovery)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persistent cross-process solver cache "
+                        "directory (warm-starts later runs)")
     p.add_argument("--json", action="store_true",
                    help="emit the report as machine-readable JSON")
 
@@ -370,8 +428,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "parallel, and report the speedup")
     p.add_argument("workload", nargs="*",
                    help="workload names (default: all)")
-    p.add_argument("--parallel", type=int, default=1, metavar="N",
-                   help="process-pool width for the parallel leg")
+    p.add_argument("--parallel", default="1", metavar="N[,M,...]",
+                   help="process-pool width(s); a comma list runs the "
+                        "whole matrix (e.g. 1,2,4,8)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persistent solver cache shared by all workers "
+                        "and runs")
     p.add_argument("-o", "--output", default=None, metavar="BENCH.json",
                    help="write the machine-readable benchmark summary")
     p.add_argument("--merged-telemetry", default=None,

@@ -41,6 +41,10 @@ logger = logging.getLogger(__name__)
 
 
 def _exact_driver(module, trace, failure, **kwargs):
+    # sharding/persistence knobs only matter to the recovering driver's
+    # gap search; an exact trace has nothing to search or share
+    kwargs.pop("shards", None)
+    kwargs.pop("cache_dir", None)
     return ShepherdedSymex(module, trace, failure, **kwargs).run()
 
 
@@ -76,10 +80,18 @@ class ExecutionReconstructor:
                  max_unrelated_occurrences: Optional[int] = None,
                  verify: bool = True,
                  selection: SelectionFn = select_key_values,
-                 trace_recovery: bool = False):
+                 trace_recovery: bool = False,
+                 shards: int = 1,
+                 cache_dir: Optional[str] = None):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.module = module
         self.work_limit = work_limit
         self.max_occurrences = max_occurrences
+        #: gap-recovery fan-out width (worker processes per search)
+        self.shards = shards
+        #: persistent cross-process solver-cache directory
+        self.cache_dir = cache_dir
         #: occurrences of *other* bugs never consume the reconstruction
         #: budget — ours still reoccurs regardless of how noisy the
         #: deployment is — but give-up must stay decidable, so they get
@@ -117,8 +129,14 @@ class ExecutionReconstructor:
         already_recorded: set = set()
         #: one cache per reconstruction: each iteration's search warm-
         #: starts from the previous iteration's partial model, and the
-        #: common constraint prefix hits instead of being re-solved
-        solver_cache = SolverCache()
+        #: common constraint prefix hits instead of being re-solved;
+        #: with a cache_dir, a persistent tier shares results across
+        #: shards, reconstructions, and processes
+        persistent = None
+        if self.cache_dir is not None:
+            from ..solver.diskcache import DiskSolverCache
+            persistent = DiskSolverCache(self.cache_dir)
+        solver_cache = SolverCache(persistent=persistent)
         unrelated = 0
 
         occurrence_no = 0
@@ -156,7 +174,9 @@ class ExecutionReconstructor:
                 result = self.symex_driver(deployed, occurrence.trace,
                                            occurrence.failure,
                                            work_limit=self.work_limit,
-                                           solver_cache=solver_cache)
+                                           solver_cache=solver_cache,
+                                           shards=self.shards,
+                                           cache_dir=self.cache_dir)
             record = IterationRecord(
                 occurrence=occurrence_no,
                 status=result.status,

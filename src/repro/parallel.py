@@ -17,23 +17,50 @@ single combined JSONL log (each event tagged with its workload) that
 ``parallel=1`` degrades to a plain in-process loop — same code path,
 same reports, no executor — which is also the serial baseline that
 ``repro bench`` compares against to measure the speedup.
+
+Beside the batch runner lives :func:`shard_gap_search`: intra-
+reconstruction parallelism.  One gap-recovery search (the serial DFS in
+``repro.symex.gaps``) is split into decision-vector *prefix subspaces*,
+each explored by a worker process confined to its prefix; the winner is
+the first non-diverged outcome in serial DFS order, so the sharded
+search returns the same result the serial search would.  Workers share
+solver work through the persistent disk cache (``cache_dir``) and ship
+back reduced, picklable outcomes — the parent replays the winning
+decision vector once, in-process, to materialize the full
+:class:`~repro.symex.result.SymexResult` (terms never cross process
+boundaries).
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import os
 import pathlib
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from itertools import product
 from typing import Dict, List, Optional, Sequence, Union
 
 from . import telemetry
 from .core import ExecutionReconstructor, ProductionSite
+from .solver import terms as T
+from .solver.cache import SolverCache
+from .solver.diskcache import DiskSolverCache
+from .symex.engine import ShepherdedSymex
+from .symex.gaps import _search_gap_decisions
+from .trace.degrade import gap_count
 from .workloads import get_workload, workload_names
 
-__all__ = ["BatchItem", "BatchResult", "run_batch", "write_merged_jsonl"]
+__all__ = ["BatchItem", "BatchResult", "GapShardOutcome", "run_batch",
+           "shard_gap_search", "write_merged_jsonl"]
+
+logger = logging.getLogger(__name__)
+
+#: ceiling on the prefix depth (2^depth shard tasks)
+MAX_SHARD_DEPTH = 6
 
 
 @dataclass
@@ -50,6 +77,8 @@ class BatchItem:
     recorded_bytes: int = 0
     solver_cache: Dict[str, float] = field(default_factory=dict)
     error: Optional[str] = None
+    #: pid of the pool process that ran this workload (load balance)
+    worker: int = 0
     #: this worker's full metric snapshot
     telemetry: Dict = field(default_factory=dict)
     #: structured event stream (only when events were requested)
@@ -68,6 +97,7 @@ class BatchItem:
             "recorded_bytes": self.recorded_bytes,
             "solver_cache": self.solver_cache,
             "error": self.error,
+            "worker": self.worker,
         }
 
 
@@ -99,6 +129,18 @@ class BatchResult:
             "hit_rate": round(hits / total, 4) if total else 0.0,
         }
 
+    @property
+    def worker_load(self) -> Dict[str, Dict[str, float]]:
+        """Per-worker load balance: tasks run and wall-time, keyed by pid."""
+        load: Dict[str, Dict[str, float]] = {}
+        for item in self.items:
+            entry = load.setdefault(str(item.worker),
+                                    {"tasks": 0, "wall_seconds": 0.0})
+            entry["tasks"] += 1
+            entry["wall_seconds"] = round(
+                entry["wall_seconds"] + item.wall_seconds, 4)
+        return load
+
     def to_dict(self) -> Dict:
         return {
             "parallelism": self.parallelism,
@@ -106,11 +148,13 @@ class BatchResult:
             "succeeded": self.succeeded,
             "total": len(self.items),
             "solver_cache": self.solver_cache_stats,
+            "worker_load": self.worker_load,
             "items": [item.to_dict() for item in self.items],
         }
 
 
-def _reconstruct_one(name: str, capture_events: bool) -> BatchItem:
+def _reconstruct_one(name: str, capture_events: bool,
+                     cache_dir: Optional[str] = None) -> BatchItem:
     """Worker body: one workload under a private telemetry registry.
 
     Runs in a pool process (or inline for ``parallel=1``); must only
@@ -119,7 +163,7 @@ def _reconstruct_one(name: str, capture_events: bool) -> BatchItem:
     """
     sink = telemetry.MemorySink() if capture_events else None
     registry = telemetry.Telemetry(sink)
-    item = BatchItem(workload=name)
+    item = BatchItem(workload=name, worker=os.getpid())
     started = time.perf_counter()
     with telemetry.scoped(registry):
         try:
@@ -127,7 +171,8 @@ def _reconstruct_one(name: str, capture_events: bool) -> BatchItem:
             reconstructor = ExecutionReconstructor(
                 workload.fresh_module(),
                 work_limit=workload.work_limit,
-                max_occurrences=workload.max_occurrences)
+                max_occurrences=workload.max_occurrences,
+                cache_dir=cache_dir)
             report = reconstructor.reconstruct(
                 ProductionSite(workload.failing_env))
             item.success = report.success
@@ -159,24 +204,28 @@ def _reconstruct_one(name: str, capture_events: bool) -> BatchItem:
 
 def run_batch(names: Optional[Sequence[str]] = None, *,
               parallel: int = 1,
-              capture_events: bool = False) -> BatchResult:
+              capture_events: bool = False,
+              cache_dir: Optional[str] = None) -> BatchResult:
     """Reconstruct ``names`` (default: every workload), ``parallel``-wide.
 
     Results come back in input order regardless of completion order.  A
     workload that raises contributes a :class:`BatchItem` with ``error``
-    set instead of aborting the batch.
+    set instead of aborting the batch.  ``cache_dir`` points every
+    worker at one shared persistent solver cache.
     """
     names = list(names) if names is not None else workload_names()
     if parallel < 1:
         raise ValueError(f"parallel must be >= 1, got {parallel}")
     started = time.perf_counter()
     if parallel == 1 or len(names) <= 1:
-        items = [_reconstruct_one(name, capture_events) for name in names]
+        items = [_reconstruct_one(name, capture_events, cache_dir)
+                 for name in names]
     else:
         workers = min(parallel, len(names))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             items = list(pool.map(_reconstruct_one, names,
-                                  [capture_events] * len(names)))
+                                  [capture_events] * len(names),
+                                  [cache_dir] * len(names)))
     wall = time.perf_counter() - started
     merged = telemetry.merge_snapshots([item.telemetry for item in items])
     telemetry.count("parallel.batches")
@@ -209,3 +258,162 @@ def write_merged_jsonl(result: BatchResult,
             "metrics": result.telemetry,
         }) + "\n")
     return lines + 1
+
+
+# ----------------------------------------------------------------------
+# sharded gap recovery (intra-reconstruction parallelism)
+
+@dataclass
+class GapShardOutcome:
+    """One shard's reduced search outcome, picklable across processes.
+
+    Deliberately term-free: only the decision bits travel back; the
+    parent replays them in-process to rebuild the full result.
+    """
+
+    prefix: List[bool]
+    status: str = "diverged"
+    gap_bits: List[bool] = field(default_factory=list)
+    gap_attempts: int = 0
+    divergence_reason: Optional[str] = None
+    diverged_chunk: Optional[int] = None
+    worker: int = 0
+    wall_seconds: float = 0.0
+    #: this shard's full metric snapshot
+    telemetry: Dict = field(default_factory=dict)
+
+
+#: per-process shard state, shipped once via the pool initializer so the
+#: module/trace are not re-pickled for every prefix task
+_SHARD_STATE: Dict = {}
+
+
+def _gap_shard_init(module, trace, failure, max_attempts,
+                    engine_kwargs, cache_dir) -> None:
+    _SHARD_STATE.update(module=module, trace=trace, failure=failure,
+                        max_attempts=max_attempts,
+                        engine_kwargs=engine_kwargs, cache_dir=cache_dir)
+
+
+def _gap_shard_run(prefix: List[bool]) -> GapShardOutcome:
+    """Worker body: search one prefix subspace under private state.
+
+    Fresh term scope, telemetry registry, and in-memory solver cache per
+    shard; the persistent tier (when ``cache_dir`` is set) is the only
+    shared state, so shards warm-start each other's common-prefix
+    queries through the disk file.
+    """
+    state = _SHARD_STATE
+    registry = telemetry.Telemetry()
+    outcome = GapShardOutcome(prefix=list(prefix), worker=os.getpid())
+    started = time.perf_counter()
+    cache_dir = state["cache_dir"]
+    cache = SolverCache(
+        persistent=DiskSolverCache(cache_dir) if cache_dir else None)
+    with telemetry.scoped(registry), T.term_scope():
+        result = _search_gap_decisions(
+            state["module"], state["trace"], state["failure"],
+            state["max_attempts"], cache, dict(state["engine_kwargs"]),
+            initial_decisions=list(prefix), locked_prefix=len(prefix))
+    outcome.status = result.status
+    outcome.gap_bits = list(result.gap_bits)
+    outcome.gap_attempts = result.gap_attempts
+    outcome.divergence_reason = result.divergence_reason
+    outcome.diverged_chunk = result.diverged_chunk
+    outcome.wall_seconds = time.perf_counter() - started
+    outcome.telemetry = registry.snapshot()
+    return outcome
+
+
+def _shard_prefixes(trace, shards: int) -> List[List[bool]]:
+    """Decision-vector prefixes partitioning the gap space, in serial
+    DFS order (True before False at every position), so scanning shard
+    outcomes in task order finds the same first solution the serial
+    search would."""
+    gaps = gap_count(trace)
+    depth = min(gaps, max(1, (shards - 1).bit_length() + 2),
+                MAX_SHARD_DEPTH)
+    if depth <= 0:
+        return []
+    return [list(bits) for bits in product((True, False), repeat=depth)]
+
+
+def shard_gap_search(module, trace, failure, *, shards: int,
+                     max_attempts: int, solver_cache=None,
+                     cache_dir: Optional[str] = None,
+                     **engine_kwargs):
+    """Gap-recovery search fanned out over ``shards`` worker processes.
+
+    The serial DFS's leaf space is partitioned by depth-k decision
+    prefixes (2^k tasks, k chosen from ``shards`` and the trace's gap
+    count); each worker explores its subspace with the same backtracking
+    search, confined by a locked prefix.  The winning outcome is the
+    first non-diverged one in serial DFS order — identical to what the
+    serial search returns — and the parent replays its decision vector
+    once, in-process and against ``solver_cache``, to materialize the
+    full :class:`~repro.symex.result.SymexResult`.
+
+    Worker telemetry snapshots are merged via
+    :func:`repro.telemetry.merge_snapshots` and their counters folded
+    into the calling registry (histogram aggregates stay per-shard).
+    """
+    from .symex.gaps import replay_with_gap_recovery
+
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if solver_cache is None:
+        solver_cache = SolverCache(
+            persistent=DiskSolverCache(cache_dir) if cache_dir else None)
+    prefixes = _shard_prefixes(trace, shards)
+    if shards == 1 or not prefixes:
+        # no gaps to split on (or nothing to parallelize): serial path
+        return replay_with_gap_recovery(module, trace, failure,
+                                        max_attempts=max_attempts,
+                                        solver_cache=solver_cache,
+                                        **engine_kwargs)
+    tel = telemetry.get()
+    outcomes: List[GapShardOutcome] = []
+    winner: Optional[GapShardOutcome] = None
+    with tel.span("symex.gap_shard_search", shards=shards,
+                  tasks=len(prefixes)):
+        with ProcessPoolExecutor(
+                max_workers=min(shards, len(prefixes)),
+                initializer=_gap_shard_init,
+                initargs=(module, trace, failure, max_attempts,
+                          engine_kwargs, cache_dir)) as pool:
+            futures = [pool.submit(_gap_shard_run, prefix)
+                       for prefix in prefixes]
+            for future in futures:  # serial DFS order
+                if winner is not None:
+                    future.cancel()  # queued tasks only; running finish
+                    continue
+                outcomes.append(future.result())
+                if outcomes[-1].status != "diverged":
+                    winner = outcomes[-1]
+    merged = telemetry.merge_snapshots([o.telemetry for o in outcomes])
+    for name, value in merged.get("counters", {}).items():
+        if value:
+            tel.count(name, value)
+    tel.count("parallel.gap_shards", len(outcomes))
+    total_attempts = sum(o.gap_attempts for o in outcomes)
+    chosen = winner if winner is not None else outcomes[-1]
+    # replay the chosen decision vector in-process: full result (terms,
+    # constraints, model) without shipping terms across processes
+    with T.term_scope(reuse_active=True):
+        engine = ShepherdedSymex(module, trace, failure,
+                                 gap_decisions=list(chosen.gap_bits),
+                                 solver_cache=solver_cache,
+                                 **engine_kwargs)
+        result = engine.run()
+    result.gap_attempts = total_attempts
+    if result.status != "diverged":
+        telemetry.count("symex.gap_recoveries")
+        tel.histogram("symex.gap_attempts").record(total_attempts)
+        logger.debug("sharded gap recovery converged after %d replays "
+                     "across %d shard tasks", total_attempts,
+                     len(outcomes))
+    else:
+        telemetry.count("symex.gap_replays")
+        result.divergence_reason += \
+            f" (after {total_attempts} gap assignments)"
+    return result

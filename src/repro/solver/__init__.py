@@ -3,10 +3,12 @@
 from . import terms
 from .budget import DEFAULT_WORK_LIMIT, WORK_PER_SECOND, Budget, UnlimitedBudget
 from .cache import SolverCache, ValueEnumeration
+from .diskcache import DiskSolverCache
 from .evaluator import tv_eval
 from .model import Model, input_var_name, parse_var_name
 from .solver import Solver
-from .terms import Term, TermSpace, clear_term_cache, term_scope
+from .terms import (Term, TermSpace, clear_term_cache, deserialize_term,
+                    serialize_term, term_digest, term_scope)
 
 __all__ = [
     "terms",
@@ -14,7 +16,11 @@ __all__ = [
     "TermSpace",
     "term_scope",
     "clear_term_cache",
+    "serialize_term",
+    "deserialize_term",
+    "term_digest",
     "SolverCache",
+    "DiskSolverCache",
     "ValueEnumeration",
     "Budget",
     "UnlimitedBudget",

@@ -22,6 +22,21 @@ that redundancy, all sound by construction:
    iterations the reconstructor shares one cache, warm-starting each
    iteration's search from the previous iteration's partial model.
 
+Two further layers extend the session cache across query *shapes* and
+across *processes*:
+
+4. **Subsumption** — a cached constraint set answers queries it was
+   never asked verbatim: an *infeasible subset* forces the query
+   infeasible (every model of the superset would satisfy the subset),
+   and a *feasible superset with a recorded model* forces the query
+   feasible (that model satisfies every query constraint).  Both
+   directions are sound set logic over normalized keys.
+5. **Persistence** — an optional disk tier
+   (:class:`~repro.solver.diskcache.DiskSolverCache`) keyed on canonical
+   term digests, shared across processes via an append-only locked
+   file.  Gap-recovery shards and successive CLI runs warm-start each
+   other through it.
+
 Timeouts are never cached (they are budget-dependent), and enumeration
 results are only cached when complete or limit-truncated — never when
 truncated by an unknown value.
@@ -37,9 +52,16 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from typing import Deque, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from .terms import Term
+from .terms import Term, term_digest
 
 __all__ = ["SolverCache", "ValueEnumeration"]
+
+#: bounded windows for the in-memory subsumption scans
+_MAX_INFEASIBLE_KEYS = 256
+_MAX_KEYED_MODELS = 16
+#: term -> digest memo bound (serialization is O(term size); constraint
+#: sets grow monotonically, so each term is digested once per session)
+_MAX_DIGEST_MEMO = 8192
 
 
 class ValueEnumeration(List[int]):
@@ -70,17 +92,31 @@ class ValueEnumeration(List[int]):
 class SolverCache:
     """Memoized query results and warm-start models for one session."""
 
-    def __init__(self, max_entries: int = 4096, max_models: int = 4):
+    def __init__(self, max_entries: int = 4096, max_models: int = 4,
+                 persistent=None):
         self.max_entries = max_entries
+        #: optional disk tier (:class:`DiskSolverCache`), shared across
+        #: processes; consulted after every in-memory miss
+        self.persistent = persistent
         #: frozenset(constraints) -> bool
         self._feasible: "OrderedDict[FrozenSet[Term], bool]" = OrderedDict()
         #: (term, frozenset(constraints), limit) -> ValueEnumeration
         self._values: "OrderedDict[Tuple, ValueEnumeration]" = OrderedDict()
         #: recent satisfying assignments, newest last
         self._models: Deque[Dict[str, int]] = deque(maxlen=max_models)
+        #: recent infeasible keys (subset-subsumption scan window)
+        self._infeasible_keys: Deque[FrozenSet[Term]] = deque(
+            maxlen=_MAX_INFEASIBLE_KEYS)
+        #: recent (key, model) pairs (superset-model scan window)
+        self._keyed_models: Deque[Tuple[FrozenSet[Term], Dict[str, int]]] = \
+            deque(maxlen=_MAX_KEYED_MODELS)
+        #: Term -> canonical digest memo (disk-tier keys)
+        self._digests: "OrderedDict[Term, str]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.model_probe_hits = 0
+        self.subsumption_hits = 0
+        self.disk_hits = 0
 
     # -- keys ------------------------------------------------------------
 
@@ -89,22 +125,101 @@ class SolverCache:
         """Normalized constraint-set key: order and duplicates erased."""
         return frozenset(constraints)
 
+    def digest_key(self, key: FrozenSet[Term]) -> FrozenSet[str]:
+        """The key's cross-process form: canonical per-term digests."""
+        out = set()
+        for term in key:
+            digest = self._digests.get(term)
+            if digest is None:
+                digest = term_digest(term)
+                self._digests[term] = digest
+                while len(self._digests) > _MAX_DIGEST_MEMO:
+                    self._digests.popitem(last=False)
+            else:
+                self._digests.move_to_end(term)
+            out.add(digest)
+        return frozenset(out)
+
     # -- feasibility -----------------------------------------------------
 
     def lookup_feasible(self, key: FrozenSet[Term]) -> Optional[bool]:
-        result = self._feasible.get(key)
+        result = self.peek_feasible(key)
         if result is None:
             self.misses += 1
         else:
-            self._feasible.move_to_end(key)
             self.hits += 1
         return result
 
-    def store_feasible(self, key: FrozenSet[Term], feasible: bool) -> None:
+    def peek_feasible(self, key: FrozenSet[Term]) -> Optional[bool]:
+        """Exact in-memory lookup with no hit/miss accounting."""
+        result = self._feasible.get(key)
+        if result is not None:
+            self._feasible.move_to_end(key)
+        return result
+
+    def lookup_subsumed(self, key: FrozenSet[Term]):
+        """Answer an exact miss by subsumption (memory, then disk).
+
+        Returns ``(feasible, source)`` with ``source`` one of
+        ``"memory-subsume"``, ``"disk-exact"``, ``"disk-subsume"`` — or
+        ``None``.  No hit/miss accounting beyond the subsumption/disk
+        counters; callers settle ``hits``/``misses`` once they know the
+        final outcome.  A disk model rides back into the probe window so
+        warm starts survive process boundaries.
+        """
+        for infeasible in reversed(self._infeasible_keys):
+            if infeasible < key:
+                self.subsumption_hits += 1
+                return False, "memory-subsume"
+        for stored_key, model in reversed(self._keyed_models):
+            if stored_key > key:
+                self.subsumption_hits += 1
+                self.record_model(model)
+                return True, "memory-subsume"
+        if self.persistent is not None:
+            found = self.persistent.lookup(self.digest_key(key))
+            if found is not None:
+                feasible, model, kind = found
+                self.disk_hits += 1
+                if kind != "exact":
+                    self.subsumption_hits += 1
+                if model:
+                    self.record_model(model)
+                return feasible, f"disk-{kind}"
+        return None
+
+    def superset_model(self, key: FrozenSet[Term]):
+        """A model recorded for ``key`` or a superset, if any tier has one.
+
+        Returns ``(model, source)`` with ``source`` ``"memory"`` or
+        ``"disk"`` — or ``None``.  Sound to *try* for ``solve``: a
+        superset's model satisfies every constraint in the subset.
+        Callers still verify it against the live constraints before
+        returning it, so a stale or corrupt disk tier degrades to a
+        wasted probe, never a wrong model.
+        """
+        for stored_key, model in reversed(self._keyed_models):
+            if stored_key >= key:
+                return dict(model), "memory"
+        if self.persistent is not None:
+            found = self.persistent.lookup(self.digest_key(key))
+            if found is not None:
+                feasible, model, _kind = found
+                if feasible and model:
+                    self.disk_hits += 1
+                    return dict(model), "disk"
+        return None
+
+    def store_feasible(self, key: FrozenSet[Term], feasible: bool, *,
+                       write_through: bool = True) -> None:
         self._feasible[key] = feasible
         self._feasible.move_to_end(key)
         while len(self._feasible) > self.max_entries:
             self._feasible.popitem(last=False)
+        if not feasible:
+            self._infeasible_keys.append(key)
+        if write_through and self.persistent is not None:
+            self.persistent.store(self.digest_key(key), feasible)
 
     # -- value enumeration ----------------------------------------------
 
@@ -126,10 +241,21 @@ class SolverCache:
 
     # -- models ----------------------------------------------------------
 
-    def record_model(self, assignment: Dict[str, int]) -> None:
-        """Remember a satisfying assignment for probing and warm starts."""
+    def record_model(self, assignment: Dict[str, int],
+                     key: Optional[FrozenSet[Term]] = None) -> None:
+        """Remember a satisfying assignment for probing and warm starts.
+
+        When ``key`` (the constraint set the model satisfies) is given,
+        the pair also feeds the superset-model subsumption window and is
+        written through to the disk tier.
+        """
         if assignment and assignment not in self._models:
             self._models.append(dict(assignment))
+        if key is not None and assignment:
+            self._keyed_models.append((key, dict(assignment)))
+            if self.persistent is not None:
+                self.persistent.store(self.digest_key(key), True,
+                                      model=assignment)
 
     def recent_models(self) -> List[Dict[str, int]]:
         """Newest first — the best probe order."""
@@ -147,11 +273,16 @@ class SolverCache:
         return self.hits / total if total else 0.0
 
     def stats(self) -> Dict[str, float]:
-        return {
+        out = {
             "hits": self.hits,
             "misses": self.misses,
             "model_probe_hits": self.model_probe_hits,
+            "subsumption_hits": self.subsumption_hits,
+            "disk_hits": self.disk_hits,
             "hit_rate": round(self.hit_rate, 4),
             "feasible_entries": len(self._feasible),
             "value_entries": len(self._values),
         }
+        if self.persistent is not None:
+            out["persistent"] = self.persistent.stats()
+        return out

@@ -1,0 +1,238 @@
+"""Persistent, cross-process solver-query cache (the disk tier).
+
+The in-memory :class:`~repro.solver.cache.SolverCache` dies with its
+session; every gap-recovery shard, batch worker, and successive
+``repro reproduce``/``repro bench`` invocation re-solves the same
+queries from scratch.  This tier fixes that: query results are keyed on
+*sets of canonical term digests* (:func:`~repro.solver.terms.term_digest`
+over the injective serialization) and appended to one shared JSONL file,
+so any process pointed at the same ``--cache-dir`` warm-starts from
+every previous process's work.
+
+Storage is deliberately dumb — an append-only file plus an in-memory
+index rebuilt on open and refreshed incrementally when the file grows.
+Appends happen under an advisory ``flock`` (single-line writes, so even
+lockless platforms only risk a torn *last* line, which the reader
+skips).  There is no eviction; the file is a cache, not a database, and
+deleting it is always safe.
+
+Lookup answers three ways, strongest first:
+
+1. **Exact** — the digest set was stored verbatim.
+2. **Subset-infeasible** — some stored *infeasible* set is a subset of
+   the query: every model of the query would satisfy the subset too, so
+   the query is infeasible.
+3. **Superset-model** — some stored *feasible* superset has a recorded
+   model: that model satisfies every query constraint, so the query is
+   feasible (and the model is returned for warm starts / direct reuse).
+
+All three are sound by construction given the injective serialization;
+callers that re-use a superset model for ``solve`` re-verify it against
+the live constraints anyway, so even a corrupted file cannot produce a
+wrong *model* — only a wrong feasibility verdict, which the poisoned
+cache tests pin as impossible for well-formed files.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import pathlib
+from collections import OrderedDict, deque
+from typing import (Deque, Dict, FrozenSet, Iterable, Optional, Tuple,
+                    Union)
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: single-line appends are near-atomic
+    fcntl = None
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["DiskSolverCache"]
+
+#: default file name inside a ``--cache-dir``
+CACHE_FILE = "solver-cache.jsonl"
+
+#: bounded scan windows for the subsumption passes (newest entries win;
+#: exact lookups are unbounded dict hits and need no window)
+MAX_INFEASIBLE_SCAN = 1024
+MAX_MODEL_SCAN = 256
+
+
+class DiskSolverCache:
+    """Append-only, advisory-locked, digest-keyed solver-result store.
+
+    ``path`` may be a directory (the conventional ``--cache-dir``; the
+    store file is created inside it) or a file path.  Instances are
+    cheap; every shard/worker opens its own against the shared file.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path],
+                 max_entries: int = 65536):
+        path = pathlib.Path(path)
+        if path.suffix != ".jsonl":
+            path.mkdir(parents=True, exist_ok=True)
+            path = path / CACHE_FILE
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+        self.path = path
+        self.max_entries = max_entries
+        #: digest set -> feasible? (exact tier)
+        self._feasible: "OrderedDict[FrozenSet[str], bool]" = OrderedDict()
+        #: infeasible digest sets, newest last (subset-subsumption tier)
+        self._infeasible_sets: Deque[FrozenSet[str]] = deque(
+            maxlen=MAX_INFEASIBLE_SCAN)
+        #: (feasible digest set, model) pairs (superset-model tier)
+        self._models: Deque[Tuple[FrozenSet[str], Dict[str, int]]] = deque(
+            maxlen=MAX_MODEL_SCAN)
+        self._offset = 0
+        #: lookups answered / entries appended by *this* handle
+        self.hits = 0
+        self.appended = 0
+        self.refresh()
+
+    # -- file plumbing ---------------------------------------------------
+
+    def _locked(self, fh, exclusive: bool):
+        if fcntl is not None:
+            fcntl.flock(fh.fileno(),
+                        fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+
+    def _unlocked(self, fh):
+        if fcntl is not None:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+    def refresh(self) -> int:
+        """Index entries appended since the last read (any process).
+
+        Returns the number of new entries absorbed.  Cheap when nothing
+        changed: one ``stat`` against the remembered offset.
+        """
+        try:
+            size = os.stat(self.path).st_size
+        except OSError:
+            return 0
+        if size <= self._offset:
+            return 0
+        absorbed = 0
+        with open(self.path, "r", encoding="utf-8") as fh:
+            self._locked(fh, exclusive=False)
+            try:
+                fh.seek(self._offset)
+                for line in fh:
+                    if not line.endswith("\n"):
+                        break  # torn tail: re-read it next refresh
+                    self._offset += len(line.encode("utf-8"))
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        logger.warning("skipping corrupt cache line in %s",
+                                       self.path)
+                        continue
+                    self._absorb(entry)
+                    absorbed += 1
+            finally:
+                self._unlocked(fh)
+        return absorbed
+
+    def _absorb(self, entry: Dict) -> None:
+        key = frozenset(entry.get("k", ()))
+        if not key:
+            return
+        feasible = bool(entry.get("f"))
+        self._feasible[key] = feasible
+        self._feasible.move_to_end(key)
+        while len(self._feasible) > self.max_entries:
+            self._feasible.popitem(last=False)
+        if not feasible:
+            self._infeasible_sets.append(key)
+        model = entry.get("m")
+        if feasible and model:
+            self._models.append(
+                (key, {str(n): int(v) for n, v in model.items()}))
+
+    # -- writing ---------------------------------------------------------
+
+    def store(self, digests: Iterable[str], feasible: bool,
+              model: Optional[Dict[str, int]] = None) -> None:
+        """Append one result (and index it locally).
+
+        Duplicate appends are harmless — later lines win on replay, and
+        results for one key never disagree (only proven verdicts are
+        stored; timeouts never reach this tier).
+        """
+        key = frozenset(digests)
+        if not key or self._feasible.get(key) is not None:
+            return  # empty query or already persisted: nothing to add
+        entry = {"k": sorted(key), "f": bool(feasible)}
+        if feasible and model:
+            entry["m"] = {name: int(value) for name, value in model.items()}
+        line = json.dumps(entry, separators=(",", ":")) + "\n"
+        try:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                self._locked(fh, exclusive=True)
+                try:
+                    fh.write(line)
+                    fh.flush()
+                    self._offset = fh.tell()
+                finally:
+                    self._unlocked(fh)
+        except OSError as exc:
+            logger.warning("disk cache append failed (%s); continuing "
+                           "without persistence", exc)
+            return
+        self.appended += 1
+        self._absorb(entry)
+
+    # -- lookup ----------------------------------------------------------
+
+    def lookup(self, digests: Iterable[str]):
+        """Answer a feasibility query from the file, strongest tier first.
+
+        Returns ``(feasible, model_or_None, kind)`` where ``kind`` is
+        ``"exact"`` or ``"subsume"`` — or ``None`` on a miss.  The model
+        is only ever returned for *feasible* answers.
+        """
+        key = frozenset(digests)
+        if not key:
+            return None
+        self.refresh()
+        exact = self._feasible.get(key)
+        if exact is not None:
+            self.hits += 1
+            model = None
+            if exact:
+                for stored_key, stored_model in reversed(self._models):
+                    if stored_key == key:
+                        model = dict(stored_model)
+                        break
+            return exact, model, "exact"
+        for infeasible in reversed(self._infeasible_sets):
+            if infeasible <= key:
+                self.hits += 1
+                return False, None, "subsume"
+        for stored_key, stored_model in reversed(self._models):
+            if stored_key >= key:
+                self.hits += 1
+                return True, dict(stored_model), "subsume"
+        return None
+
+    # -- stats -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._feasible),
+            "infeasible_sets": len(self._infeasible_sets),
+            "models": len(self._models),
+            "hits": self.hits,
+            "appended": self.appended,
+        }
+
+    def __len__(self) -> int:
+        return len(self._feasible)
+
+    def __repr__(self):
+        return (f"DiskSolverCache({str(self.path)!r}, "
+                f"{len(self._feasible)} entries)")

@@ -95,14 +95,64 @@ class Solver:
         """Find a model or raise UnsatError / SolverTimeout."""
         budget = budget if budget is not None else Budget(self.work_limit)
         with _metered("solve", budget):
-            return self._solve(constraints, budget)
+            return self._solve(constraints, budget, count=True)
 
-    def _solve(self, constraints: Sequence[Term], budget: Budget) -> Model:
-        hints = self.cache.hints() if self.cache is not None else None
+    def _solve(self, constraints: Sequence[Term], budget: Budget,
+               count: bool = False) -> Model:
+        """``count=True`` (the public ``solve`` entry) attributes the
+        cache outcome to the hit/miss counters; internal callers
+        (``is_feasible``'s search, enumeration) account at their own
+        query granularity instead."""
+        cache = self.cache
+        key = None
+        if cache is not None:
+            key = SolverCache.key(constraints)
+            found = cache.superset_model(key)
+            if found is not None:
+                candidate, source = found
+                if self._verify_model(constraints, candidate, budget):
+                    # a model cached for this key or a superset of it
+                    # satisfies all of these constraints — verified
+                    # above, so even a stale/corrupt disk tier cannot
+                    # smuggle in a bad model
+                    cache.subsumption_hits += 1
+                    telemetry.count("solver.cache.subsumption_hits")
+                    if source == "disk":
+                        telemetry.count("solver.cache.disk_hits")
+                    if count:
+                        cache.hits += 1
+                        telemetry.count("solver.cache.hits")
+                    cache.record_model(candidate, key=key)
+                    return Model(candidate)
+            if count:
+                cache.misses += 1
+                telemetry.count("solver.cache.misses")
+        hints = cache.hints() if cache is not None else None
         model = _Search(list(constraints), budget, hints=hints).run()
-        if self.cache is not None:
-            self.cache.record_model(model.assignment)
+        if cache is not None:
+            cache.record_model(model.assignment, key=key)
         return model
+
+    def _verify_model(self, constraints: Sequence[Term],
+                      assignment: Dict[str, int], budget: Budget) -> bool:
+        """One capped three-valued pass: does ``assignment`` satisfy all?
+
+        A failed check charges *nothing*: the cache tier must never turn
+        a query that would have succeeded without it into a timeout, so
+        only a verification that actually saves the search costs work.
+        One evaluation pass is far cheaper than a search, so half the
+        remaining budget is a generous cap.
+        """
+        scratch = Budget(max(1, budget.remaining() // 2),
+                         "superset model check")
+        try:
+            ok = all(tv_eval(c, assignment, scratch) == 1
+                     for c in constraints)
+        except SolverTimeout:
+            return False
+        if ok:
+            budget.charge(min(scratch.spent, budget.remaining()))
+        return ok
 
     def is_feasible(self, constraints: Sequence[Term],
                     budget: Optional[Budget] = None) -> bool:
@@ -112,10 +162,23 @@ class Solver:
         key = None
         if cache is not None:
             key = SolverCache.key(constraints)
-            cached = cache.lookup_feasible(key)
+            cached = cache.peek_feasible(key)
             if cached is not None:
+                cache.hits += 1
                 telemetry.count("solver.cache.hits")
                 return cached
+            subsumed = cache.lookup_subsumed(key)
+            if subsumed is not None:
+                feasible, source = subsumed
+                cache.hits += 1
+                telemetry.count("solver.cache.hits")
+                if source != "disk-exact":
+                    telemetry.count("solver.cache.subsumption_hits")
+                if source.startswith("disk"):
+                    telemetry.count("solver.cache.disk_hits")
+                cache.store_feasible(key, feasible)  # promote to exact
+                return feasible
+            cache.misses += 1
             telemetry.count("solver.cache.misses")
             if self._probe_models(constraints, budget):
                 cache.model_probe_hits += 1

@@ -484,3 +484,103 @@ def symbolic_store_count(arr: Term) -> int:
             count += 1
         node = node.args[0]
     return count
+
+
+# ----------------------------------------------------------------------
+# canonical serialization (disk-cache keys cross process boundaries)
+
+def serialize_term(term: Term) -> str:
+    """Canonical, injective string form of a term.
+
+    The DAG is flattened into a topologically ordered node list (each
+    node ``[op, args, width]``, term arguments as ``["t", index]``
+    references) and JSON-encoded with no whitespace.  Nodes are deduped
+    *structurally*, not by identity, so two structurally equal terms —
+    even from different :func:`term_scope`\\ s, even with different
+    internal sharing — serialize to the same string.  That stability is
+    what disk-cache keys depend on.  Provenance (``Term.prov``) is
+    advisory and deliberately excluded.
+
+    The traversal is iterative: loop-grown terms exceed the recursion
+    limit.
+    """
+    import json as _json
+
+    nodes: List[list] = []
+    canon: Dict[tuple, int] = {}     # structural key -> node index
+    by_id: Dict[int, int] = {}       # id(term) -> node index (fast path)
+    stack: List[Tuple[Term, bool]] = [(term, False)]
+    while stack:
+        node, ready = stack.pop()
+        if id(node) in by_id:
+            continue
+        if not ready:
+            stack.append((node, True))
+            for arg in node.args:
+                if isinstance(arg, Term) and id(arg) not in by_id:
+                    stack.append((arg, False))
+            continue
+        encoded: List[object] = []
+        for arg in node.args:
+            if isinstance(arg, Term):
+                encoded.append(("t", by_id[id(arg)]))
+            elif isinstance(arg, bytes):
+                encoded.append(("b", arg.hex()))
+            elif isinstance(arg, str):
+                encoded.append(("s", arg))
+            else:
+                encoded.append(arg)  # int
+        key = (node.op, tuple(encoded), node.width)
+        index = canon.get(key)
+        if index is None:
+            index = len(nodes)
+            canon[key] = index
+            nodes.append([node.op, [list(e) if isinstance(e, tuple) else e
+                                    for e in encoded], node.width])
+        by_id[id(node)] = index
+    return _json.dumps(nodes, separators=(",", ":"))
+
+
+def deserialize_term(text: str) -> Term:
+    """Rebuild a term from :func:`serialize_term` output.
+
+    The result is interned into the *current* space, so round-tripping
+    re-establishes identity with same-space terms and structural
+    equality (same hash) with terms from any other space.
+    """
+    import json as _json
+
+    nodes = _json.loads(text)
+    if not nodes:
+        raise SolverError("empty serialized term")
+    built: List[Term] = []
+    for op, encoded, width in nodes:
+        args: List[object] = []
+        for item in encoded:
+            if isinstance(item, list):
+                tag, payload = item
+                if tag == "t":
+                    args.append(built[payload])
+                elif tag == "b":
+                    args.append(bytes.fromhex(payload))
+                elif tag == "s":
+                    args.append(payload)
+                else:
+                    raise SolverError(f"bad serialized arg tag {tag!r}")
+            else:
+                args.append(item)
+        built.append(_intern(op, tuple(args), width))
+    return built[-1]
+
+
+def term_digest(term: Term) -> str:
+    """128-bit hex digest of the canonical serialization.
+
+    Disk-cache keys are *sets* of these digests; subsumption reasoning
+    (subset ⇒ infeasible, superset ⇒ model) is sound exactly because the
+    serialization behind the digest is injective.
+    """
+    import hashlib
+
+    return hashlib.sha256(
+        serialize_term(term).encode("ascii")).hexdigest()[:32]

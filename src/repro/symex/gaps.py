@@ -33,6 +33,8 @@ MAX_GAP_ATTEMPTS = 512
 def replay_with_gap_recovery(module: Module, trace: DecodedTrace,
                              failure: Optional[FailureInfo],
                              max_attempts: int = MAX_GAP_ATTEMPTS,
+                             shards: int = 1,
+                             cache_dir: Optional[str] = None,
                              **engine_kwargs) -> SymexResult:
     """Shepherd a trace containing :class:`GapEvent`s.
 
@@ -41,47 +43,86 @@ def replay_with_gap_recovery(module: Module, trace: DecodedTrace,
     were never reached, so their defaults are untouched).  Returns the
     first non-diverged result, or the last divergence after the search
     is exhausted.
+
+    ``shards > 1`` fans the search out over worker processes (see
+    :func:`repro.parallel.shard_gap_search`): the decision tree is split
+    into prefix subspaces explored concurrently, and the first solution
+    in serial DFS order wins, so the result matches the serial search.
+    ``cache_dir`` points every worker (and the serial search) at a
+    shared persistent solver cache.
     """
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
     # every attempt replays the same module and trace, so all attempts
     # share one term space and one solver cache: the common prefix's
     # queries hit the cache instead of being re-solved per replay
     cache = engine_kwargs.pop("solver_cache", None)
     if cache is None:
-        cache = SolverCache()
+        cache = SolverCache(persistent=_open_disk_cache(cache_dir))
+    elif cache.persistent is None and cache_dir is not None:
+        cache.persistent = _open_disk_cache(cache_dir)
+    if shards > 1:
+        from ..parallel import shard_gap_search  # lazy: avoid import cycle
+        return shard_gap_search(module, trace, failure,
+                                shards=shards, max_attempts=max_attempts,
+                                solver_cache=cache, cache_dir=cache_dir,
+                                **engine_kwargs)
     with T.term_scope(reuse_active=True):
         return _search_gap_decisions(module, trace, failure, max_attempts,
                                      cache, engine_kwargs)
 
 
+def _open_disk_cache(cache_dir):
+    if cache_dir is None:
+        return None
+    from ..solver.diskcache import DiskSolverCache
+    return DiskSolverCache(cache_dir)
+
+
 def _search_gap_decisions(module, trace, failure, max_attempts,
-                          cache, engine_kwargs):
-    decisions: List[bool] = []
+                          cache, engine_kwargs,
+                          initial_decisions: Optional[List[bool]] = None,
+                          locked_prefix: int = 0):
+    """Serial DFS over gap decisions, optionally confined to a subspace.
+
+    ``initial_decisions`` seeds the first replay's decision vector and
+    ``locked_prefix`` freezes its first N bits: backtracking never flips
+    a locked bit, so the search covers exactly the subspace under that
+    prefix — this is the per-shard body of the parallel search.  A
+    divergence *inside* the locked prefix exhausts the subspace
+    immediately (no sibling under this prefix can replay further).
+    """
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+    decisions: List[bool] = list(initial_decisions or [])
     last: Optional[SymexResult] = None
-    for attempt in range(1, max_attempts + 1):
+    attempts = 0
+    while attempts < max_attempts:
         engine = ShepherdedSymex(module, trace, failure,
                                  gap_decisions=decisions,
                                  solver_cache=cache, **engine_kwargs)
         result = engine.run()
-        result.gap_attempts = attempt
+        attempts += 1
+        result.gap_attempts = attempts
         if result.status != "diverged":
             telemetry.count("symex.gap_recoveries")
             telemetry.get().histogram(
-                "symex.gap_attempts").record(attempt)
-            if attempt > 1:
+                "symex.gap_attempts").record(attempts)
+            if attempts > 1:
                 logger.debug("gap recovery converged after %d replays",
-                             attempt)
+                             attempts)
             return result
         telemetry.count("symex.gap_replays")
         last = result
         # the bits consumed up to the divergence are the DFS prefix
         prefix = list(result.gap_bits)
-        while prefix and prefix[-1] is False:
+        while len(prefix) > locked_prefix and prefix[-1] is False:
             prefix.pop()          # False branch exhausted: backtrack
-        if not prefix:
-            break                 # whole space explored
+        if len(prefix) <= locked_prefix:
+            break                 # subspace (or whole space) explored
         prefix[-1] = False        # try the other outcome
         decisions = prefix
     if last is None:
         raise ValueError("trace has no chunks")
-    last.divergence_reason += f" (after {attempt} gap assignments)"
+    last.divergence_reason += f" (after {attempts} gap assignments)"
     return last

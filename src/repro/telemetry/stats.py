@@ -156,9 +156,15 @@ def render_stats(events: Sequence[Dict]) -> str:
         if hits or misses:
             rate = hits / (hits + misses)
             probes = counters.get("solver.cache.model_probe_hits", 0)
-            parts.append(f"solver cache: {hits} hits / {misses} misses "
-                         f"({rate:.1%} hit rate), "
-                         f"{probes} model-probe hits")
+            line = (f"solver cache: {hits} hits / {misses} misses "
+                    f"({rate:.1%} hit rate), "
+                    f"{probes} model-probe hits")
+            subsumed = counters.get("solver.cache.subsumption_hits", 0)
+            disk = counters.get("solver.cache.disk_hits", 0)
+            if subsumed or disk:
+                line += (f", {subsumed} subsumption hits, "
+                         f"{disk} disk hits")
+            parts.append(line)
         histograms = metrics.get("histograms", {})
         span_rows = []
         for name, h in sorted(histograms.items()):

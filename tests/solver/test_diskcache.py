@@ -1,0 +1,196 @@
+"""DiskSolverCache: persistence, cross-handle sharing, subsumption.
+
+The property tests pin the soundness arguments the subsumption tiers
+rest on: a cached *infeasible subset* may force a query infeasible, a
+cached *superset model* may answer it feasible, and nothing else — in
+particular a poisoned or mismatched cache entry must never be served
+for a different key, and a poisoned *model* must never come back from
+``solve`` (the solver re-verifies models before reuse).
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import (DiskSolverCache, Solver, SolverCache,
+                          term_digest)
+from repro.solver import terms as T
+
+
+@pytest.fixture(autouse=True)
+def fresh_terms():
+    with T.term_scope():
+        yield
+
+
+def _c(name, value):
+    return T.cmp("eq", T.var(name), T.const(value), 8)
+
+
+class TestDiskStore:
+    def test_roundtrip_across_handles(self, tmp_path):
+        first = DiskSolverCache(tmp_path)
+        first.store(["d1", "d2"], True, model={"a": 5})
+        second = DiskSolverCache(tmp_path)  # fresh handle, same file
+        feasible, model, kind = second.lookup(["d2", "d1"])
+        assert (feasible, model, kind) == (True, {"a": 5}, "exact")
+
+    def test_refresh_sees_other_writers(self, tmp_path):
+        reader = DiskSolverCache(tmp_path)
+        writer = DiskSolverCache(tmp_path)
+        assert reader.lookup(["x"]) is None
+        writer.store(["x"], False)
+        assert reader.lookup(["x"])[:2] == (False, None)
+
+    def test_subset_infeasible_forces_superset(self, tmp_path):
+        cache = DiskSolverCache(tmp_path)
+        cache.store(["d1", "d2"], False)
+        feasible, model, kind = cache.lookup(["d1", "d2", "d3"])
+        assert (feasible, kind) == (False, "subsume")
+
+    def test_superset_model_answers_subset(self, tmp_path):
+        cache = DiskSolverCache(tmp_path)
+        cache.store(["d1", "d2", "d3"], True, model={"a": 1})
+        feasible, model, kind = cache.lookup(["d1", "d3"])
+        assert (feasible, model, kind) == (True, {"a": 1}, "subsume")
+
+    def test_disjoint_keys_not_served(self, tmp_path):
+        # the poisoned-cache property: results keyed on other constraint
+        # sets must not leak to queries they don't subsume
+        cache = DiskSolverCache(tmp_path)
+        cache.store(["d1", "d2"], False)          # infeasible, not subset
+        cache.store(["d9"], True, model={"a": 1})  # feasible, not superset
+        assert cache.lookup(["d1", "d3"]) is None
+        assert cache.lookup(["d2"]) is None or \
+            cache.lookup(["d2"])[2] != "exact"
+
+    def test_infeasible_subset_never_from_feasible(self, tmp_path):
+        cache = DiskSolverCache(tmp_path)
+        cache.store(["d1"], True)
+        assert cache.lookup(["d1", "d2"]) is None
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        cache = DiskSolverCache(tmp_path)
+        cache.store(["d1"], True)
+        with open(cache.path, "a", encoding="utf-8") as fh:
+            fh.write("{not json}\n")
+            fh.write(json.dumps({"k": ["d2"], "f": False}) + "\n")
+        fresh = DiskSolverCache(tmp_path)
+        assert fresh.lookup(["d1"])[0] is True
+        assert fresh.lookup(["d2"])[0] is False
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        cache = DiskSolverCache(tmp_path)
+        cache.store(["d1"], True)
+        with open(cache.path, "a", encoding="utf-8") as fh:
+            fh.write('{"k": ["d3"], "f": true')  # no newline: torn write
+        fresh = DiskSolverCache(tmp_path)
+        assert fresh.lookup(["d1"])[0] is True
+        assert fresh.lookup(["d3"]) is None
+
+    def test_empty_key_ignored(self, tmp_path):
+        cache = DiskSolverCache(tmp_path)
+        cache.store([], True)
+        assert len(cache) == 0
+        assert cache.lookup([]) is None
+
+    def test_stats_shape(self, tmp_path):
+        cache = DiskSolverCache(tmp_path)
+        cache.store(["d1"], True)
+        cache.lookup(["d1"])
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["hits"] == 1
+        assert stats["appended"] == 1
+
+
+class TestPersistentTier:
+    def test_fresh_session_warm_starts_from_disk(self, tmp_path):
+        cs = [_c("a", 5)]
+        cold = SolverCache(persistent=DiskSolverCache(tmp_path))
+        assert Solver(cache=cold).is_feasible(cs)
+        assert cold.disk_hits == 0
+        warm = SolverCache(persistent=DiskSolverCache(tmp_path))
+        assert Solver(cache=warm).is_feasible(cs)
+        assert warm.disk_hits >= 1
+        assert warm.misses == 0
+
+    def test_solve_reuses_verified_disk_model(self, tmp_path):
+        cs = [_c("a", 5), _c("b", 7)]
+        cold = SolverCache(persistent=DiskSolverCache(tmp_path))
+        first = Solver(cache=cold).solve(cs)
+        warm = SolverCache(persistent=DiskSolverCache(tmp_path))
+        second = Solver(cache=warm).solve(cs)
+        assert second.assignment == first.assignment
+        assert warm.subsumption_hits + warm.disk_hits >= 1
+
+    def test_poisoned_model_not_returned_by_solve(self, tmp_path):
+        # a cache file claiming a *wrong* model must not poison solve:
+        # the model fails re-verification and the search runs instead
+        cs = [_c("a", 5)]
+        digests = sorted(term_digest(c) for c in cs)
+        disk = DiskSolverCache(tmp_path)
+        disk.store(digests, True, model={"a": 99})
+        cache = SolverCache(persistent=DiskSolverCache(tmp_path))
+        model = Solver(cache=cache).solve(cs)
+        assert model["a"] == 5
+
+    def test_memory_subsumption_subset_infeasible(self):
+        cache = SolverCache()
+        solver = Solver(cache=cache)
+        assert not solver.is_feasible([_c("a", 1), _c("a", 2)])
+        # strict superset answered without a search
+        calls_before = cache.misses
+        assert not solver.is_feasible([_c("a", 1), _c("a", 2), _c("b", 3)])
+        assert cache.subsumption_hits == 1
+        assert cache.misses == calls_before
+
+
+DIGEST = st.sampled_from([f"d{i}" for i in range(8)])
+KEY = st.frozensets(DIGEST, min_size=1, max_size=5)
+
+
+class TestSubsumptionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(stored=KEY, query=KEY)
+    def test_infeasible_only_served_for_supersets(self, tmp_path_factory,
+                                                  stored, query):
+        cache = DiskSolverCache(tmp_path_factory.mktemp("dc"))
+        cache.store(stored, False)
+        found = cache.lookup(query)
+        if stored <= query:
+            assert found is not None and found[0] is False
+        else:
+            assert found is None  # wrong answers never served
+
+    @settings(max_examples=60, deadline=None)
+    @given(stored=KEY, query=KEY)
+    def test_model_only_served_for_subsets(self, tmp_path_factory,
+                                           stored, query):
+        cache = DiskSolverCache(tmp_path_factory.mktemp("dc"))
+        cache.store(stored, True, model={"a": 1})
+        found = cache.lookup(query)
+        if query <= stored:
+            feasible, model, _kind = found
+            assert feasible is True and model == {"a": 1}
+        else:
+            assert found is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.dictionaries(st.sampled_from(["a", "b", "c"]),
+                                  st.integers(0, 255),
+                                  min_size=1, max_size=3),
+           extra=st.sampled_from(["a", "b", "c"]))
+    def test_superset_model_satisfies_subset_query(self, values, extra):
+        # solve the full random conjunction, then ask about any subset:
+        # the recorded superset model must answer it feasibly
+        with T.term_scope():
+            cache = SolverCache()
+            solver = Solver(cache=cache)
+            full = [_c(name, v) for name, v in sorted(values.items())]
+            solver.solve(full)
+            subset = [c for c in full if extra not in c.free_vars()]
+            if subset and len(subset) < len(full):
+                assert solver.is_feasible(subset)
+                assert cache.subsumption_hits + cache.model_probe_hits >= 1

@@ -1,10 +1,14 @@
 """Gap-tolerant shepherding: recovering lost TNT bits (§4)."""
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro.interp.env import Environment
 from repro.interp.interpreter import Interpreter
-from repro.symex.gaps import replay_with_gap_recovery
+from repro.solver.cache import SolverCache
+from repro.symex import gaps
+from repro.symex.gaps import _search_gap_decisions, replay_with_gap_recovery
 from repro.trace.decoder import decode
 from repro.trace.degrade import DEFAULT_LOSS, degrade_trace, gap_count
 from repro.trace.encoder import PTEncoder
@@ -97,3 +101,105 @@ class TestGapRecovery:
         result = replay_with_gap_recovery(table_module, trace,
                                           run.failure)
         assert result.completed and result.gap_attempts == 1
+
+    def test_zero_max_attempts_rejected(self, abort_module):
+        run, trace = traced_run(abort_module,
+                                Environment({"stdin": b"\xc8"}))
+        with pytest.raises(ValueError, match="max_attempts"):
+            replay_with_gap_recovery(abort_module, trace, run.failure,
+                                     max_attempts=0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            replay_with_gap_recovery(abort_module, trace, run.failure,
+                                     max_attempts=-3)
+
+
+class _DivergingEngine:
+    """Stub engine: always diverges after consuming ``depth`` gap bits.
+
+    Records every decision vector it was launched with, so tests can pin
+    the exact DFS order and the locked-prefix confinement.
+    """
+
+    launches = []
+    depth = 2
+
+    def __init__(self, module, trace, failure, gap_decisions=(),
+                 solver_cache=None, **kwargs):
+        self.decisions = list(gap_decisions)
+        type(self).launches.append(list(gap_decisions))
+
+    def run(self):
+        bits = (self.decisions + [True] * type(self).depth)[
+            :type(self).depth]
+        return SimpleNamespace(status="diverged", gap_bits=bits,
+                               gap_attempts=1,
+                               divergence_reason="diverged at chunk 0",
+                               diverged_chunk=0, model=None)
+
+
+@pytest.fixture
+def diverging_engine(monkeypatch):
+    _DivergingEngine.launches = []
+    _DivergingEngine.depth = 2
+    monkeypatch.setattr(gaps, "ShepherdedSymex", _DivergingEngine)
+    return _DivergingEngine
+
+
+class TestSearchAccounting:
+    """The explicit-attempt fix: the reported count is the number of
+    replays actually run, not a leaked loop variable."""
+
+    def test_exhausted_space_counts_all_attempts(self, diverging_engine):
+        result = _search_gap_decisions("m", "t", None, 512,
+                                       SolverCache(), {})
+        # depth-2 space: TT, TF, FT, FF — four replays, then give up
+        assert result.gap_attempts == 4
+        assert result.divergence_reason.endswith(
+            "(after 4 gap assignments)")
+        assert diverging_engine.launches == \
+            [[], [True, False], [False], [False, False]]
+
+    def test_attempt_cap_respected_in_suffix(self, diverging_engine):
+        result = _search_gap_decisions("m", "t", None, 3,
+                                       SolverCache(), {})
+        assert result.gap_attempts == 3
+        assert result.divergence_reason.endswith(
+            "(after 3 gap assignments)")
+
+    def test_zero_attempts_raises_cleanly(self, diverging_engine):
+        with pytest.raises(ValueError, match="max_attempts"):
+            _search_gap_decisions("m", "t", None, 0, SolverCache(), {})
+
+
+class TestLockedPrefix:
+    """Shard confinement: backtracking never crosses the locked prefix."""
+
+    def test_subspace_fully_explored(self, diverging_engine):
+        diverging_engine.depth = 3
+        result = _search_gap_decisions(
+            "m", "t", None, 512, SolverCache(), {},
+            initial_decisions=[True, False], locked_prefix=2)
+        # only the third bit is searchable: two leaves
+        assert result.gap_attempts == 2
+        assert diverging_engine.launches == \
+            [[True, False], [True, False, False]]
+        for decisions in diverging_engine.launches:
+            assert decisions[:2] == [True, False]
+
+    def test_divergence_inside_prefix_exhausts(self, diverging_engine):
+        diverging_engine.depth = 1  # diverges before the prefix ends
+        result = _search_gap_decisions(
+            "m", "t", None, 512, SolverCache(), {},
+            initial_decisions=[True, False], locked_prefix=2)
+        assert result.gap_attempts == 1
+        assert diverging_engine.launches == [[True, False]]
+
+    def test_unlocked_matches_plain_search(self, diverging_engine):
+        plain = _search_gap_decisions("m", "t", None, 512,
+                                      SolverCache(), {})
+        diverging_engine.launches = []
+        seeded = _search_gap_decisions("m", "t", None, 512,
+                                       SolverCache(), {},
+                                       initial_decisions=[],
+                                       locked_prefix=0)
+        assert seeded.gap_attempts == plain.gap_attempts

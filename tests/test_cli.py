@@ -173,9 +173,76 @@ class TestBench:
         assert data["workloads"] == [self.FAST[0]]
         assert data["speedup"] is None        # no parallel leg requested
 
+    def test_bench_pool_width_matrix(self, capsys, tmp_path):
+        bench = tmp_path / "BENCH_parallel.json"
+        assert main(["bench", *self.FAST, "--parallel", "1,2",
+                     "-o", str(bench)]) == 0
+        data = json.loads(bench.read_text())
+        legs = data["matrix"]
+        assert [leg["parallelism"] for leg in legs] == [1, 2]
+        assert legs[0]["speedup"] is None      # the baseline leg
+        assert legs[1]["speedup"] is not None
+        for leg in legs:
+            assert leg["wall_seconds"] > 0
+            load = leg["worker_load"]
+            assert sum(e["tasks"] for e in load.values()) == len(self.FAST)
+        # the top-level summary keeps the last width (back-compat shape)
+        assert data["parallelism"] == 2
+        assert data["speedup"] == legs[-1]["speedup"]
+        out = capsys.readouterr().out
+        assert "width 1" in out and "width 2" in out
+
+    def test_bench_bad_pool_width_spec(self):
+        for spec in ("garbage", "0", "2,x", ""):
+            with pytest.raises(SystemExit):
+                main(["bench", self.FAST[0], "--parallel", spec])
+
+    def test_bench_cache_dir_warm_start(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        assert main(["bench", self.FAST[0], "--json",
+                     "--cache-dir", str(cache)]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(["bench", self.FAST[0], "--json",
+                     "--cache-dir", str(cache)]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert (cache / "solver-cache.jsonl").exists()
+        assert warm["solver_cache"]["hit_rate"] > \
+            cold["solver_cache"]["hit_rate"]
+
     def test_bench_unknown_workload_fails(self, capsys):
         assert main(["bench", "no-such-workload"]) == 1
         assert "no-such-workload" in capsys.readouterr().out
+
+
+class TestReproduceSharded:
+    """`reproduce --shards/--cache-dir/--mapping-loss` end to end."""
+
+    def test_mapping_loss_with_shards(self, capsys):
+        assert main(["reproduce", "objdump-2018-6323",
+                     "--mapping-loss", "0.085", "--shards", "2"]) == 0
+        assert "succeeded" in capsys.readouterr().out
+
+    def test_cache_dir_second_run_hits(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        args = ["reproduce", "objdump-2018-6323", "--json",
+                "--cache-dir", str(cache)]
+        assert main(args) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        warm = json.loads(capsys.readouterr().out)
+
+        def rate(report):
+            counters = report["telemetry"]["counters"]
+            hits = counters.get("solver.cache.hits", 0)
+            misses = counters.get("solver.cache.misses", 0)
+            return hits / max(1, hits + misses)
+
+        assert (cache / "solver-cache.jsonl").exists()
+        assert rate(warm) > rate(cold)
+        assert warm["telemetry"]["counters"].get(
+            "solver.cache.disk_hits", 0) >= 1
 
 
 class TestEirFixture:
