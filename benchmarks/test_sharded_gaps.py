@@ -15,10 +15,17 @@ import time
 
 import pytest
 
+from repro import telemetry
 from repro.core import ProductionSite
+from repro.interp.env import Environment
+from repro.interp.interpreter import Interpreter
+from repro.ir.builder import ModuleBuilder
 from repro.parallel import run_batch
 from repro.symex.gaps import replay_with_gap_recovery
-from repro.trace.degrade import gap_count
+from repro.trace.decoder import decode
+from repro.trace.degrade import degrade_trace, gap_count
+from repro.trace.encoder import PTEncoder
+from repro.trace.ringbuffer import RingBuffer
 from repro.workloads import get_workload
 
 #: deepest decision-vector search among the Table-1 workloads at the
@@ -88,4 +95,148 @@ def test_sharded_gap_speedup(artifact_dir, tmp_path):
             f"expected >=1.5x on a multi-core host, got {speedup:.2f}x")
     else:
         pytest.skip(f"single CPU: speedup {speedup:.2f}x recorded, "
+                    "not asserted")
+
+
+# -- skewed subspaces: where the static fan-out loses and stealing wins
+
+#: forced-True guard decisions: any False guard hits a PTW tag the trace
+#: never recorded, so that whole prefix subspace dies on its first replay
+GUARDS = 6
+#: late-diverging tail decisions: both arms are instruction-identical, so
+#: a wrong tail bit is only caught at the final PTW pin — after the
+#: expensive concrete loop has been replayed in full
+TAIL = 8
+#: concrete-loop iterations: the per-replay cost a scheduler must balance
+WORK_ITERS = 250
+SKEW_SHARDS = 4
+
+
+def _skewed_module():
+    """A program whose gap-decision space is maximally skewed.
+
+    Six guard branches test bits of the first input byte (0x3f in
+    production: all True); the False arm executes a ``ptwrite`` with a
+    tag the trace never contains, so every subspace fixing any guard to
+    False diverges immediately.  A concrete loop then makes each full
+    replay expensive, and eight tail branches (bits of the second input
+    byte, 0x00 in production: all False) accumulate into a value pinned
+    by the final ``ptwrite`` — wrong tail bits replay everything before
+    diverging.  The serial DFS (True-first) therefore explores the whole
+    2^TAIL tail space under the single all-True guard prefix: a static
+    prefix fan-out parks all of that work in one task, while stealing
+    redistributes it at checkpoint granularity.
+    """
+    b = ModuleBuilder("skewed-gaps")
+    f = b.function("main", [])
+    f.block("entry")
+    f.input("stdin", 1, dest="%x")
+    f.input("stdin", 1, dest="%y")
+    f.const(0, dest="%acc")
+    f.jmp("g0")
+    for i in range(GUARDS):
+        nxt = f"g{i + 1}" if i + 1 < GUARDS else "work"
+        f.block(f"g{i}")
+        bit = f.binop("and", f.binop("lshr", "%x", i, width=8), 1,
+                      width=8)
+        cond = f.cmp("ne", bit, 0, width=8)
+        f.br(cond, f"g{i}_ok", f"g{i}_bad")
+        f.block(f"g{i}_bad")
+        f.ptwrite(0, tag=10 + i)  # tag absent from the trace
+        f.jmp(nxt)
+        f.block(f"g{i}_ok")
+        f.jmp(nxt)
+    f.block("work")
+    f.const(0, dest="%i")
+    f.const(0, dest="%h")
+    f.jmp("w_loop")
+    f.block("w_loop")
+    done = f.cmp("uge", "%i", WORK_ITERS)
+    f.br(done, "t0", "w_body")
+    f.block("w_body")
+    f.add("%h", 7, width=32, dest="%h")
+    f.mul("%h", 3, width=32, dest="%h")
+    f.add("%i", 1, dest="%i")
+    f.jmp("w_loop")
+    for i in range(TAIL):
+        nxt = f"t{i + 1}" if i + 1 < TAIL else "pin"
+        f.block(f"t{i}")
+        bit = f.binop("and", f.binop("lshr", "%y", i, width=8), 1,
+                      width=8)
+        cond = f.cmp("ne", bit, 0, width=8)
+        f.br(cond, f"t{i}_on", f"t{i}_off")
+        f.block(f"t{i}_on")      # instruction-identical arms: the
+        f.add("%acc", 1 << i, width=32, dest="%acc")
+        f.jmp(nxt)
+        f.block(f"t{i}_off")     # divergence only shows at the pin
+        f.add("%acc", 0, width=32, dest="%acc")
+        f.jmp(nxt)
+    f.block("pin")
+    f.ptwrite("%acc", tag=0)
+    f.abort("skewed tail reached")
+    return b.build()
+
+
+def test_steal_rebalances_skewed_subspaces(artifact_dir):
+    module = _skewed_module()
+    encoder = PTEncoder(RingBuffer())
+    run = Interpreter(module,
+                      Environment({"stdin": bytes([0x3f, 0x00])}),
+                      tracer=encoder).run()
+    assert run.failure is not None
+    degraded = degrade_trace(decode(encoder.buffer), loss=1.0)
+    kwargs = dict(max_attempts=1024)
+
+    start = time.perf_counter()
+    serial = replay_with_gap_recovery(module, degraded, run.failure,
+                                      **kwargs)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    static = replay_with_gap_recovery(module, degraded, run.failure,
+                                      shards=SKEW_SHARDS, steal=False,
+                                      **kwargs)
+    static_s = time.perf_counter() - start
+    registry = telemetry.Telemetry()
+    start = time.perf_counter()
+    with telemetry.scoped(registry):
+        stolen = replay_with_gap_recovery(module, degraded, run.failure,
+                                          shards=SKEW_SHARDS, steal=True,
+                                          **kwargs)
+    steal_s = time.perf_counter() - start
+    counters = registry.snapshot()["counters"]
+
+    # correctness before speed: all three walks commit the same leaf
+    assert serial.completed
+    for result in (static, stolen):
+        assert result.status == serial.status
+        assert result.model.assignment == serial.model.assignment
+
+    steal_vs_static = static_s / steal_s if steal_s else 0.0
+    data = {
+        "guards": GUARDS,
+        "tail": TAIL,
+        "work_iters": WORK_ITERS,
+        "gap_count": gap_count(degraded),
+        "serial_gap_attempts": serial.gap_attempts,
+        "shards": SKEW_SHARDS,
+        "cpu_count": os.cpu_count(),
+        "serial_wall_seconds": round(serial_s, 4),
+        "static_wall_seconds": round(static_s, 4),
+        "steal_wall_seconds": round(steal_s, 4),
+        "steal_vs_static_speedup": round(steal_vs_static, 3),
+        "steals": counters.get("parallel.steals", 0),
+        "cancelled_shards": counters.get("parallel.cancelled_shards", 0),
+    }
+    (artifact_dir / "BENCH_steal_skew.json").write_text(
+        json.dumps(data, indent=2) + "\n")
+    print(f"\nskew: serial {serial_s:.2f}s, static {static_s:.2f}s, "
+          f"steal {steal_s:.2f}s ({steal_vs_static:.2f}x vs static, "
+          f"{data['steals']} steals) on {os.cpu_count()} cpu(s)")
+
+    if (os.cpu_count() or 1) >= 2:
+        assert steal_vs_static >= 1.5, (
+            "expected stealing to beat the static fan-out >=1.5x on a "
+            f"multi-core host, got {steal_vs_static:.2f}x")
+    else:
+        pytest.skip(f"single CPU: {steal_vs_static:.2f}x recorded, "
                     "not asserted")

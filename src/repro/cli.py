@@ -151,7 +151,8 @@ def cmd_reproduce(args) -> int:
         max_occurrences=args.max_occurrences or workload.max_occurrences,
         trace_recovery=recovery,
         shards=args.shards,
-        cache_dir=args.cache_dir)
+        cache_dir=args.cache_dir,
+        steal=args.steal)
     site = ProductionSite(workload.failing_env,
                           trace_after=args.trace_after,
                           mapping_loss=args.mapping_loss,
@@ -321,7 +322,10 @@ def cmd_bench(args) -> int:
                      f"speedup {speedup:.2f}x")
         line += (f"; solver cache {cache['hits']} hits / "
                  f"{cache['misses']} misses "
-                 f"({cache['hit_rate']:.1%})")
+                 f"({cache['hit_rate']:.1%} incl. "
+                 f"{cache['model_probe_hits']} probe, "
+                 f"{cache['subsumption_hits']} subsumption, "
+                 f"{cache['disk_hits']} disk hits)")
         print(line)
         if len(matrix) > 1:
             for leg in matrix:
@@ -394,6 +398,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=1, metavar="N",
                    help="fan the gap-recovery search out over N worker "
                         "processes (implies --trace-recovery)")
+    p.add_argument("--steal", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="work-stealing shard scheduler: idle workers "
+                        "split a busy sibling's subspace (--no-steal "
+                        "keeps the static 2^k prefix fan-out)")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="persistent cross-process solver cache "
                         "directory (warm-starts later runs)")

@@ -45,6 +45,7 @@ def _exact_driver(module, trace, failure, **kwargs):
     # gap search; an exact trace has nothing to search or share
     kwargs.pop("shards", None)
     kwargs.pop("cache_dir", None)
+    kwargs.pop("steal", None)
     return ShepherdedSymex(module, trace, failure, **kwargs).run()
 
 
@@ -82,7 +83,8 @@ class ExecutionReconstructor:
                  selection: SelectionFn = select_key_values,
                  trace_recovery: bool = False,
                  shards: int = 1,
-                 cache_dir: Optional[str] = None):
+                 cache_dir: Optional[str] = None,
+                 steal: bool = True):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.module = module
@@ -90,6 +92,8 @@ class ExecutionReconstructor:
         self.max_occurrences = max_occurrences
         #: gap-recovery fan-out width (worker processes per search)
         self.shards = shards
+        #: work-stealing shard scheduler (False: static 2^k prefixes)
+        self.steal = steal
         #: persistent cross-process solver-cache directory
         self.cache_dir = cache_dir
         #: occurrences of *other* bugs never consume the reconstruction
@@ -176,7 +180,8 @@ class ExecutionReconstructor:
                                            work_limit=self.work_limit,
                                            solver_cache=solver_cache,
                                            shards=self.shards,
-                                           cache_dir=self.cache_dir)
+                                           cache_dir=self.cache_dir,
+                                           steal=self.steal)
             record = IterationRecord(
                 occurrence=occurrence_no,
                 status=result.status,

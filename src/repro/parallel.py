@@ -29,12 +29,26 @@ back reduced, picklable outcomes — the parent replays the winning
 decision vector once, in-process, to materialize the full
 :class:`~repro.symex.result.SymexResult` (terms never cross process
 boundaries).
+
+Two schedulers drive the shard tasks.  The static one (``steal=False``)
+fans out 2^k fixed prefixes and scans their futures in DFS order.  The
+default work-stealing one keeps workers pulling subspaces from a shared
+work queue; an idle worker posts a steal token, and the next busy
+worker to hit a gap-decision checkpoint donates the unexplored half of
+its subspace (its current decision prefix extended by one bit — the
+victim keeps the half it is searching, the thief takes the sibling).
+The parent consumes outcomes as they complete but commits the winner by
+serial DFS order, only cancelling in-flight shards (via a shared
+``multiprocessing.Event`` polled at every checkpoint) once no earlier
+subspace is still outstanding — so both schedulers return byte-
+identical results to the serial search.
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import multiprocessing
 import os
 import pathlib
 import time
@@ -42,7 +56,8 @@ import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Dict, List, Optional, Sequence, Union
+from queue import Empty
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from . import telemetry
 from .core import ExecutionReconstructor, ProductionSite
@@ -50,7 +65,7 @@ from .solver import terms as T
 from .solver.cache import SolverCache
 from .solver.diskcache import DiskSolverCache
 from .symex.engine import ShepherdedSymex
-from .symex.gaps import _search_gap_decisions
+from .symex.gaps import SearchCancelled, _search_gap_decisions
 from .trace.degrade import gap_count
 from .workloads import get_workload, workload_names
 
@@ -117,17 +132,7 @@ class BatchResult:
 
     @property
     def solver_cache_stats(self) -> Dict[str, float]:
-        counters = self.telemetry.get("counters", {})
-        hits = counters.get("solver.cache.hits", 0)
-        misses = counters.get("solver.cache.misses", 0)
-        total = hits + misses
-        return {
-            "hits": hits,
-            "misses": misses,
-            "model_probe_hits":
-                counters.get("solver.cache.model_probe_hits", 0),
-            "hit_rate": round(hits / total, 4) if total else 0.0,
-        }
+        return _solver_cache_stats(self.telemetry.get("counters", {}))
 
     @property
     def worker_load(self) -> Dict[str, Dict[str, float]]:
@@ -151,6 +156,31 @@ class BatchResult:
             "worker_load": self.worker_load,
             "items": [item.to_dict() for item in self.items],
         }
+
+
+def _solver_cache_stats(counters: Dict) -> Dict[str, float]:
+    """Fold every cache-hit tier into one effectiveness summary.
+
+    ``hits`` already includes exact, subsumption, and disk answers (the
+    top-level solver paths bump it alongside the tier counter), but a
+    successful *model probe* is recorded as a miss plus
+    ``model_probe_hits`` — so queries answered without a solver search
+    are ``hits + model_probe_hits`` out of ``hits + misses``.  Each
+    tier is reported alongside the folded rate.
+    """
+    hits = counters.get("solver.cache.hits", 0)
+    misses = counters.get("solver.cache.misses", 0)
+    probes = counters.get("solver.cache.model_probe_hits", 0)
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "model_probe_hits": probes,
+        "subsumption_hits":
+            counters.get("solver.cache.subsumption_hits", 0),
+        "disk_hits": counters.get("solver.cache.disk_hits", 0),
+        "hit_rate": round((hits + probes) / total, 4) if total else 0.0,
+    }
 
 
 def _reconstruct_one(name: str, capture_events: bool,
@@ -189,14 +219,8 @@ def _reconstruct_one(name: str, capture_events: bool,
             registry.emit_snapshot()
     item.wall_seconds = time.perf_counter() - started
     item.telemetry = registry.snapshot()
-    counters = item.telemetry.get("counters", {})
-    hits = counters.get("solver.cache.hits", 0)
-    misses = counters.get("solver.cache.misses", 0)
-    item.solver_cache = {
-        "hits": hits, "misses": misses,
-        "hit_rate": round(hits / (hits + misses), 4)
-        if hits + misses else 0.0,
-    }
+    item.solver_cache = _solver_cache_stats(
+        item.telemetry.get("counters", {}))
     if sink is not None:
         item.events = sink.events
     return item
@@ -240,21 +264,33 @@ def write_merged_jsonl(result: BatchResult,
 
     Events keep their per-worker ``seq``/``ts`` and gain a ``workload``
     field; a final ``snapshot`` event carries the *merged* metrics so
-    ``repro stats`` renders whole-batch counters.  Returns the number of
-    lines written.
+    ``repro stats`` renders whole-batch counters.  The snapshot's
+    ``seq`` is strictly past every merged event's (the per-worker
+    sequences overlap, so a line count would collide with them) and its
+    ``ts`` is the latest merged timestamp (a registry-relative instant,
+    like every other event — not the batch duration).  Returns the
+    number of lines written.
     """
     lines = 0
+    max_seq = 0
+    max_ts = 0.0
     with open(path, "w", encoding="utf-8") as fh:
         for item in result.items:
             for event in item.events:
                 if event.get("type") == "snapshot":
                     continue      # superseded by the merged snapshot
+                seq = event.get("seq")
+                if isinstance(seq, int):
+                    max_seq = max(max_seq, seq)
+                ts = event.get("ts")
+                if isinstance(ts, (int, float)):
+                    max_ts = max(max_ts, float(ts))
                 fh.write(json.dumps({**event, "workload": item.workload},
                                     default=str) + "\n")
                 lines += 1
         fh.write(json.dumps({
             "type": "snapshot", "name": "telemetry.snapshot",
-            "seq": lines + 1, "ts": round(result.wall_seconds, 6),
+            "seq": max_seq + 1, "ts": round(max_ts, 6),
             "metrics": result.telemetry,
         }) + "\n")
     return lines + 1
@@ -269,6 +305,10 @@ class GapShardOutcome:
 
     Deliberately term-free: only the decision bits travel back; the
     parent replays them in-process to rebuild the full result.
+    ``status`` extends the engine statuses with ``"cancelled"`` (the
+    shard stopped at a checkpoint after the winner was committed; its
+    ``gap_attempts`` count the replays finished before stopping) and
+    ``"error"`` (the search raised; ``error`` carries the message).
     """
 
     prefix: List[bool]
@@ -279,6 +319,10 @@ class GapShardOutcome:
     diverged_chunk: Optional[int] = None
     worker: int = 0
     wall_seconds: float = 0.0
+    #: subspaces this shard donated to thieves while searching
+    steals_donated: int = 0
+    #: worker-side failure description (``status == "error"`` only)
+    error: Optional[str] = None
     #: this shard's full metric snapshot
     telemetry: Dict = field(default_factory=dict)
 
@@ -287,12 +331,75 @@ class GapShardOutcome:
 #: module/trace are not re-pickled for every prefix task
 _SHARD_STATE: Dict = {}
 
+#: how long an idle worker waits on the work queue before (re)posting a
+#: steal token, and how long the parent waits on the results queue
+#: before health-checking its worker loops
+_WORKER_POLL = 0.05
+_PARENT_POLL = 0.1
+
 
 def _gap_shard_init(module, trace, failure, max_attempts,
-                    engine_kwargs, cache_dir) -> None:
+                    engine_kwargs, cache_dir, cancel=None,
+                    work_q=None, steal_q=None, results_q=None,
+                    done=None) -> None:
+    """Pool initializer: stash the (large) shared inputs once per process.
+
+    The queues and events only exist under the work-stealing scheduler;
+    the static scheduler passes ``cancel`` alone (cooperative
+    cancellation works for both).  They ride through the executor's
+    ``initargs`` — multiprocessing's reducer handles queue/event
+    inheritance on the process-spawn path, unlike task pickling.
+    """
     _SHARD_STATE.update(module=module, trace=trace, failure=failure,
                         max_attempts=max_attempts,
-                        engine_kwargs=engine_kwargs, cache_dir=cache_dir)
+                        engine_kwargs=engine_kwargs, cache_dir=cache_dir,
+                        cancel=cancel, work_q=work_q, steal_q=steal_q,
+                        results_q=results_q, done=done)
+
+
+class _StealControl:
+    """Worker-side checkpoint hook: cancellation + subspace donation.
+
+    ``checkpoint`` runs before every replay in
+    :func:`~repro.symex.gaps._search_gap_decisions`.  It aborts the
+    shard once the parent committed a winner (``cancel`` event), and —
+    under the stealing scheduler — serves at most one pending steal
+    token by donating the unexplored half of this shard's remaining
+    subspace: the shallowest liberated decision still set to True marks
+    a False-sibling subtree the DFS has not entered (the search never
+    returns a bit from False to True), so extending the current prefix
+    there is a sound split.  The donated prefix travels to the parent
+    (a ``("split", prefix)`` result message), which accounts for the
+    new subspace *before* requeueing it — a thief can therefore never
+    report an outcome the parent has not yet learned to expect.
+    """
+
+    def __init__(self, prefix, cancel, steal_q=None, results_q=None):
+        self.prefix = list(prefix)
+        self.cancel = cancel
+        self.steal_q = steal_q
+        self.results_q = results_q
+        self.donated = 0
+
+    def checkpoint(self, decisions: List[bool], locked_prefix: int,
+                   attempts: int) -> int:
+        if self.cancel is not None and self.cancel.is_set():
+            raise SearchCancelled(attempts)
+        if self.steal_q is None:
+            return locked_prefix
+        try:
+            self.steal_q.get_nowait()
+        except Empty:
+            return locked_prefix
+        for i in range(locked_prefix, len(decisions)):
+            if decisions[i]:
+                stolen = list(decisions[:i]) + [False]
+                self.results_q.put(("split", stolen))
+                self.donated += 1
+                return i + 1
+        # nothing left to halve (all remaining bits already False):
+        # drop the token; idle workers re-post while the queue is dry
+        return locked_prefix
 
 
 def _gap_shard_run(prefix: List[bool]) -> GapShardOutcome:
@@ -310,19 +417,68 @@ def _gap_shard_run(prefix: List[bool]) -> GapShardOutcome:
     cache_dir = state["cache_dir"]
     cache = SolverCache(
         persistent=DiskSolverCache(cache_dir) if cache_dir else None)
-    with telemetry.scoped(registry), T.term_scope():
-        result = _search_gap_decisions(
-            state["module"], state["trace"], state["failure"],
-            state["max_attempts"], cache, dict(state["engine_kwargs"]),
-            initial_decisions=list(prefix), locked_prefix=len(prefix))
-    outcome.status = result.status
-    outcome.gap_bits = list(result.gap_bits)
-    outcome.gap_attempts = result.gap_attempts
-    outcome.divergence_reason = result.divergence_reason
-    outcome.diverged_chunk = result.diverged_chunk
+    control = None
+    if state.get("cancel") is not None:
+        control = _StealControl(prefix, state["cancel"],
+                                steal_q=state.get("steal_q"),
+                                results_q=state.get("results_q"))
+    try:
+        with telemetry.scoped(registry), T.term_scope():
+            result = _search_gap_decisions(
+                state["module"], state["trace"], state["failure"],
+                state["max_attempts"], cache, dict(state["engine_kwargs"]),
+                initial_decisions=list(prefix), locked_prefix=len(prefix),
+                control=control)
+    except SearchCancelled as stop:
+        outcome.status = "cancelled"
+        outcome.gap_attempts = stop.attempts
+        outcome.divergence_reason = "cancelled: winner committed elsewhere"
+    else:
+        outcome.status = result.status
+        outcome.gap_bits = list(result.gap_bits)
+        outcome.gap_attempts = result.gap_attempts
+        outcome.divergence_reason = result.divergence_reason
+        outcome.diverged_chunk = result.diverged_chunk
+    if control is not None:
+        outcome.steals_donated = control.donated
     outcome.wall_seconds = time.perf_counter() - started
     outcome.telemetry = registry.snapshot()
     return outcome
+
+
+def _steal_worker_loop(slot: int) -> int:
+    """Worker main loop under the stealing scheduler: pull, run, repeat.
+
+    An idle worker (empty work queue) posts a steal token — at most one
+    outstanding across the pool, so tokens cannot pile up — and the next
+    victim to checkpoint answers it through the parent.  Search errors
+    are reported as ``"error"`` outcomes rather than raised: the loop
+    future must survive so its sibling tasks still drain, and the parent
+    re-raises after accounting.  Returns the number of tasks this worker
+    ran (load-balance diagnostics).
+    """
+    state = _SHARD_STATE
+    work_q, steal_q = state["work_q"], state["steal_q"]
+    results_q, cancel, done = (state["results_q"], state["cancel"],
+                               state["done"])
+    ran = 0
+    while not done.is_set():
+        try:
+            prefix = work_q.get(timeout=_WORKER_POLL)
+        except Empty:
+            if not cancel.is_set() and steal_q.empty():
+                steal_q.put(slot)
+            continue
+        try:
+            outcome = _gap_shard_run(prefix)
+        except Exception as exc:  # noqa: BLE001 — ship back, keep draining
+            outcome = GapShardOutcome(
+                prefix=list(prefix), worker=os.getpid(), status="error",
+                error="".join(traceback.format_exception_only(
+                    type(exc), exc)).strip())
+        results_q.put(outcome)
+        ran += 1
+    return ran
 
 
 def _shard_prefixes(trace, shards: int) -> List[List[bool]]:
@@ -338,24 +494,204 @@ def _shard_prefixes(trace, shards: int) -> List[List[bool]]:
     return [list(bits) for bits in product((True, False), repeat=depth)]
 
 
+def _steal_prefixes(trace, shards: int) -> List[List[bool]]:
+    """Seed prefixes for the stealing scheduler: one per worker.
+
+    Unlike the static fan-out there is no need to over-partition —
+    idle workers rebalance by stealing — so the depth only covers the
+    pool width and the initial tasks stay as large as possible."""
+    gaps = gap_count(trace)
+    depth = min(gaps, max(1, (shards - 1).bit_length()), MAX_SHARD_DEPTH)
+    if depth <= 0:
+        return []
+    return [list(bits) for bits in product((True, False), repeat=depth)]
+
+
+def _dfs_key(bits: Sequence[bool]) -> Tuple[int, ...]:
+    """Serial-DFS visit order as a sortable key (True before False)."""
+    return tuple(0 if bit else 1 for bit in bits)
+
+
+def _choose_outcome(outcomes: Sequence[GapShardOutcome]
+                    ) -> GapShardOutcome:
+    """Commit the winner exactly as the serial DFS would.
+
+    The first non-diverged leaf in serial DFS order wins; with none, the
+    DFS-last subspace's final divergence stands in for the serial
+    search's last attempt.  Cancelled shards never compete — they are
+    all DFS-after a finalized winner by construction.
+    """
+    candidates = [o for o in outcomes
+                  if o.status not in ("cancelled", "error")]
+    if not candidates:
+        raise RuntimeError("sharded gap search produced no outcomes")
+    solutions = [o for o in candidates if o.status != "diverged"]
+    if solutions:
+        return min(solutions, key=lambda o: (_dfs_key(o.gap_bits),
+                                             _dfs_key(o.prefix)))
+    return max(candidates, key=lambda o: _dfs_key(o.prefix))
+
+
+def _static_shard_outcomes(module, trace, failure, max_attempts,
+                           engine_kwargs, cache_dir, shards, prefixes):
+    """Static scheduler: 2^k fixed prefix tasks, scanned in DFS order.
+
+    Returns ``(outcomes, errors)``.  Once a winner lands, queued tasks
+    are cancelled and running ones are stopped cooperatively via the
+    shared cancel event; their outcomes are still drained so telemetry
+    and attempt totals stay complete and worker exceptions surface
+    instead of vanishing with a skipped future.
+    """
+    ctx = multiprocessing.get_context()
+    cancel = ctx.Event()
+    outcomes: List[GapShardOutcome] = []
+    errors: List[BaseException] = []
+    winner_found = False
+    with ProcessPoolExecutor(
+            max_workers=min(shards, len(prefixes)), mp_context=ctx,
+            initializer=_gap_shard_init,
+            initargs=(module, trace, failure, max_attempts,
+                      engine_kwargs, cache_dir, cancel)) as pool:
+        futures = [pool.submit(_gap_shard_run, prefix)
+                   for prefix in prefixes]
+        consumed = set()
+        for index, future in enumerate(futures):  # serial DFS order
+            if winner_found or errors:
+                future.cancel()  # queued tasks; running ones see cancel
+                continue
+            consumed.add(index)
+            try:
+                outcome = future.result()
+            except Exception as exc:  # noqa: BLE001 — surface after drain
+                errors.append(exc)
+                cancel.set()
+                continue
+            outcomes.append(outcome)
+            if outcome.status not in ("diverged", "cancelled"):
+                winner_found = True
+                cancel.set()
+        # drain shards that were already running when the scan stopped:
+        # they abort at their next checkpoint, and their attempt counts,
+        # telemetry, and exceptions still belong to this search
+        for index, future in enumerate(futures):
+            if index in consumed or future.cancelled():
+                continue
+            try:
+                outcomes.append(future.result())
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+    return outcomes, errors
+
+
+def _steal_shard_outcomes(module, trace, failure, max_attempts,
+                          engine_kwargs, cache_dir, shards, prefixes):
+    """Work-stealing scheduler: a shared queue of splittable subspaces.
+
+    Every worker runs :func:`_steal_worker_loop`; the parent is the
+    only consumer of the results queue and the only producer of the
+    work queue, which makes the accounting exact: ``pending`` counts
+    subspaces handed to the pool minus outcomes received, and a
+    ``("split", prefix)`` message always reaches the parent *before*
+    any outcome for that prefix can exist (the donated subspace is
+    requeued by the parent itself).  The winner is finalized — and the
+    cancel event raised — only once no outstanding subspace precedes
+    its leaf in serial DFS order, so cancellation can never starve the
+    leaf the serial search would have returned.
+
+    Returns ``(outcomes, steals)``.
+    """
+    ctx = multiprocessing.get_context()
+    work_q = ctx.Queue()
+    steal_q = ctx.Queue()
+    results_q = ctx.Queue()
+    cancel = ctx.Event()
+    done = ctx.Event()
+    pending = 0
+    outstanding = set()
+    for prefix in prefixes:
+        work_q.put(list(prefix))
+        pending += 1
+        outstanding.add(tuple(prefix))
+    outcomes: List[GapShardOutcome] = []
+    steals = 0
+    winner: Optional[GapShardOutcome] = None
+    final = False
+    with ProcessPoolExecutor(
+            max_workers=shards, mp_context=ctx,
+            initializer=_gap_shard_init,
+            initargs=(module, trace, failure, max_attempts,
+                      engine_kwargs, cache_dir, cancel,
+                      work_q, steal_q, results_q, done)) as pool:
+        loops = [pool.submit(_steal_worker_loop, slot)
+                 for slot in range(shards)]
+        try:
+            while pending:
+                try:
+                    message = results_q.get(timeout=_PARENT_POLL)
+                except Empty:
+                    for loop in loops:  # a dead pool would hang us
+                        if loop.done() and loop.exception() is not None:
+                            raise loop.exception()
+                    continue
+                if isinstance(message, tuple):
+                    _, stolen = message
+                    pending += 1
+                    steals += 1
+                    outstanding.add(tuple(stolen))
+                    work_q.put(list(stolen))
+                    continue
+                outcome = message
+                pending -= 1
+                outstanding.discard(tuple(outcome.prefix))
+                outcomes.append(outcome)
+                if outcome.status == "error":
+                    cancel.set()  # drain the rest fast, raise after
+                elif outcome.status not in ("diverged", "cancelled"):
+                    if winner is None or \
+                            (_dfs_key(outcome.gap_bits),
+                             _dfs_key(outcome.prefix)) < \
+                            (_dfs_key(winner.gap_bits),
+                             _dfs_key(winner.prefix)):
+                        winner = outcome
+                if winner is not None and not final:
+                    # final iff no outstanding subspace can still hold
+                    # a DFS-earlier leaf; a prefix that orders equal-or
+                    # -before the winner leaf blocks (tuple comparison
+                    # treats a prefix of the leaf as earlier, which is
+                    # conservative and therefore sound)
+                    wkey = _dfs_key(winner.gap_bits)
+                    if all(_dfs_key(p) > wkey for p in outstanding):
+                        final = True
+                        cancel.set()
+        finally:
+            done.set()
+    return outcomes, steals
+
+
 def shard_gap_search(module, trace, failure, *, shards: int,
                      max_attempts: int, solver_cache=None,
                      cache_dir: Optional[str] = None,
+                     steal: bool = True,
                      **engine_kwargs):
     """Gap-recovery search fanned out over ``shards`` worker processes.
 
-    The serial DFS's leaf space is partitioned by depth-k decision
-    prefixes (2^k tasks, k chosen from ``shards`` and the trace's gap
-    count); each worker explores its subspace with the same backtracking
-    search, confined by a locked prefix.  The winning outcome is the
-    first non-diverged one in serial DFS order — identical to what the
-    serial search returns — and the parent replays its decision vector
-    once, in-process and against ``solver_cache``, to materialize the
-    full :class:`~repro.symex.result.SymexResult`.
+    The serial DFS's leaf space is partitioned by decision prefixes;
+    each worker explores a subspace with the same backtracking search,
+    confined by a locked prefix.  ``steal`` (the default) enables the
+    work-stealing scheduler — idle workers split busy siblings'
+    subspaces instead of waiting out a static partition — while
+    ``steal=False`` keeps the static 2^k fan-out.  Either way the
+    winning outcome is the first non-diverged one in serial DFS order —
+    identical to what the serial search returns — and the parent
+    replays its decision vector once, in-process and against
+    ``solver_cache``, to materialize the full
+    :class:`~repro.symex.result.SymexResult`.
 
     Worker telemetry snapshots are merged via
     :func:`repro.telemetry.merge_snapshots` and their counters folded
-    into the calling registry (histogram aggregates stay per-shard).
+    into the calling registry (histogram aggregates stay per-shard);
+    the parent additionally records steal/cancellation counters and a
+    per-shard attempt histogram (``parallel.shard_subspace_attempts``).
     """
     from .symex.gaps import replay_with_gap_recovery
 
@@ -364,7 +700,8 @@ def shard_gap_search(module, trace, failure, *, shards: int,
     if solver_cache is None:
         solver_cache = SolverCache(
             persistent=DiskSolverCache(cache_dir) if cache_dir else None)
-    prefixes = _shard_prefixes(trace, shards)
+    prefixes = (_steal_prefixes if steal else _shard_prefixes)(trace,
+                                                               shards)
     if shards == 1 or not prefixes:
         # no gaps to split on (or nothing to parallelize): serial path
         return replay_with_gap_recovery(module, trace, failure,
@@ -372,31 +709,40 @@ def shard_gap_search(module, trace, failure, *, shards: int,
                                         solver_cache=solver_cache,
                                         **engine_kwargs)
     tel = telemetry.get()
-    outcomes: List[GapShardOutcome] = []
-    winner: Optional[GapShardOutcome] = None
+    steals = 0
     with tel.span("symex.gap_shard_search", shards=shards,
-                  tasks=len(prefixes)):
-        with ProcessPoolExecutor(
-                max_workers=min(shards, len(prefixes)),
-                initializer=_gap_shard_init,
-                initargs=(module, trace, failure, max_attempts,
-                          engine_kwargs, cache_dir)) as pool:
-            futures = [pool.submit(_gap_shard_run, prefix)
-                       for prefix in prefixes]
-            for future in futures:  # serial DFS order
-                if winner is not None:
-                    future.cancel()  # queued tasks only; running finish
-                    continue
-                outcomes.append(future.result())
-                if outcomes[-1].status != "diverged":
-                    winner = outcomes[-1]
+                  tasks=len(prefixes), steal=steal):
+        if steal:
+            outcomes, steals = _steal_shard_outcomes(
+                module, trace, failure, max_attempts, engine_kwargs,
+                cache_dir, shards, prefixes)
+            errors: List[BaseException] = []
+        else:
+            outcomes, errors = _static_shard_outcomes(
+                module, trace, failure, max_attempts, engine_kwargs,
+                cache_dir, shards, prefixes)
     merged = telemetry.merge_snapshots([o.telemetry for o in outcomes])
     for name, value in merged.get("counters", {}).items():
         if value:
             tel.count(name, value)
     tel.count("parallel.gap_shards", len(outcomes))
+    if steals:
+        tel.count("parallel.steals", steals)
+    cancelled = sum(1 for o in outcomes if o.status == "cancelled")
+    if cancelled:
+        tel.count("parallel.cancelled_shards", cancelled)
+    subspace_hist = tel.histogram("parallel.shard_subspace_attempts")
+    for outcome in outcomes:
+        subspace_hist.record(outcome.gap_attempts)
+    if errors:
+        raise errors[0]
+    failed = [o for o in outcomes if o.status == "error"]
+    if failed:
+        raise RuntimeError(
+            f"gap shard worker failed on prefix {failed[0].prefix}: "
+            f"{failed[0].error}")
     total_attempts = sum(o.gap_attempts for o in outcomes)
-    chosen = winner if winner is not None else outcomes[-1]
+    chosen = _choose_outcome(outcomes)
     # replay the chosen decision vector in-process: full result (terms,
     # constraints, model) without shipping terms across processes
     with T.term_scope(reuse_active=True):
@@ -410,8 +756,8 @@ def shard_gap_search(module, trace, failure, *, shards: int,
         telemetry.count("symex.gap_recoveries")
         tel.histogram("symex.gap_attempts").record(total_attempts)
         logger.debug("sharded gap recovery converged after %d replays "
-                     "across %d shard tasks", total_attempts,
-                     len(outcomes))
+                     "across %d shard tasks (%d stolen)", total_attempts,
+                     len(outcomes), steals)
     else:
         telemetry.count("symex.gap_replays")
         result.divergence_reason += \

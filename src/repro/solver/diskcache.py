@@ -116,25 +116,33 @@ class DiskSolverCache:
             return 0
         if size <= self._offset:
             return 0
-        absorbed = 0
         with open(self.path, "r", encoding="utf-8") as fh:
             self._locked(fh, exclusive=False)
             try:
-                fh.seek(self._offset)
-                for line in fh:
-                    if not line.endswith("\n"):
-                        break  # torn tail: re-read it next refresh
-                    self._offset += len(line.encode("utf-8"))
-                    try:
-                        entry = json.loads(line)
-                    except json.JSONDecodeError:
-                        logger.warning("skipping corrupt cache line in %s",
-                                       self.path)
-                        continue
-                    self._absorb(entry)
-                    absorbed += 1
+                return self._absorb_new_lines(fh)
             finally:
                 self._unlocked(fh)
+
+    def _absorb_new_lines(self, fh) -> int:
+        """Index complete lines between ``self._offset`` and EOF.
+
+        The caller holds the lock.  Stops at a torn (newline-less) tail
+        without advancing past it, so it is re-read once complete.
+        """
+        fh.seek(self._offset)
+        absorbed = 0
+        for line in fh:
+            if not line.endswith("\n"):
+                break  # torn tail: re-read it next refresh
+            self._offset += len(line.encode("utf-8"))
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                logger.warning("skipping corrupt cache line in %s",
+                               self.path)
+                continue
+            self._absorb(entry)
+            absorbed += 1
         return absorbed
 
     def _absorb(self, entry: Dict) -> None:
@@ -170,21 +178,34 @@ class DiskSolverCache:
         if feasible and model:
             entry["m"] = {name: int(value) for name, value in model.items()}
         line = json.dumps(entry, separators=(",", ":")) + "\n"
+        wrote = False
         try:
-            with open(self.path, "a", encoding="utf-8") as fh:
+            with open(self.path, "a+", encoding="utf-8") as fh:
                 self._locked(fh, exclusive=True)
                 try:
-                    fh.write(line)
-                    fh.flush()
-                    self._offset = fh.tell()
+                    # absorb whatever other processes appended since the
+                    # last refresh *before* touching the offset: jumping
+                    # it to EOF below would skip their lines forever
+                    # (refresh early-returns once size <= offset)
+                    self._absorb_new_lines(fh)
+                    if self._feasible.get(key) is None:
+                        end = fh.seek(0, os.SEEK_END)
+                        fh.write(line)
+                        fh.flush()
+                        if end == self._offset:
+                            # no torn tail in between: our line is the
+                            # next one, already indexed locally below
+                            self._offset = fh.tell()
+                        wrote = True
                 finally:
                     self._unlocked(fh)
         except OSError as exc:
             logger.warning("disk cache append failed (%s); continuing "
                            "without persistence", exc)
             return
-        self.appended += 1
-        self._absorb(entry)
+        if wrote:
+            self.appended += 1
+            self._absorb(entry)
 
     # -- lookup ----------------------------------------------------------
 

@@ -30,11 +30,27 @@ logger = logging.getLogger(__name__)
 MAX_GAP_ATTEMPTS = 512
 
 
+class SearchCancelled(Exception):
+    """A search control aborted the DFS (cooperative shard cancellation).
+
+    Raised out of :func:`_search_gap_decisions` by the ``control``
+    hook's ``checkpoint`` when the parent has finalized a winner in an
+    earlier subspace; ``attempts`` counts the replays this shard
+    completed before stopping, so the parent's attempt accounting still
+    closes.
+    """
+
+    def __init__(self, attempts: int = 0):
+        super().__init__(f"gap search cancelled after {attempts} attempts")
+        self.attempts = attempts
+
+
 def replay_with_gap_recovery(module: Module, trace: DecodedTrace,
                              failure: Optional[FailureInfo],
                              max_attempts: int = MAX_GAP_ATTEMPTS,
                              shards: int = 1,
                              cache_dir: Optional[str] = None,
+                             steal: bool = True,
                              **engine_kwargs) -> SymexResult:
     """Shepherd a trace containing :class:`GapEvent`s.
 
@@ -48,8 +64,10 @@ def replay_with_gap_recovery(module: Module, trace: DecodedTrace,
     :func:`repro.parallel.shard_gap_search`): the decision tree is split
     into prefix subspaces explored concurrently, and the first solution
     in serial DFS order wins, so the result matches the serial search.
-    ``cache_dir`` points every worker (and the serial search) at a
-    shared persistent solver cache.
+    ``steal`` selects the work-stealing scheduler (idle workers split a
+    busy sibling's subspace; the default) over the static 2^k prefix
+    fan-out.  ``cache_dir`` points every worker (and the serial search)
+    at a shared persistent solver cache.
     """
     if max_attempts < 1:
         raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
@@ -66,7 +84,7 @@ def replay_with_gap_recovery(module: Module, trace: DecodedTrace,
         return shard_gap_search(module, trace, failure,
                                 shards=shards, max_attempts=max_attempts,
                                 solver_cache=cache, cache_dir=cache_dir,
-                                **engine_kwargs)
+                                steal=steal, **engine_kwargs)
     with T.term_scope(reuse_active=True):
         return _search_gap_decisions(module, trace, failure, max_attempts,
                                      cache, engine_kwargs)
@@ -82,7 +100,8 @@ def _open_disk_cache(cache_dir):
 def _search_gap_decisions(module, trace, failure, max_attempts,
                           cache, engine_kwargs,
                           initial_decisions: Optional[List[bool]] = None,
-                          locked_prefix: int = 0):
+                          locked_prefix: int = 0,
+                          control=None):
     """Serial DFS over gap decisions, optionally confined to a subspace.
 
     ``initial_decisions`` seeds the first replay's decision vector and
@@ -91,6 +110,13 @@ def _search_gap_decisions(module, trace, failure, max_attempts,
     prefix — this is the per-shard body of the parallel search.  A
     divergence *inside* the locked prefix exhausts the subspace
     immediately (no sibling under this prefix can replay further).
+
+    ``control`` is the work-stealing hook: its
+    ``checkpoint(decisions, locked_prefix, attempts)`` runs before every
+    replay and returns the (possibly extended) locked prefix length —
+    extending it donates the untouched sibling half of the subspace to a
+    thief.  It may raise :class:`SearchCancelled` to stop the shard once
+    the parent has committed a winner in an earlier subspace.
     """
     if max_attempts < 1:
         raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
@@ -98,6 +124,9 @@ def _search_gap_decisions(module, trace, failure, max_attempts,
     last: Optional[SymexResult] = None
     attempts = 0
     while attempts < max_attempts:
+        if control is not None:
+            locked_prefix = control.checkpoint(decisions, locked_prefix,
+                                               attempts)
         engine = ShepherdedSymex(module, trace, failure,
                                  gap_decisions=decisions,
                                  solver_cache=cache, **engine_kwargs)

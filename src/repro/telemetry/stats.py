@@ -154,11 +154,14 @@ def render_stats(events: Sequence[Dict]) -> str:
         hits = counters.get("solver.cache.hits", 0)
         misses = counters.get("solver.cache.misses", 0)
         if hits or misses:
-            rate = hits / (hits + misses)
             probes = counters.get("solver.cache.model_probe_hits", 0)
+            # a successful model probe is counted as a miss plus
+            # model_probe_hits, so fold it back into the answered side;
+            # subsumption/disk answers already ride inside `hits`
+            rate = (hits + probes) / (hits + misses)
             line = (f"solver cache: {hits} hits / {misses} misses "
-                    f"({rate:.1%} hit rate), "
-                    f"{probes} model-probe hits")
+                    f"({rate:.1%} hit rate incl. "
+                    f"{probes} model-probe hits)")
             subsumed = counters.get("solver.cache.subsumption_hits", 0)
             disk = counters.get("solver.cache.disk_hits", 0)
             if subsumed or disk:
@@ -167,14 +170,22 @@ def render_stats(events: Sequence[Dict]) -> str:
             parts.append(line)
         histograms = metrics.get("histograms", {})
         span_rows = []
+        metric_rows = []
         for name, h in sorted(histograms.items()):
-            if not name.startswith("span."):
-                continue
-            span_rows.append([name[len("span."):], h["count"],
-                              f"{h['sum']:.3f}", f"{h['mean']:.4f}",
-                              f"{h['p90']:.4f}"])
+            if name.startswith("span."):
+                span_rows.append([name[len("span."):], h["count"],
+                                  f"{h['sum']:.3f}", f"{h['mean']:.4f}",
+                                  f"{h['p90']:.4f}"])
+            else:
+                metric_rows.append([name, h["count"], f"{h['min']:.0f}",
+                                    f"{h['mean']:.1f}",
+                                    f"{h['p90']:.1f}", f"{h['max']:.0f}"])
         if span_rows:
             parts.append(render_table(
                 ["span", "count", "total s", "mean s", "p90 s"],
                 span_rows, "Span timings"))
+        if metric_rows:
+            parts.append(render_table(
+                ["histogram", "count", "min", "mean", "p90", "max"],
+                metric_rows, "Metric histograms"))
     return "\n\n".join(parts)

@@ -105,6 +105,53 @@ class TestDiskStore:
         assert stats["appended"] == 1
 
 
+class TestTwoWriters:
+    """Concurrent handles appending to one file must absorb each other.
+
+    The regression pinned here: ``store`` used to jump its read offset
+    to end-of-file after appending, silently skipping every line other
+    handles had written since the last refresh — ``refresh`` then
+    early-returned forever (file size <= offset), so those entries were
+    lost to this handle for its whole lifetime.
+    """
+
+    def _lines(self, cache):
+        with open(cache.path, encoding="utf-8") as fh:
+            return fh.read().splitlines()
+
+    def test_store_absorbs_other_writers_appends(self, tmp_path):
+        a = DiskSolverCache(tmp_path)
+        b = DiskSolverCache(tmp_path)  # offset 0, file empty
+        a.store(["k1"], True, model={"x": 1})
+        b.store(["k2"], False)  # must index k1 while holding the lock
+        feasible, model, kind = b.lookup(["k1"])
+        assert (feasible, model, kind) == (True, {"x": 1}, "exact")
+        assert a.lookup(["k2"])[:2] == (False, None)
+        assert len(self._lines(a)) == 2
+
+    def test_interleaved_writers_converge(self, tmp_path):
+        a = DiskSolverCache(tmp_path)
+        b = DiskSolverCache(tmp_path)
+        for i in range(6):
+            writer = a if i % 2 == 0 else b
+            writer.store([f"k{i}"], i % 3 != 0)
+        for handle in (a, b):
+            for i in range(6):
+                feasible, _model, kind = handle.lookup([f"k{i}"])
+                assert (feasible, kind) == (i % 3 != 0, "exact")
+        assert len(self._lines(a)) == 6
+        assert a.appended == b.appended == 3
+
+    def test_duplicate_store_after_absorb_skips_append(self, tmp_path):
+        a = DiskSolverCache(tmp_path)
+        b = DiskSolverCache(tmp_path)
+        a.store(["dup"], True)
+        b.store(["dup"], True)  # absorbed under the lock: no second line
+        assert b.appended == 0
+        assert len(self._lines(a)) == 1
+        assert b.lookup(["dup"])[::2] == (True, "exact")
+
+
 class TestPersistentTier:
     def test_fresh_session_warm_starts_from_disk(self, tmp_path):
         cs = [_c("a", 5)]

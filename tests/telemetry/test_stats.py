@@ -106,7 +106,42 @@ class TestRenderStats:
                          "histograms": {}}},
         ]
         text = render_stats(events)
-        assert "solver cache: 3 hits / 1 misses (75.0% hit rate)" in text
+        assert "solver cache: 3 hits / 1 misses (75.0% hit rate" in text
+
+    def test_hit_rate_folds_model_probe_tier(self):
+        # a successful probe is a miss + model_probe_hits: the rendered
+        # rate counts it as answered-by-cache (3+1 of 3+2)
+        events = [
+            iteration_end(1),
+            {"type": "snapshot",
+             "metrics": {"counters": {
+                 "solver.cache.hits": 3,
+                 "solver.cache.misses": 2,
+                 "solver.cache.model_probe_hits": 1,
+                 "solver.cache.subsumption_hits": 2,
+                 "solver.cache.disk_hits": 1},
+                 "histograms": {}}},
+        ]
+        text = render_stats(events)
+        assert "(80.0% hit rate incl. 1 model-probe hits)" in text
+        assert "2 subsumption hits, 1 disk hits" in text
+
+    def test_metric_histograms_rendered(self):
+        # non-span histograms (e.g. the per-shard subspace sizes) get
+        # their own table; span histograms keep theirs
+        events = [
+            iteration_end(1),
+            {"type": "snapshot",
+             "metrics": {"counters": {},
+                         "histograms": {
+                             "parallel.shard_subspace_attempts": {
+                                 "count": 4, "sum": 20.0, "mean": 5.0,
+                                 "min": 1.0, "max": 14.0, "p50": 2.0,
+                                 "p90": 14.0, "p99": 14.0}}}},
+        ]
+        text = render_stats(events)
+        assert "Metric histograms" in text
+        assert "parallel.shard_subspace_attempts" in text
 
     def test_no_cache_line_without_cache_counters(self):
         events = [

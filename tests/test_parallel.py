@@ -1,14 +1,21 @@
 """The batch reconstruction runner and its telemetry merging."""
 
+import dataclasses
 import json
+import queue
+import re
+import threading
 
 import pytest
 
 from repro import telemetry
 from repro.core import ProductionSite
-from repro.parallel import (BatchResult, _shard_prefixes, run_batch,
+from repro.ir.module import ProgramPoint
+from repro.parallel import (BatchItem, BatchResult, GapShardOutcome,
+                            _choose_outcome, _dfs_key, _shard_prefixes,
+                            _StealControl, _steal_prefixes, run_batch,
                             shard_gap_search, write_merged_jsonl)
-from repro.symex.gaps import replay_with_gap_recovery
+from repro.symex.gaps import SearchCancelled, replay_with_gap_recovery
 from repro.workloads import get_workload
 
 #: small, fast workloads — the batch tests stay well under a second each
@@ -85,7 +92,9 @@ def _degraded_occurrence(name):
 
 
 class TestShardedGapSearch:
-    def test_matches_serial_on_gap_heavy_workloads(self):
+    @pytest.mark.parametrize("steal", [True, False],
+                             ids=["steal", "static"])
+    def test_matches_serial_on_gap_heavy_workloads(self, steal):
         for name in FAST:
             workload, module, occ = _degraded_occurrence(name)
             kwargs = dict(work_limit=workload.work_limit * 20)
@@ -93,7 +102,7 @@ class TestShardedGapSearch:
                                               occ.failure, **kwargs)
             sharded = replay_with_gap_recovery(module, occ.trace,
                                                occ.failure, shards=2,
-                                               **kwargs)
+                                               steal=steal, **kwargs)
             assert sharded.status == serial.status, name
             serial_model = (serial.model.assignment
                             if serial.model else None)
@@ -119,6 +128,49 @@ class TestShardedGapSearch:
         with pytest.raises(ValueError, match="shards"):
             shard_gap_search(module, occ.trace, occ.failure, shards=0,
                              max_attempts=512)
+
+    def test_subspace_histogram_accounts_every_attempt(self):
+        workload, module, occ = _degraded_occurrence(FAST[0])
+        registry = telemetry.Telemetry()
+        with telemetry.scoped(registry):
+            result = replay_with_gap_recovery(
+                module, occ.trace, occ.failure, shards=2,
+                work_limit=workload.work_limit * 20)
+        snap = registry.snapshot()
+        hist = snap["histograms"]["parallel.shard_subspace_attempts"]
+        # one sample per shard outcome, summing to the reported total
+        assert hist["count"] == snap["counters"]["parallel.gap_shards"]
+        assert hist["sum"] == result.gap_attempts
+
+    @pytest.mark.parametrize("steal", [True, False],
+                             ids=["steal", "static"])
+    def test_all_diverged_matches_serial(self, steal):
+        # displace the failure point one instruction: no decision vector
+        # reaches it, so every subspace diverges and the sharded search
+        # must report the same divergence the serial walk does
+        workload, module, occ = _degraded_occurrence(FAST[0])
+        pt = occ.failure.point
+        wrong = dataclasses.replace(
+            occ.failure, point=ProgramPoint(pt.func, pt.block,
+                                            pt.index + 1))
+        kwargs = dict(work_limit=workload.work_limit * 20)
+        serial = replay_with_gap_recovery(module, occ.trace, wrong,
+                                          **kwargs)
+        sharded = replay_with_gap_recovery(module, occ.trace, wrong,
+                                           shards=2, steal=steal,
+                                           **kwargs)
+        assert serial.status == sharded.status == "diverged"
+        assert sharded.diverged_chunk == serial.diverged_chunk
+        # the reason's base matches serial; the attempt suffix counts
+        # this mode's own replays (subspace entries re-run the serial
+        # walk's interior nodes, so totals legitimately differ)
+        suffix = r" \(after (\d+) gap assignments\)$"
+        base = lambda r: re.sub(suffix, "", r.divergence_reason)
+        count = lambda r: int(re.search(suffix,
+                                        r.divergence_reason).group(1))
+        assert base(sharded) == base(serial)
+        assert count(sharded) == sharded.gap_attempts
+        assert count(serial) == serial.gap_attempts == 1
 
     def test_shard_counters_folded_into_caller(self):
         workload, module, occ = _degraded_occurrence(FAST[0])
@@ -161,6 +213,114 @@ class TestShardPrefixes:
         assert len(_shard_prefixes(trace, shards=8)) >= \
             len(_shard_prefixes(trace, shards=2))
 
+    def test_steal_prefixes_cover_pool_width_only(self):
+        # stealing rebalances at runtime, so the seed fan-out stays at
+        # one task per worker instead of over-partitioning
+        trace = self._trace()
+        assert len(_steal_prefixes(trace, shards=2)) == 2
+        assert len(_steal_prefixes(trace, shards=4)) == 4
+        assert len(_steal_prefixes(trace, shards=2)) <= \
+            len(_shard_prefixes(trace, shards=2))
+
+    def test_steal_prefixes_serial_dfs_order(self):
+        trace = self._trace()
+        prefixes = _steal_prefixes(trace, shards=4)
+        assert prefixes == sorted(prefixes, key=_dfs_key)
+        assert prefixes[0] == [True] * len(prefixes[0])
+
+
+class TestStealControl:
+    """The checkpoint hook, exercised with in-process queue doubles."""
+
+    def _control(self, cancel=False, tokens=0):
+        cancel_evt = threading.Event()
+        if cancel:
+            cancel_evt.set()
+        steal_q, results_q = queue.Queue(), queue.Queue()
+        for _ in range(tokens):
+            steal_q.put(0)
+        control = _StealControl([True], cancel_evt, steal_q=steal_q,
+                                results_q=results_q)
+        return control, steal_q, results_q
+
+    def test_cancel_aborts_with_attempt_count(self):
+        control, _, _ = self._control(cancel=True)
+        with pytest.raises(SearchCancelled) as err:
+            control.checkpoint([True, False], 1, attempts=7)
+        assert err.value.attempts == 7
+
+    def test_no_token_no_change(self):
+        control, _, results_q = self._control()
+        locked = control.checkpoint([True, False, True], 1, 0)
+        assert locked == 1
+        assert results_q.empty() and control.donated == 0
+
+    def test_donates_shallowest_unexplored_sibling(self):
+        control, steal_q, results_q = self._control(tokens=1)
+        locked = control.checkpoint([True, False, True, True], 1, 0)
+        # first liberated True is at index 2: the thief gets its False
+        # sibling, the victim locks itself out of the donated half
+        assert results_q.get_nowait() == ("split", [True, False, False])
+        assert locked == 3
+        assert steal_q.empty() and control.donated == 1
+
+    def test_locked_prefix_never_donated(self):
+        control, _, results_q = self._control(tokens=1)
+        locked = control.checkpoint([True, False], 1, 0)
+        # the only True sits inside the locked prefix: nothing stealable
+        assert locked == 1
+        assert results_q.empty() and control.donated == 0
+
+    def test_all_false_remainder_drops_token(self):
+        control, steal_q, results_q = self._control(tokens=1)
+        locked = control.checkpoint([True, False, False], 1, 0)
+        assert locked == 1
+        assert results_q.empty()
+        assert steal_q.empty()  # consumed, not re-posted
+
+
+class TestWinnerCommit:
+    """Serial-DFS winner selection over shard outcomes."""
+
+    def _outcome(self, prefix, status="diverged", gap_bits=()):
+        return GapShardOutcome(prefix=list(prefix), status=status,
+                               gap_bits=list(gap_bits))
+
+    def test_dfs_key_orders_true_first(self):
+        assert _dfs_key([True]) < _dfs_key([False])
+        assert _dfs_key([True, False]) < _dfs_key([False, True])
+        assert _dfs_key([True]) < _dfs_key([True, False])  # prefix first
+
+    def test_earliest_solution_wins_regardless_of_arrival(self):
+        late_but_early = self._outcome([True], "completed",
+                                       [True, True, False])
+        first_arrived = self._outcome([False], "completed",
+                                      [False, True, True])
+        assert _choose_outcome(
+            [first_arrived, late_but_early]) is late_but_early
+        assert _choose_outcome(
+            [late_but_early, first_arrived]) is late_but_early
+
+    def test_solution_beats_any_divergence(self):
+        solved = self._outcome([False], "stalled", [False, True])
+        diverged = self._outcome([True], "diverged", [True, True])
+        assert _choose_outcome([diverged, solved]) is solved
+
+    def test_all_diverged_commits_dfs_last_subspace(self):
+        # the DFS-last subspace's final attempt is the serial search's
+        # last attempt, so its divergence stands in for serial's
+        first = self._outcome([True, True], gap_bits=[True, True])
+        last = self._outcome([False, False], gap_bits=[False, False])
+        assert _choose_outcome([last, first]) is last
+
+    def test_cancelled_and_error_never_win(self):
+        cancelled = self._outcome([True], "cancelled")
+        errored = self._outcome([True, True], "error")
+        diverged = self._outcome([False], "diverged", [False])
+        assert _choose_outcome([cancelled, errored, diverged]) is diverged
+        with pytest.raises(RuntimeError):
+            _choose_outcome([cancelled, errored])
+
 
 class TestMergedJsonl:
     def test_merged_log_readable_by_stats(self, tmp_path):
@@ -181,6 +341,62 @@ class TestMergedJsonl:
     def test_no_events_without_capture(self):
         result = run_batch(FAST[:1], parallel=1)
         assert result.items[0].events == []
+
+    def test_snapshot_seq_past_every_merged_event(self, tmp_path):
+        # per-worker sequences overlap, so the merged snapshot must be
+        # numbered past the *max* seen — a line count would collide —
+        # and timestamped on the same registry-relative axis
+        items = [
+            BatchItem(workload="w1", events=[
+                {"type": "event", "name": "a", "seq": 5, "ts": 1.5},
+                {"type": "snapshot", "name": "telemetry.snapshot",
+                 "seq": 9, "ts": 2.0, "metrics": {}},  # superseded
+            ]),
+            BatchItem(workload="w2", events=[
+                {"type": "event", "name": "b", "seq": 7, "ts": 3.25},
+            ]),
+        ]
+        result = BatchResult(items=items, parallelism=2,
+                             wall_seconds=99.0,
+                             telemetry={"counters": {"x": 1},
+                                        "gauges": {}, "histograms": {}})
+        path = tmp_path / "merged.jsonl"
+        lines = write_merged_jsonl(result, path)
+        events = telemetry.read_jsonl(path)
+        assert len(events) == lines == 3
+        snapshot = events[-1]
+        assert snapshot["type"] == "snapshot"
+        merged_seqs = [e["seq"] for e in events[:-1]]
+        assert snapshot["seq"] == max(merged_seqs) + 1 == 8
+        assert snapshot["ts"] == 3.25  # max event ts, not wall time
+        assert snapshot["metrics"]["counters"]["x"] == 1
+
+
+class TestSolverCacheStats:
+    def _result(self, counters):
+        return BatchResult(items=[], parallelism=1, wall_seconds=0.0,
+                           telemetry={"counters": counters})
+
+    def test_hit_rate_folds_every_answered_tier(self):
+        # subsumption/disk answers already ride inside `hits`; a
+        # successful model probe is a miss + model_probe_hits, so the
+        # folded rate is (6 + 2) / (6 + 4)
+        stats = self._result({
+            "solver.cache.hits": 6,
+            "solver.cache.misses": 4,
+            "solver.cache.model_probe_hits": 2,
+            "solver.cache.subsumption_hits": 3,
+            "solver.cache.disk_hits": 1,
+        }).solver_cache_stats
+        assert stats["hit_rate"] == 0.8
+        assert stats["hits"] == 6 and stats["misses"] == 4
+        assert stats["model_probe_hits"] == 2
+        assert stats["subsumption_hits"] == 3
+        assert stats["disk_hits"] == 1
+
+    def test_empty_counters(self):
+        stats = self._result({}).solver_cache_stats
+        assert stats["hit_rate"] == 0.0
 
 
 class TestMergeSnapshots:
