@@ -20,12 +20,20 @@ Commands
     report the speedup and solver-cache hit rates (``repro bench
     --parallel 4 -o BENCH_parallel.json``).
 ``stats TELEMETRY.jsonl``
-    Render the per-iteration cost breakdown of a recorded run.
+    Render the per-iteration cost breakdown of a recorded run —
+    including the coordination-overhead attribution table for parallel
+    runs; ``--openmetrics`` emits the final snapshot in the
+    Prometheus/OpenMetrics text format instead.
+``trace-export TELEMETRY.jsonl -o trace.json``
+    Convert a recorded (possibly merged) event log into Chrome/Perfetto
+    trace-event JSON, one track per worker process.
 
 Diagnostics (every command): ``-v``/``-vv`` or ``--log-level`` turn on
 logging to stderr, ``--telemetry OUT.jsonl`` streams structured spans,
-events, and a final metric snapshot to a JSONL file, and ``--json``
-(where offered) switches the output to machine-readable JSON.
+events, and a final metric snapshot to a JSONL file, ``--trace-out
+TRACE.json`` writes the same stream as a Perfetto-openable trace, and
+``--json`` (where offered) switches the output to machine-readable
+JSON.
 """
 
 from __future__ import annotations
@@ -110,19 +118,38 @@ def _setup_logging(args) -> None:
 
 @contextlib.contextmanager
 def _telemetry_scope(args):
-    """Install a fresh registry (JSONL sink if ``--telemetry``) for one
-    command invocation; emits the final snapshot on the way out."""
+    """Install a fresh registry for one command invocation.
+
+    ``--telemetry`` streams events to a JSONL sink; ``--trace-out``
+    additionally (or alone) buffers them in memory and renders the
+    buffer as Chrome/Perfetto trace-event JSON on the way out.  Both at
+    once tee into the two sinks.  The final snapshot is emitted before
+    either file is finalized.
+    """
     path = getattr(args, "telemetry", None)
-    if not path:
+    trace_out = getattr(args, "trace_out", None)
+    if not path and not trace_out:
         yield telemetry.get()
         return
-    registry = telemetry.Telemetry(telemetry.JsonlSink(path))
+    buffer = telemetry.MemorySink() if trace_out else None
+    sinks: List[telemetry.Sink] = []
+    if path:
+        sinks.append(telemetry.JsonlSink(path))
+    if buffer is not None:
+        sinks.append(buffer)
+    sink = sinks[0] if len(sinks) == 1 else telemetry.TeeSink(*sinks)
+    registry = telemetry.Telemetry(sink)
     with telemetry.scoped(registry):
         try:
             yield registry
         finally:
             registry.close()
-            logger.info("telemetry written to %s", path)
+            if path:
+                logger.info("telemetry written to %s", path)
+            if buffer is not None:
+                records = telemetry.write_trace(buffer.events, trace_out)
+                logger.info("trace written to %s (%d records)",
+                            trace_out, records)
 
 
 # ----------------------------------------------------------------------
@@ -252,7 +279,9 @@ def cmd_bench(args) -> int:
 
     names = args.workload or None
     widths = _parse_pool_widths(args.parallel)
-    capture = bool(args.merged_telemetry)
+    # a live trace needs the workers' event streams shipped back too
+    capture = bool(args.merged_telemetry
+                   or getattr(args, "trace_out", None))
     echo = (lambda m: print(m, file=sys.stderr))
 
     echo(f"serial baseline over "
@@ -295,12 +324,18 @@ def cmd_bench(args) -> int:
         "serial": serial.to_dict(),
         "parallel": result.to_dict() if final_width > 1 else None,
     }
+    data["overhead"] = result.overhead
     if args.output:
         pathlib.Path(args.output).write_text(json.dumps(data, indent=2))
         echo(f"wrote {args.output}")
     if args.merged_telemetry:
         lines = write_merged_jsonl(result, args.merged_telemetry)
         echo(f"wrote {args.merged_telemetry} ({lines} events)")
+    if getattr(args, "trace_out", None):
+        # worker streams into the live registry, so the trace written
+        # by _telemetry_scope shows one track per pool process
+        telemetry.get().forward(event for item in result.items
+                                for event in item.events)
 
     if args.json:
         print(json.dumps(data, indent=2))
@@ -340,20 +375,67 @@ def cmd_bench(args) -> int:
     return 0 if result.succeeded == len(result.items) else 1
 
 
-def cmd_stats(args) -> int:
+def _load_telemetry_log(path) -> Optional[List[Dict]]:
+    """Read a telemetry JSONL log for ``stats``/``trace-export``.
+
+    Returns ``None`` — after a one-line stderr message, never a
+    traceback — on a missing/unreadable file, non-JSONL content, an
+    empty log, or a log with no telemetry events in it; callers exit 2.
+    """
     try:
-        events = telemetry.read_jsonl(args.file)
-    except json.JSONDecodeError as exc:
-        print(f"error: {args.file} is not a telemetry JSONL log ({exc})",
+        events = telemetry.read_jsonl(path)
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc.strerror or exc}",
               file=sys.stderr)
+        return None
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not a telemetry JSONL log ({exc})",
+              file=sys.stderr)
+        return None
+    if not events:
+        print(f"error: {path} is empty — no telemetry events "
+              "(was the run started with --telemetry?)", file=sys.stderr)
+        return None
+    if not any(e.get("type") in ("span", "event", "snapshot")
+               for e in events):
+        print(f"error: {path} contains no telemetry spans, events, or "
+              "snapshots (not a --telemetry log?)", file=sys.stderr)
+        return None
+    return events
+
+
+def cmd_stats(args) -> int:
+    events = _load_telemetry_log(args.file)
+    if events is None:
         return 2
+    if args.openmetrics:
+        metrics = telemetry.final_snapshot(events)
+        if metrics is None:
+            print(f"error: {args.file} has no metric snapshot to "
+                  "export (log truncated before close?)",
+                  file=sys.stderr)
+            return 2
+        print(telemetry.render_openmetrics(metrics), end="")
+        return 0
     if args.json:
         print(json.dumps({
             "iterations": telemetry.iteration_rows(events),
             "snapshot": telemetry.final_snapshot(events),
+            "overhead": telemetry.overhead_attribution(
+                telemetry.final_snapshot(events)),
         }, indent=2))
         return 0
     print(telemetry.render_stats(events))
+    return 0
+
+
+def cmd_trace_export(args) -> int:
+    events = _load_telemetry_log(args.file)
+    if events is None:
+        return 2
+    records = telemetry.write_trace(events, args.output)
+    print(f"wrote {args.output} ({records} trace records) — open at "
+          "https://ui.perfetto.dev", file=sys.stderr)
     return 0
 
 
@@ -368,6 +450,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="explicit log level (overrides -v)")
     diag.add_argument("--telemetry", metavar="OUT.jsonl", default=None,
                       help="stream spans/events/metrics to a JSONL file")
+    diag.add_argument("--trace-out", metavar="TRACE.json", default=None,
+                      help="write the run as Chrome/Perfetto trace-"
+                           "event JSON (open at https://ui.perfetto.dev)")
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -458,6 +543,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file", metavar="TELEMETRY.jsonl")
     p.add_argument("--json", action="store_true",
                    help="emit the breakdown as machine-readable JSON")
+    p.add_argument("--openmetrics", action="store_true",
+                   help="emit the final metric snapshot in the "
+                        "Prometheus/OpenMetrics text format")
+
+    p = sub.add_parser("trace-export", parents=[diag],
+                       help="convert a telemetry JSONL log to Chrome/"
+                            "Perfetto trace-event JSON")
+    p.add_argument("file", metavar="TELEMETRY.jsonl")
+    p.add_argument("-o", "--output", required=True,
+                   metavar="TRACE.json",
+                   help="trace-event JSON output path")
 
     return parser
 
@@ -470,6 +566,7 @@ COMMANDS = {
     "report": cmd_report,
     "bench": cmd_bench,
     "stats": cmd_stats,
+    "trace-export": cmd_trace_export,
 }
 
 

@@ -113,7 +113,7 @@ class ExecutionReconstructor:
     # ------------------------------------------------------------------
 
     def reconstruct(self, production: ProductionSite) -> ReconstructionReport:
-        with telemetry.span("reconstruct"):
+        with telemetry.span("reconstruct.run"):
             report = self._reconstruct(production)
         telemetry.count("reconstruct.runs")
         telemetry.count("reconstruct.successes" if report.success

@@ -42,6 +42,19 @@ serial DFS order, only cancelling in-flight shards (via a shared
 ``multiprocessing.Event`` polled at every checkpoint) once no earlier
 subspace is still outstanding — so both schedulers return byte-
 identical results to the serial search.
+
+Everything that crosses a process boundary here carries *trace
+context*: the parent captures :meth:`Telemetry.trace_context` inside
+its fan-out span and hands it to every worker, whose registry joins the
+parent's trace (same ``trace_id``, root spans parented on the handoff
+span) and rebases its clock onto the parent timeline — so a merged
+event stream renders as one causally-linked tree in the Perfetto
+exporter.  The schedulers also meter their own coordination overhead:
+``parallel.queue_wait_seconds`` (task enqueue → dequeue, shared wall
+clock), ``parallel.worker_idle_seconds`` (stealing workers blocked on
+an empty work queue), ``parallel.steal_latency_seconds`` (steal token
+posted → serviced), and ``parallel.pool_spinup`` / ``pool_teardown``
+spans — surfaced by ``repro stats`` as the overhead-attribution table.
 """
 
 from __future__ import annotations
@@ -146,6 +159,11 @@ class BatchResult:
                 entry["wall_seconds"] + item.wall_seconds, 4)
         return load
 
+    @property
+    def overhead(self) -> Dict[str, Dict]:
+        """Coordination-overhead attribution over the merged snapshot."""
+        return telemetry.overhead_attribution(self.telemetry)
+
     def to_dict(self) -> Dict:
         return {
             "parallelism": self.parallelism,
@@ -154,6 +172,7 @@ class BatchResult:
             "total": len(self.items),
             "solver_cache": self.solver_cache_stats,
             "worker_load": self.worker_load,
+            "overhead": self.overhead,
             "items": [item.to_dict() for item in self.items],
         }
 
@@ -184,15 +203,23 @@ def _solver_cache_stats(counters: Dict) -> Dict[str, float]:
 
 
 def _reconstruct_one(name: str, capture_events: bool,
-                     cache_dir: Optional[str] = None) -> BatchItem:
+                     cache_dir: Optional[str] = None,
+                     context: Optional[telemetry.TraceContext] = None,
+                     enqueued: Optional[float] = None) -> BatchItem:
     """Worker body: one workload under a private telemetry registry.
 
     Runs in a pool process (or inline for ``parallel=1``); must only
     return picklable data, so the report's module/test-case objects are
-    reduced to scalars here rather than shipped back.
+    reduced to scalars here rather than shipped back.  ``context`` links
+    the registry into the parent's trace; ``enqueued`` (the parent's
+    submit wall-time) meters queue wait — which for the pool's first
+    tasks honestly includes the worker-process spawn cost.
     """
     sink = telemetry.MemorySink() if capture_events else None
-    registry = telemetry.Telemetry(sink)
+    registry = telemetry.Telemetry(sink, context=context)
+    if enqueued is not None:
+        registry.histogram("parallel.queue_wait_seconds").record(
+            max(time.time() - enqueued, 0.0))
     item = BatchItem(workload=name, worker=os.getpid())
     started = time.perf_counter()
     with telemetry.scoped(registry):
@@ -240,18 +267,40 @@ def run_batch(names: Optional[Sequence[str]] = None, *,
     names = list(names) if names is not None else workload_names()
     if parallel < 1:
         raise ValueError(f"parallel must be >= 1, got {parallel}")
+    tel = telemetry.get()
+    # pool lifecycle costs live on a scratch registry so they can join
+    # the *merged* snapshot (the parent's own registry is not part of
+    # the per-item merge)
+    overhead = telemetry.Telemetry()
     started = time.perf_counter()
-    if parallel == 1 or len(names) <= 1:
-        items = [_reconstruct_one(name, capture_events, cache_dir)
-                 for name in names]
-    else:
-        workers = min(parallel, len(names))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            items = list(pool.map(_reconstruct_one, names,
-                                  [capture_events] * len(names),
-                                  [cache_dir] * len(names)))
+    with tel.span("parallel.batch", workloads=len(names),
+                  parallel=parallel):
+        context = tel.trace_context()
+        if parallel == 1 or len(names) <= 1:
+            items = [_reconstruct_one(name, capture_events, cache_dir,
+                                      context)
+                     for name in names]
+        else:
+            workers = min(parallel, len(names))
+            with tel.span("parallel.pool_spinup", workers=workers) as up:
+                pool = ProcessPoolExecutor(max_workers=workers)
+            overhead.histogram("span.parallel.pool_spinup").record(
+                up.seconds)
+            try:
+                futures = [pool.submit(_reconstruct_one, name,
+                                       capture_events, cache_dir,
+                                       context, time.time())
+                           for name in names]
+                items = [future.result() for future in futures]
+            finally:
+                with tel.span("parallel.pool_teardown",
+                              workers=workers) as down:
+                    pool.shutdown()
+                overhead.histogram("span.parallel.pool_teardown").record(
+                    down.seconds)
     wall = time.perf_counter() - started
-    merged = telemetry.merge_snapshots([item.telemetry for item in items])
+    merged = telemetry.merge_snapshots(
+        [item.telemetry for item in items] + [overhead.snapshot()])
     telemetry.count("parallel.batches")
     telemetry.count("parallel.workloads", len(items))
     return BatchResult(items=items, parallelism=parallel,
@@ -325,6 +374,8 @@ class GapShardOutcome:
     error: Optional[str] = None
     #: this shard's full metric snapshot
     telemetry: Dict = field(default_factory=dict)
+    #: structured event stream (captured when the parent's sink is live)
+    events: List[Dict] = field(default_factory=list)
 
 
 #: per-process shard state, shipped once via the pool initializer so the
@@ -341,7 +392,8 @@ _PARENT_POLL = 0.1
 def _gap_shard_init(module, trace, failure, max_attempts,
                     engine_kwargs, cache_dir, cancel=None,
                     work_q=None, steal_q=None, results_q=None,
-                    done=None) -> None:
+                    done=None, context=None,
+                    capture_events=False) -> None:
     """Pool initializer: stash the (large) shared inputs once per process.
 
     The queues and events only exist under the work-stealing scheduler;
@@ -349,12 +401,16 @@ def _gap_shard_init(module, trace, failure, max_attempts,
     cancellation works for both).  They ride through the executor's
     ``initargs`` — multiprocessing's reducer handles queue/event
     inheritance on the process-spawn path, unlike task pickling.
+    ``context`` is the parent's trace handoff (a plain frozen dataclass,
+    picklable); ``capture_events`` asks shards to buffer and ship their
+    event streams back for the parent to forward into its sink.
     """
     _SHARD_STATE.update(module=module, trace=trace, failure=failure,
                         max_attempts=max_attempts,
                         engine_kwargs=engine_kwargs, cache_dir=cache_dir,
                         cancel=cancel, work_q=work_q, steal_q=steal_q,
-                        results_q=results_q, done=done)
+                        results_q=results_q, done=done, context=context,
+                        capture_events=capture_events)
 
 
 class _StealControl:
@@ -388,30 +444,46 @@ class _StealControl:
         if self.steal_q is None:
             return locked_prefix
         try:
-            self.steal_q.get_nowait()
+            thief, posted = self.steal_q.get_nowait()
         except Empty:
             return locked_prefix
+        # token post → service latency, on the shared wall clock; the
+        # instant events land on the *victim's* track (this process)
+        latency = max(time.time() - posted, 0.0)
+        telemetry.histogram("parallel.steal_latency_seconds").record(
+            latency)
+        telemetry.event("parallel.steal_token", thief=thief,
+                        latency_s=round(latency, 6))
         for i in range(locked_prefix, len(decisions)):
             if decisions[i]:
                 stolen = list(decisions[:i]) + [False]
                 self.results_q.put(("split", stolen))
                 self.donated += 1
+                telemetry.event("parallel.split", thief=thief,
+                                prefix_len=len(stolen))
                 return i + 1
         # nothing left to halve (all remaining bits already False):
         # drop the token; idle workers re-post while the queue is dry
         return locked_prefix
 
 
-def _gap_shard_run(prefix: List[bool]) -> GapShardOutcome:
+def _gap_shard_run(prefix: List[bool],
+                   enqueued: Optional[float] = None) -> GapShardOutcome:
     """Worker body: search one prefix subspace under private state.
 
     Fresh term scope, telemetry registry, and in-memory solver cache per
     shard; the persistent tier (when ``cache_dir`` is set) is the only
     shared state, so shards warm-start each other's common-prefix
-    queries through the disk file.
+    queries through the disk file.  The registry joins the parent's
+    trace (``_SHARD_STATE["context"]``) so the shard's spans link
+    across the process boundary; ``enqueued`` meters queue wait.
     """
     state = _SHARD_STATE
-    registry = telemetry.Telemetry()
+    sink = telemetry.MemorySink() if state.get("capture_events") else None
+    registry = telemetry.Telemetry(sink, context=state.get("context"))
+    if enqueued is not None:
+        registry.histogram("parallel.queue_wait_seconds").record(
+            max(time.time() - enqueued, 0.0))
     outcome = GapShardOutcome(prefix=list(prefix), worker=os.getpid())
     started = time.perf_counter()
     cache_dir = state["cache_dir"]
@@ -423,7 +495,9 @@ def _gap_shard_run(prefix: List[bool]) -> GapShardOutcome:
                                 steal_q=state.get("steal_q"),
                                 results_q=state.get("results_q"))
     try:
-        with telemetry.scoped(registry), T.term_scope():
+        with telemetry.scoped(registry), T.term_scope(), \
+                registry.span("parallel.shard_search",
+                              prefix_len=len(prefix)):
             result = _search_gap_decisions(
                 state["module"], state["trace"], state["failure"],
                 state["max_attempts"], cache, dict(state["engine_kwargs"]),
@@ -433,6 +507,7 @@ def _gap_shard_run(prefix: List[bool]) -> GapShardOutcome:
         outcome.status = "cancelled"
         outcome.gap_attempts = stop.attempts
         outcome.divergence_reason = "cancelled: winner committed elsewhere"
+        registry.event("parallel.shard_cancelled", attempts=stop.attempts)
     else:
         outcome.status = result.status
         outcome.gap_bits = list(result.gap_bits)
@@ -443,10 +518,12 @@ def _gap_shard_run(prefix: List[bool]) -> GapShardOutcome:
         outcome.steals_donated = control.donated
     outcome.wall_seconds = time.perf_counter() - started
     outcome.telemetry = registry.snapshot()
+    if sink is not None:
+        outcome.events = sink.events
     return outcome
 
 
-def _steal_worker_loop(slot: int) -> int:
+def _steal_worker_loop(slot: int) -> Tuple[int, Dict]:
     """Worker main loop under the stealing scheduler: pull, run, repeat.
 
     An idle worker (empty work queue) posts a steal token — at most one
@@ -455,22 +532,33 @@ def _steal_worker_loop(slot: int) -> int:
     are reported as ``"error"`` outcomes rather than raised: the loop
     future must survive so its sibling tasks still drain, and the parent
     re-raises after accounting.  Returns the number of tasks this worker
-    ran (load-balance diagnostics).
+    ran plus a metric snapshot carrying its coordination overhead —
+    ``parallel.worker_idle_seconds`` records each contiguous stretch the
+    loop spent blocked on an empty work queue (including the final wait
+    for the parent's ``done``).
     """
     state = _SHARD_STATE
     work_q, steal_q = state["work_q"], state["steal_q"]
     results_q, cancel, done = (state["results_q"], state["cancel"],
                                state["done"])
+    registry = telemetry.Telemetry(context=state.get("context"))
+    idle_hist = registry.histogram("parallel.worker_idle_seconds")
     ran = 0
+    idle_since: Optional[float] = None
     while not done.is_set():
         try:
-            prefix = work_q.get(timeout=_WORKER_POLL)
+            prefix, enqueued = work_q.get(timeout=_WORKER_POLL)
         except Empty:
+            if idle_since is None:
+                idle_since = time.perf_counter()
             if not cancel.is_set() and steal_q.empty():
-                steal_q.put(slot)
+                steal_q.put((slot, time.time()))
             continue
+        if idle_since is not None:
+            idle_hist.record(time.perf_counter() - idle_since)
+            idle_since = None
         try:
-            outcome = _gap_shard_run(prefix)
+            outcome = _gap_shard_run(prefix, enqueued)
         except Exception as exc:  # noqa: BLE001 — ship back, keep draining
             outcome = GapShardOutcome(
                 prefix=list(prefix), worker=os.getpid(), status="error",
@@ -478,7 +566,9 @@ def _steal_worker_loop(slot: int) -> int:
                     type(exc), exc)).strip())
         results_q.put(outcome)
         ran += 1
-    return ran
+    if idle_since is not None:
+        idle_hist.record(time.perf_counter() - idle_since)
+    return ran, registry.snapshot()
 
 
 def _shard_prefixes(trace, shards: int) -> List[List[bool]]:
@@ -533,7 +623,8 @@ def _choose_outcome(outcomes: Sequence[GapShardOutcome]
 
 
 def _static_shard_outcomes(module, trace, failure, max_attempts,
-                           engine_kwargs, cache_dir, shards, prefixes):
+                           engine_kwargs, cache_dir, shards, prefixes,
+                           context=None, capture_events=False):
     """Static scheduler: 2^k fixed prefix tasks, scanned in DFS order.
 
     Returns ``(outcomes, errors)``.  Once a winner lands, queued tasks
@@ -542,17 +633,23 @@ def _static_shard_outcomes(module, trace, failure, max_attempts,
     and attempt totals stay complete and worker exceptions surface
     instead of vanishing with a skipped future.
     """
+    tel = telemetry.get()
     ctx = multiprocessing.get_context()
     cancel = ctx.Event()
     outcomes: List[GapShardOutcome] = []
     errors: List[BaseException] = []
     winner_found = False
-    with ProcessPoolExecutor(
-            max_workers=min(shards, len(prefixes)), mp_context=ctx,
+    workers = min(shards, len(prefixes))
+    with tel.span("parallel.pool_spinup", workers=workers,
+                  scheduler="static"):
+        pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=ctx,
             initializer=_gap_shard_init,
             initargs=(module, trace, failure, max_attempts,
-                      engine_kwargs, cache_dir, cancel)) as pool:
-        futures = [pool.submit(_gap_shard_run, prefix)
+                      engine_kwargs, cache_dir, cancel,
+                      None, None, None, None, context, capture_events))
+    try:
+        futures = [pool.submit(_gap_shard_run, prefix, time.time())
                    for prefix in prefixes]
         consumed = set()
         for index, future in enumerate(futures):  # serial DFS order
@@ -580,11 +677,16 @@ def _static_shard_outcomes(module, trace, failure, max_attempts,
                 outcomes.append(future.result())
             except Exception as exc:  # noqa: BLE001
                 errors.append(exc)
+    finally:
+        with tel.span("parallel.pool_teardown", workers=workers,
+                      scheduler="static"):
+            pool.shutdown()
     return outcomes, errors
 
 
 def _steal_shard_outcomes(module, trace, failure, max_attempts,
-                          engine_kwargs, cache_dir, shards, prefixes):
+                          engine_kwargs, cache_dir, shards, prefixes,
+                          context=None, capture_events=False):
     """Work-stealing scheduler: a shared queue of splittable subspaces.
 
     Every worker runs :func:`_steal_worker_loop`; the parent is the
@@ -598,8 +700,10 @@ def _steal_shard_outcomes(module, trace, failure, max_attempts,
     its leaf in serial DFS order, so cancellation can never starve the
     leaf the serial search would have returned.
 
-    Returns ``(outcomes, steals)``.
+    Returns ``(outcomes, steals, loop_snapshots)`` — the loop snapshots
+    carry each worker's idle-time histogram.
     """
+    tel = telemetry.get()
     ctx = multiprocessing.get_context()
     work_q = ctx.Queue()
     steal_q = ctx.Queue()
@@ -609,19 +713,24 @@ def _steal_shard_outcomes(module, trace, failure, max_attempts,
     pending = 0
     outstanding = set()
     for prefix in prefixes:
-        work_q.put(list(prefix))
+        work_q.put((list(prefix), time.time()))
         pending += 1
         outstanding.add(tuple(prefix))
     outcomes: List[GapShardOutcome] = []
+    loop_snapshots: List[Dict] = []
     steals = 0
     winner: Optional[GapShardOutcome] = None
     final = False
-    with ProcessPoolExecutor(
+    with tel.span("parallel.pool_spinup", workers=shards,
+                  scheduler="steal"):
+        pool = ProcessPoolExecutor(
             max_workers=shards, mp_context=ctx,
             initializer=_gap_shard_init,
             initargs=(module, trace, failure, max_attempts,
                       engine_kwargs, cache_dir, cancel,
-                      work_q, steal_q, results_q, done)) as pool:
+                      work_q, steal_q, results_q, done, context,
+                      capture_events))
+    try:
         loops = [pool.submit(_steal_worker_loop, slot)
                  for slot in range(shards)]
         try:
@@ -638,7 +747,7 @@ def _steal_shard_outcomes(module, trace, failure, max_attempts,
                     pending += 1
                     steals += 1
                     outstanding.add(tuple(stolen))
-                    work_q.put(list(stolen))
+                    work_q.put((list(stolen), time.time()))
                     continue
                 outcome = message
                 pending -= 1
@@ -665,7 +774,17 @@ def _steal_shard_outcomes(module, trace, failure, max_attempts,
                         cancel.set()
         finally:
             done.set()
-    return outcomes, steals
+            for loop in loops:
+                try:
+                    _, snapshot = loop.result(timeout=30)
+                except Exception:  # noqa: BLE001 — crash surfaced above
+                    continue
+                loop_snapshots.append(snapshot)
+    finally:
+        with tel.span("parallel.pool_teardown", workers=shards,
+                      scheduler="steal"):
+            pool.shutdown()
+    return outcomes, steals, loop_snapshots
 
 
 def shard_gap_search(module, trace, failure, *, shards: int,
@@ -688,10 +807,15 @@ def shard_gap_search(module, trace, failure, *, shards: int,
     :class:`~repro.symex.result.SymexResult`.
 
     Worker telemetry snapshots are merged via
-    :func:`repro.telemetry.merge_snapshots` and their counters folded
-    into the calling registry (histogram aggregates stay per-shard);
-    the parent additionally records steal/cancellation counters and a
-    per-shard attempt histogram (``parallel.shard_subspace_attempts``).
+    :func:`repro.telemetry.merge_snapshots` and absorbed into the
+    calling registry — counters sum, histogram aggregates fold in with
+    approximate percentiles — so worker metrics (including the
+    coordination-overhead histograms) stay visible in the parent's own
+    final snapshot.  When the parent's sink is live, shard event
+    streams are shipped back and re-emitted verbatim, forming one
+    causally-linked trace across the process boundary.  The parent
+    additionally records steal/cancellation counters and a per-shard
+    attempt histogram (``parallel.shard_subspace_attempts``).
     """
     from .symex.gaps import replay_with_gap_recovery
 
@@ -710,21 +834,26 @@ def shard_gap_search(module, trace, failure, *, shards: int,
                                         **engine_kwargs)
     tel = telemetry.get()
     steals = 0
+    loop_snapshots: List[Dict] = []
+    capture_events = tel.enabled
     with tel.span("symex.gap_shard_search", shards=shards,
                   tasks=len(prefixes), steal=steal):
+        # captured inside the span: worker root spans parent on it
+        context = tel.trace_context()
         if steal:
-            outcomes, steals = _steal_shard_outcomes(
+            outcomes, steals, loop_snapshots = _steal_shard_outcomes(
                 module, trace, failure, max_attempts, engine_kwargs,
-                cache_dir, shards, prefixes)
+                cache_dir, shards, prefixes, context, capture_events)
             errors: List[BaseException] = []
         else:
             outcomes, errors = _static_shard_outcomes(
                 module, trace, failure, max_attempts, engine_kwargs,
-                cache_dir, shards, prefixes)
-    merged = telemetry.merge_snapshots([o.telemetry for o in outcomes])
-    for name, value in merged.get("counters", {}).items():
-        if value:
-            tel.count(name, value)
+                cache_dir, shards, prefixes, context, capture_events)
+    merged = telemetry.merge_snapshots(
+        [o.telemetry for o in outcomes] + loop_snapshots)
+    tel.absorb(merged)
+    tel.forward(event for outcome in outcomes
+                for event in outcome.events)
     tel.count("parallel.gap_shards", len(outcomes))
     if steals:
         tel.count("parallel.steals", steals)

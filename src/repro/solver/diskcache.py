@@ -39,6 +39,7 @@ import json
 import logging
 import os
 import pathlib
+import time
 from collections import OrderedDict, deque
 from typing import (Deque, Dict, FrozenSet, Iterable, Optional, Tuple,
                     Union)
@@ -97,8 +98,15 @@ class DiskSolverCache:
 
     def _locked(self, fh, exclusive: bool):
         if fcntl is not None:
+            waited = time.perf_counter()
             fcntl.flock(fh.fileno(),
                         fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+            # contention meter: how long shards serialize on the shared
+            # cache file (near-zero unless many writers collide)
+            from .. import telemetry
+            telemetry.histogram(
+                "solver.diskcache.lock_wait_seconds").record(
+                    time.perf_counter() - waited)
 
     def _unlocked(self, fh):
         if fcntl is not None:

@@ -122,6 +122,8 @@ class Solver:
                     if count:
                         cache.hits += 1
                         telemetry.count("solver.cache.hits")
+                        telemetry.event("solver.cache_hit", query="solve",
+                                        tier=source)
                     cache.record_model(candidate, key=key)
                     return Model(candidate)
             if count:
@@ -166,12 +168,16 @@ class Solver:
             if cached is not None:
                 cache.hits += 1
                 telemetry.count("solver.cache.hits")
+                telemetry.event("solver.cache_hit", query="feasible",
+                                tier="exact")
                 return cached
             subsumed = cache.lookup_subsumed(key)
             if subsumed is not None:
                 feasible, source = subsumed
                 cache.hits += 1
                 telemetry.count("solver.cache.hits")
+                telemetry.event("solver.cache_hit", query="feasible",
+                                tier=source)
                 if source != "disk-exact":
                     telemetry.count("solver.cache.subsumption_hits")
                 if source.startswith("disk"):
@@ -183,6 +189,8 @@ class Solver:
             if self._probe_models(constraints, budget):
                 cache.model_probe_hits += 1
                 telemetry.count("solver.cache.model_probe_hits")
+                telemetry.event("solver.cache_hit", query="feasible",
+                                tier="model_probe")
                 cache.store_feasible(key, True)
                 return True
         with _metered("feasible", budget):
@@ -242,6 +250,8 @@ class Solver:
             cached = cache.lookup_values(term, key, limit)
             if cached is not None:
                 telemetry.count("solver.cache.hits")
+                telemetry.event("solver.cache_hit", query="values",
+                                tier="exact")
                 return cached
             telemetry.count("solver.cache.misses")
         found: List[int] = []

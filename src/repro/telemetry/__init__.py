@@ -24,12 +24,15 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from .context import TraceContext, new_trace_id
 from .metrics import Counter, Gauge, Histogram
+from .openmetrics import parse_openmetrics, render_openmetrics
 from .registry import Span, Telemetry
 from .sinks import (NULL_SINK, JsonlSink, MemorySink, NullSink, Sink,
-                    read_jsonl)
+                    TeeSink, read_jsonl)
 from .stats import (final_snapshot, iteration_rows, merge_snapshots,
-                    render_stats)
+                    overhead_attribution, render_stats)
+from .traceexport import build_trace, validate_trace, write_trace
 
 __all__ = [
     "Counter",
@@ -37,16 +40,25 @@ __all__ = [
     "Histogram",
     "Span",
     "Telemetry",
+    "TraceContext",
+    "new_trace_id",
     "Sink",
     "NullSink",
     "MemorySink",
     "JsonlSink",
+    "TeeSink",
     "NULL_SINK",
     "read_jsonl",
     "iteration_rows",
     "final_snapshot",
     "merge_snapshots",
+    "overhead_attribution",
     "render_stats",
+    "build_trace",
+    "write_trace",
+    "validate_trace",
+    "render_openmetrics",
+    "parse_openmetrics",
     "get",
     "set_current",
     "scoped",
@@ -56,6 +68,7 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "current_context",
 ]
 
 #: the process-wide default registry (null sink: metrics only)
@@ -109,3 +122,8 @@ def gauge(name: str) -> Gauge:
 
 def histogram(name: str) -> Histogram:
     return _current.histogram(name)
+
+
+def current_context() -> TraceContext:
+    """The current registry's handoff record for spawning a worker."""
+    return _current.trace_context()

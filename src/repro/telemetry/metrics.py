@@ -98,6 +98,33 @@ class Histogram:
             del self._sample[::2]
             self._stride *= 2
 
+    def absorb(self, agg: Dict) -> None:
+        """Fold another histogram's ``to_dict()`` aggregate into this one.
+
+        count/sum/min/max merge exactly; the percentile sketch can only
+        inherit the aggregate's quantile points (the raw samples stayed
+        in the other process), so percentiles after an absorb are
+        approximate — same contract as
+        :func:`repro.telemetry.stats.merge_snapshots`.
+        """
+        n = int(agg.get("count", 0))
+        if n <= 0:
+            return
+        self.count += n
+        self.total += agg.get("sum", 0.0)
+        for bound, pick in (("min", min), ("max", max)):
+            theirs = agg.get(bound)
+            ours = getattr(self, bound)
+            if theirs is not None:
+                setattr(self, bound,
+                        theirs if ours is None else pick(ours, theirs))
+        for quantile in ("p50", "p90", "p99"):
+            if quantile in agg:
+                self._sample.append(agg[quantile])
+                if len(self._sample) >= self.max_samples:
+                    del self._sample[::2]
+                    self._stride *= 2
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

@@ -1,0 +1,146 @@
+"""OpenMetrics / Prometheus text rendering of a metric snapshot.
+
+``repro stats --openmetrics telemetry.jsonl`` turns the final snapshot
+of a run into the text exposition format, so fleet-mode deployments can
+drop the output where a Prometheus-compatible scraper (or a pushgateway
+sidecar) picks it up — no client library involved.
+
+Mapping:
+
+* counters → ``# TYPE repro_<name> counter`` with a ``_total`` sample;
+* gauges → ``gauge`` samples;
+* histograms → ``summary`` families: one ``{quantile="..."}`` sample per
+  retained percentile plus ``_count`` and ``_sum``.
+
+Dotted telemetry names become underscore-separated metric names under a
+``repro_`` namespace (``solver.cache.hits`` →
+``repro_solver_cache_hits_total``).  :func:`parse_openmetrics` reads the
+format back; the round-trip is pinned by tests.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+__all__ = ["render_openmetrics", "parse_openmetrics"]
+
+PREFIX = "repro_"
+
+#: histogram percentiles exported as summary quantiles
+QUANTILES = (("p50", "0.5"), ("p90", "0.9"), ("p99", "0.99"))
+
+_SAMPLE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r'\s+(?P<value>[^\s]+)\s*$')
+
+
+def metric_name(name: str) -> str:
+    """Telemetry metric name → OpenMetrics metric name."""
+    return PREFIX + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def _format(value: float) -> str:
+    # integers render without a trailing .0 (counters must be whole)
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_openmetrics(metrics: Dict) -> str:
+    """The OpenMetrics text exposition of a metric snapshot.
+
+    ``metrics`` is a snapshot dict as produced by
+    :meth:`~repro.telemetry.registry.Telemetry.snapshot` (or merged by
+    :func:`~repro.telemetry.stats.merge_snapshots`).
+    """
+    lines: List[str] = []
+    for name, value in sorted((metrics.get("counters") or {}).items()):
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family}_total {_format(value)}")
+    for name, value in sorted((metrics.get("gauges") or {}).items()):
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_format(value)}")
+    for name, h in sorted((metrics.get("histograms") or {}).items()):
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} summary")
+        for key, quantile in QUANTILES:
+            if key in h:
+                lines.append(f'{family}{{quantile="{quantile}"}} '
+                             f"{_format(h[key])}")
+        lines.append(f"{family}_count {_format(h.get('count', 0))}")
+        lines.append(f"{family}_sum {_format(h.get('sum', 0.0))}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def parse_openmetrics(text: str) -> Dict[str, Dict]:
+    """Parse exposition text back into ``{family: {...}}`` data.
+
+    Returns, per family, its declared ``type`` and its samples: plain
+    ``value`` for gauges, ``total`` for counters, and
+    ``quantiles``/``count``/``sum`` for summaries.  Used by the
+    round-trip tests and handy for scraping smoke checks.
+    """
+    families: Dict[str, Dict] = {}
+    types: Dict[str, str] = {}
+    saw_eof = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            family, _, kind = rest.partition(" ")
+            types[family] = kind.strip()
+            families.setdefault(family, {"type": kind.strip()})
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if not match:
+            raise ValueError(f"unparseable sample line: {raw!r}")
+        sample = match.group("name")
+        value = float(match.group("value"))
+        labels = _parse_labels(match.group("labels"))
+        family, field = _family_of(sample, types)
+        entry = families.setdefault(family, {"type": types.get(family, "")})
+        if field == "total":
+            entry["total"] = value
+        elif field == "count":
+            entry["count"] = value
+        elif field == "sum":
+            entry["sum"] = value
+        elif "quantile" in labels:
+            entry.setdefault("quantiles", {})[labels["quantile"]] = value
+        else:
+            entry["value"] = value
+    if not saw_eof:
+        raise ValueError("missing # EOF terminator")
+    return families
+
+
+def _parse_labels(raw) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    if not raw:
+        return labels
+    for part in raw.split(","):
+        key, _, value = part.partition("=")
+        labels[key.strip()] = value.strip().strip('"')
+    return labels
+
+
+def _family_of(sample: str, types: Dict[str, str]) -> Tuple[str, str]:
+    for suffix, field in (("_total", "total"), ("_count", "count"),
+                          ("_sum", "sum")):
+        if sample.endswith(suffix):
+            family = sample[:-len(suffix)]
+            if family in types:
+                return family, field
+    return sample, ""

@@ -11,10 +11,14 @@ from __future__ import annotations
 
 import io
 import json
+import logging
 import pathlib
 from typing import Dict, List, Union
 
-__all__ = ["Sink", "NullSink", "MemorySink", "JsonlSink", "NULL_SINK"]
+__all__ = ["Sink", "NullSink", "MemorySink", "JsonlSink", "TeeSink",
+           "NULL_SINK"]
+
+logger = logging.getLogger(__name__)
 
 
 class Sink:
@@ -69,6 +73,10 @@ class JsonlSink(Sink):
     The format is the interchange surface of the telemetry subsystem:
     ``repro reproduce --telemetry out.jsonl`` writes it and ``repro
     stats out.jsonl`` renders it, but any ``jq``-style tool works too.
+
+    Usable as a context manager (``with JsonlSink(path) as sink:``);
+    exit closes the sink, which always flushes buffered lines — even
+    for a caller-owned file object, whose handle is left open.
     """
 
     def __init__(self, target: Union[str, pathlib.Path, io.TextIOBase]):
@@ -85,6 +93,11 @@ class JsonlSink(Sink):
             raise ValueError("emit() on a closed JsonlSink")
         self._fh.write(json.dumps(event, default=str) + "\n")
 
+    def flush(self) -> None:
+        """Push buffered lines to the OS without closing the stream."""
+        if not self._closed:
+            self._fh.flush()
+
     def close(self) -> None:
         if self._closed:
             return
@@ -93,13 +106,57 @@ class JsonlSink(Sink):
         if self._owns_fh:
             self._fh.close()
 
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class TeeSink(Sink):
+    """Forwards every event to several sinks (e.g. JSONL file + memory
+    buffer for the trace exporter).  Enabled iff any target is."""
+
+    def __init__(self, *sinks: Sink):
+        self.sinks = [sink for sink in sinks if sink is not None]
+
+    @property
+    def enabled(self) -> bool:  # type: ignore[override]
+        return any(sink.enabled for sink in self.sinks)
+
+    def emit(self, event: Dict) -> None:
+        for sink in self.sinks:
+            if sink.enabled:
+                sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
 
 def read_jsonl(path: Union[str, pathlib.Path]) -> List[Dict]:
-    """Load a JSONL event log back into a list of event dicts."""
+    """Load a JSONL event log back into a list of event dicts.
+
+    A malformed *trailing* line — the torn tail of a crashed or still-
+    writing producer — is skipped with a warning and counted on the
+    current registry (``telemetry.read.torn_lines``), mirroring
+    ``DiskSolverCache``'s torn-tail handling.  Corruption anywhere
+    earlier still raises: a half-written last line is expected, a
+    mangled middle is not.
+    """
     events: List[Dict] = []
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
+        lines = [line.strip() for line in fh]
+    last = max((i for i, line in enumerate(lines) if line), default=-1)
+    for index, line in enumerate(lines):
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index != last:
+                raise
+            logger.warning("skipping torn trailing line in %s", path)
+            from repro import telemetry  # lazy: sinks loads before the pkg
+            telemetry.count("telemetry.read.torn_lines")
     return events

@@ -24,6 +24,41 @@ NESTED_SPANS = {
     "trace.decode": "decode_s",
 }
 
+#: coordination-overhead sources: table label -> histogram name.  The
+#: first three are recorded by the parallel schedulers (worker-side,
+#: folded into the parent registry), the spans by the pool lifecycle,
+#: and the lock wait by ``DiskSolverCache`` around its ``flock`` calls.
+OVERHEAD_SOURCES = (
+    ("worker idle", "parallel.worker_idle_seconds"),
+    ("queue wait", "parallel.queue_wait_seconds"),
+    ("steal latency", "parallel.steal_latency_seconds"),
+    ("pool spin-up", "span.parallel.pool_spinup"),
+    ("pool teardown", "span.parallel.pool_teardown"),
+    ("cache lock wait", "solver.diskcache.lock_wait_seconds"),
+)
+
+
+def overhead_attribution(metrics: Optional[Dict]) -> Dict[str, Dict]:
+    """Coordination-overhead totals from a metric snapshot.
+
+    Every :data:`OVERHEAD_SOURCES` entry is present in the result (zero
+    when unrecorded) so downstream consumers — ``BENCH_parallel.json``,
+    the fleet-mode scrape — get a stable schema.
+    """
+    histograms = (metrics or {}).get("histograms", {})
+    out: Dict[str, Dict] = {}
+    for label, name in OVERHEAD_SOURCES:
+        h = histograms.get(name) or {}
+        count = int(h.get("count", 0))
+        total = float(h.get("sum", 0.0))
+        out[name] = {
+            "label": label,
+            "count": count,
+            "total_s": round(total, 6),
+            "mean_s": round(total / count, 6) if count else 0.0,
+        }
+    return out
+
 
 def _new_row(iteration: int) -> Dict:
     row = {"iteration": iteration, "status": "?", "instrs": 0,
@@ -169,9 +204,12 @@ def render_stats(events: Sequence[Dict]) -> str:
                          f"{disk} disk hits")
             parts.append(line)
         histograms = metrics.get("histograms", {})
+        overhead_names = {name for _, name in OVERHEAD_SOURCES}
         span_rows = []
         metric_rows = []
         for name, h in sorted(histograms.items()):
+            if name in overhead_names:
+                continue  # rendered in the overhead-attribution table
             if name.startswith("span."):
                 span_rows.append([name[len("span."):], h["count"],
                                   f"{h['sum']:.3f}", f"{h['mean']:.4f}",
@@ -188,4 +226,12 @@ def render_stats(events: Sequence[Dict]) -> str:
             parts.append(render_table(
                 ["histogram", "count", "min", "mean", "p90", "max"],
                 metric_rows, "Metric histograms"))
+        overhead = overhead_attribution(metrics)
+        if any(entry["count"] for entry in overhead.values()):
+            parts.append(render_table(
+                ["source", "count", "total s", "mean s"],
+                [[entry["label"], entry["count"],
+                  f"{entry['total_s']:.3f}", f"{entry['mean_s']:.4f}"]
+                 for entry in overhead.values()],
+                "Overhead attribution"))
     return "\n\n".join(parts)

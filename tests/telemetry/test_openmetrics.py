@@ -1,0 +1,86 @@
+"""OpenMetrics rendering: format shape and parse round-trip."""
+
+import pytest
+
+from repro.telemetry import render_openmetrics, parse_openmetrics
+from repro.telemetry.openmetrics import metric_name
+
+SNAP = {
+    "counters": {"solver.cache.hits": 42, "trace.decodes": 7},
+    "gauges": {"graph.nodes": 186.0},
+    "histograms": {
+        "span.symex.run": {"count": 7, "sum": 0.0721, "min": 0.001,
+                           "max": 0.02, "mean": 0.0103, "p50": 0.01,
+                           "p90": 0.0137, "p99": 0.02},
+    },
+}
+
+
+class TestRender:
+    def test_metric_name_mapping(self):
+        assert metric_name("solver.cache.hits") == \
+            "repro_solver_cache_hits"
+        assert metric_name("span.symex.run") == "repro_span_symex_run"
+
+    def test_counter_gets_total_suffix(self):
+        text = render_openmetrics(SNAP)
+        assert "# TYPE repro_solver_cache_hits counter" in text
+        assert "repro_solver_cache_hits_total 42" in text
+
+    def test_gauge_sample(self):
+        text = render_openmetrics(SNAP)
+        assert "# TYPE repro_graph_nodes gauge" in text
+        assert "repro_graph_nodes 186" in text
+
+    def test_summary_quantiles_count_sum(self):
+        text = render_openmetrics(SNAP)
+        assert "# TYPE repro_span_symex_run summary" in text
+        assert 'repro_span_symex_run{quantile="0.9"} 0.0137' in text
+        assert "repro_span_symex_run_count 7" in text
+        assert "repro_span_symex_run_sum 0.0721" in text
+
+    def test_terminated_by_eof(self):
+        assert render_openmetrics(SNAP).endswith("# EOF\n")
+
+    def test_empty_snapshot_is_still_valid(self):
+        text = render_openmetrics({})
+        assert text == "# EOF\n"
+        assert parse_openmetrics(text) == {}
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self):
+        families = parse_openmetrics(render_openmetrics(SNAP))
+        assert families["repro_solver_cache_hits"]["total"] == 42
+        assert families["repro_solver_cache_hits"]["type"] == "counter"
+        assert families["repro_trace_decodes"]["total"] == 7
+        assert families["repro_graph_nodes"]["value"] == 186.0
+        summary = families["repro_span_symex_run"]
+        assert summary["type"] == "summary"
+        assert summary["count"] == 7
+        assert summary["sum"] == pytest.approx(0.0721)
+        assert summary["quantiles"] == {"0.5": 0.01, "0.9": 0.0137,
+                                        "0.99": 0.02}
+
+    def test_missing_eof_rejected(self):
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics("repro_x_total 1\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_openmetrics("!! not a sample\n# EOF\n")
+
+
+class TestCliOpenmetrics:
+    def test_stats_openmetrics_round_trips(self, tmp_path, capsys):
+        from repro.cli import main
+
+        log = tmp_path / "tel.jsonl"
+        assert main(["reproduce", "nasm-2004-1287",
+                     "--telemetry", str(log)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(log), "--openmetrics"]) == 0
+        text = capsys.readouterr().out
+        families = parse_openmetrics(text)
+        assert families["repro_reconstruct_successes"]["total"] == 1
+        assert families["repro_span_symex_run"]["count"] >= 1

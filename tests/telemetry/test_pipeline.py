@@ -33,7 +33,7 @@ class TestLayerCoverage:
         assert "symex.run" in span_names
         assert "solver.query" in span_names
         assert "selection.select_key_values" in span_names
-        assert "reconstruct" in span_names
+        assert "reconstruct.run" in span_names
 
     def test_counters_from_every_layer(self, run):
         _, tel = run

@@ -5,8 +5,8 @@ import time
 
 import pytest
 
-from repro.telemetry import (JsonlSink, MemorySink, NullSink, Telemetry,
-                             read_jsonl)
+from repro.telemetry import (JsonlSink, MemorySink, NullSink, TeeSink,
+                             Telemetry, read_jsonl)
 
 
 class TestJsonlSink:
@@ -50,6 +50,78 @@ class TestJsonlSink:
         sink.close()
         (event,) = read_jsonl(path)
         assert "object" in event["obj"]
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"a": 1})
+        with pytest.raises(ValueError):
+            sink.emit({"b": 2})
+        assert read_jsonl(path) == [{"a": 1}]
+
+    def test_flush_makes_lines_visible_before_close(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"a": 1})
+        sink.flush()
+        assert read_jsonl(path) == [{"a": 1}]   # readable while open
+        sink.close()
+
+
+class TestTornTail:
+    def test_torn_trailing_line_skipped_with_warning(self, tmp_path,
+                                                     caplog):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}\n{"c": tru')
+        with caplog.at_level("WARNING", logger="repro.telemetry.sinks"):
+            events = read_jsonl(path)
+        assert events == [{"a": 1}, {"b": 2}]
+        assert any("torn" in rec.message for rec in caplog.records)
+
+    def test_torn_tail_counted(self, tmp_path):
+        from repro import telemetry
+
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"a": 1}\n{"half')
+        before = telemetry.counter("telemetry.read.torn_lines").value
+        read_jsonl(path)
+        after = telemetry.counter("telemetry.read.torn_lines").value
+        assert after == before + 1
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('{"a": 1}\nnot json\n{"b": 2}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path)
+
+    def test_trailing_newline_only_is_clean(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        path.write_text('{"a": 1}\n')
+        assert read_jsonl(path) == [{"a": 1}]
+
+
+class TestTeeSink:
+    def test_fans_out_to_all_children(self, tmp_path):
+        mem = MemorySink()
+        path = tmp_path / "t.jsonl"
+        jsonl = JsonlSink(path)
+        tee = TeeSink(jsonl, mem)
+        tee.emit({"a": 1})
+        tee.close()
+        assert mem.events == [{"a": 1}]
+        assert read_jsonl(path) == [{"a": 1}]
+
+    def test_enabled_iff_any_child_enabled(self):
+        assert TeeSink(MemorySink(), NullSink()).enabled
+        assert not TeeSink(NullSink(), NullSink()).enabled
+
+    def test_registry_through_tee(self):
+        mem_a, mem_b = MemorySink(), MemorySink()
+        tel = Telemetry(TeeSink(mem_a, mem_b))
+        with tel.span("s"):
+            pass
+        assert len(mem_a.spans()) == 1
+        assert mem_a.events == mem_b.events
 
 
 class TestMemorySink:

@@ -2,8 +2,16 @@
 
 import pytest
 
-from repro.telemetry.stats import (final_snapshot, iteration_rows,
+from repro.telemetry.stats import (OVERHEAD_SOURCES, final_snapshot,
+                                   iteration_rows, overhead_attribution,
                                    render_stats)
+
+
+def hist(count, total, **extra):
+    h = {"count": count, "sum": total, "mean": total / max(count, 1),
+         "min": 0.0, "max": total, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+    h.update(extra)
+    return h
 
 
 def span(name, dur, **attrs):
@@ -151,3 +159,63 @@ class TestRenderStats:
                          "histograms": {}}},
         ]
         assert "solver cache" not in render_stats(events)
+
+
+class TestOverheadAttribution:
+    def test_stable_schema_with_zero_fills(self):
+        out = overhead_attribution(None)
+        assert set(out) == {name for _, name in OVERHEAD_SOURCES}
+        for entry in out.values():
+            assert entry["count"] == 0
+            assert entry["total_s"] == 0.0 and entry["mean_s"] == 0.0
+
+    def test_totals_and_means_from_histograms(self):
+        metrics = {"histograms": {
+            "parallel.queue_wait_seconds": hist(4, 0.2),
+            "parallel.worker_idle_seconds": hist(2, 1.0),
+        }}
+        out = overhead_attribution(metrics)
+        wait = out["parallel.queue_wait_seconds"]
+        assert wait["label"] == "queue wait"
+        assert wait["count"] == 4
+        assert wait["total_s"] == pytest.approx(0.2)
+        assert wait["mean_s"] == pytest.approx(0.05)
+        assert out["parallel.worker_idle_seconds"]["total_s"] == \
+            pytest.approx(1.0)
+
+    def test_rendered_table_when_any_source_recorded(self):
+        events = [
+            iteration_end(1),
+            {"type": "snapshot",
+             "metrics": {"counters": {},
+                         "histograms": {
+                             "parallel.steal_latency_seconds":
+                                 hist(3, 0.03),
+                             "span.parallel.pool_spinup": hist(1, 0.01),
+                         }}},
+        ]
+        text = render_stats(events)
+        assert "Overhead attribution" in text
+        assert "steal latency" in text and "pool spin-up" in text
+
+    def test_overhead_histograms_kept_out_of_metric_table(self):
+        events = [
+            iteration_end(1),
+            {"type": "snapshot",
+             "metrics": {"counters": {},
+                         "histograms": {
+                             "parallel.queue_wait_seconds": hist(2, 0.1),
+                         }}},
+        ]
+        text = render_stats(events)
+        assert "Metric histograms" not in text
+        assert "Overhead attribution" in text
+
+    def test_no_table_without_recorded_overhead(self):
+        events = [
+            iteration_end(1),
+            {"type": "snapshot",
+             "metrics": {"counters": {"production.runs": 1},
+                         "histograms": {}}},
+        ]
+        assert "Overhead attribution" not in render_stats(events)

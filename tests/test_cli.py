@@ -127,6 +127,59 @@ class TestTelemetryFlag:
     def test_stats_missing_file(self, capsys):
         assert main(["stats", "/nope/missing.jsonl"]) == 2
 
+    def test_stats_empty_file_clean_exit(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["stats", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "no telemetry events" in err
+        assert "Traceback" not in err
+
+    def test_stats_span_free_log_clean_exit(self, tmp_path, capsys):
+        log = tmp_path / "other.jsonl"
+        log.write_text('{"kind": "unrelated", "x": 1}\n')
+        assert main(["stats", str(log)]) == 2
+        err = capsys.readouterr().err
+        assert "telemetry" in err
+        assert "Traceback" not in err
+
+    def test_stats_non_json_file_clean_exit(self, tmp_path, capsys):
+        log = tmp_path / "garbage.jsonl"
+        log.write_text("not json at all\nstill not\n")
+        assert main(["stats", str(log)]) == 2
+        assert "Traceback" not in capsys.readouterr().err
+
+
+class TestTraceOut:
+    def test_reproduce_trace_out_validates(self, tmp_path, capsys):
+        from repro.telemetry import validate_trace
+
+        trace = tmp_path / "trace.json"
+        assert main(["reproduce", "nasm-2004-1287",
+                     "--trace-out", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        assert validate_trace(doc) == []
+        names = {r["name"] for r in doc["traceEvents"]}
+        assert "reconstruct.run" in names
+
+    def test_trace_export_from_merged_log(self, tmp_path, capsys):
+        from repro.telemetry import validate_trace
+
+        log = tmp_path / "tel.jsonl"
+        main(["reproduce", "nasm-2004-1287", "--telemetry", str(log)])
+        capsys.readouterr()
+        trace = tmp_path / "trace.json"
+        assert main(["trace-export", str(log),
+                     "-o", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        assert validate_trace(doc) == []
+
+    def test_trace_export_missing_input(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace-export", "/nope/missing.jsonl",
+                     "-o", str(out)]) == 2
+        assert "Traceback" not in capsys.readouterr().err
+
 
 class TestReport:
     def test_report_subset_to_file(self, capsys, tmp_path):

@@ -5,6 +5,7 @@ import json
 import queue
 import re
 import threading
+import time
 
 import pytest
 
@@ -238,7 +239,7 @@ class TestStealControl:
             cancel_evt.set()
         steal_q, results_q = queue.Queue(), queue.Queue()
         for _ in range(tokens):
-            steal_q.put(0)
+            steal_q.put((0, time.time()))
         control = _StealControl([True], cancel_evt, steal_q=steal_q,
                                 results_q=results_q)
         return control, steal_q, results_q
@@ -370,6 +371,89 @@ class TestMergedJsonl:
         assert snapshot["seq"] == max(merged_seqs) + 1 == 8
         assert snapshot["ts"] == 3.25  # max event ts, not wall time
         assert snapshot["metrics"]["counters"]["x"] == 1
+
+
+class TestMergeUnderSkewAndDuplicates:
+    """Satellite checks: merged telemetry stays causally coherent when
+    worker wall clocks disagree and when span names collide."""
+
+    def _skewed_worker(self, ctx, skew_s):
+        # a worker whose gettimeofday() is off by `skew_s` observes the
+        # handoff origin shifted the other way
+        shifted = telemetry.TraceContext(
+            trace_id=ctx.trace_id, span_id=ctx.span_id,
+            wall_origin=ctx.wall_origin - skew_s)
+        sink = telemetry.MemorySink()
+        return telemetry.Telemetry(sink, context=shifted), sink
+
+    def test_lagging_clock_never_yields_negative_ts(self):
+        parent = telemetry.Telemetry(telemetry.MemorySink())
+        with parent.span("symex.gap_shard_search"):
+            ctx = parent.trace_context()
+        worker, sink = self._skewed_worker(ctx, skew_s=-3600.0)
+        worker.event("tick")
+        # the rebase clamps at the trace origin instead of going negative
+        assert sink.events[0]["ts"] >= 0
+
+    def test_leading_clock_shifts_but_keeps_linkage(self):
+        parent_sink = telemetry.MemorySink()
+        parent = telemetry.Telemetry(parent_sink)
+        with parent.span("symex.gap_shard_search"):
+            ctx = parent.trace_context()
+        worker, sink = self._skewed_worker(ctx, skew_s=2.0)
+        with worker.span("parallel.shard_search"):
+            pass
+        span = sink.events[0]
+        # skew moves the timestamp, not the causal links
+        assert span["ts"] >= 2.0
+        assert span["parent_id"] == ctx.span_id
+        assert span["trace_id"] == parent.trace_id
+
+    def test_duplicate_span_names_stay_distinct_in_merged_log(
+            self, tmp_path):
+        parent = telemetry.Telemetry(telemetry.MemorySink())
+        with parent.span("parallel.batch"):
+            ctx = parent.trace_context()
+        sinks, snaps = [], []
+        for skew in (0.0, 1.0):
+            worker, sink = self._skewed_worker(ctx, skew)
+            with worker.span("parallel.shard_search", prefix_len=1):
+                pass
+            sinks.append(sink)
+            snaps.append(worker.snapshot())
+
+        result = BatchResult(
+            items=[BatchItem(workload=f"w{i}", events=sink.events)
+                   for i, sink in enumerate(sinks)],
+            parallelism=2, wall_seconds=0.1,
+            telemetry=telemetry.merge_snapshots(snaps))
+        path = tmp_path / "merged.jsonl"
+        write_merged_jsonl(result, path)
+        events = telemetry.read_jsonl(path)
+
+        spans = [e for e in events
+                 if e.get("name") == "parallel.shard_search"]
+        assert len(spans) == 2
+        # same name, distinct identities, both parented on the handoff
+        assert len({s["span_id"] for s in spans}) == 2
+        assert all(s["parent_id"] == ctx.span_id for s in spans)
+        assert len({s["trace_id"] for s in spans}) == 1
+        # the duration histograms folded rather than clobbered
+        merged = telemetry.final_snapshot(events)
+        assert merged["histograms"]["span.parallel.shard_search"][
+            "count"] == 2
+
+    def test_merged_order_follows_rebased_timeline(self, tmp_path):
+        parent = telemetry.Telemetry(telemetry.MemorySink())
+        with parent.span("parallel.batch"):
+            ctx = parent.trace_context()
+        early, early_sink = self._skewed_worker(ctx, 0.0)
+        late, late_sink = self._skewed_worker(ctx, 5.0)  # clock 5s ahead
+        early.event("first")
+        late.event("second")
+        merged = sorted(early_sink.events + late_sink.events,
+                        key=lambda e: e["ts"])
+        assert [e["name"] for e in merged] == ["first", "second"]
 
 
 class TestSolverCacheStats:
