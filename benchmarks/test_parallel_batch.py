@@ -14,7 +14,7 @@ import os
 
 import pytest
 
-from repro.parallel import run_batch
+from repro.parallel import measure_incremental_ab, run_batch
 
 #: the longest-running Table-1 workloads — enough serial work that the
 #: pool's fork/pickle overhead is amortized
@@ -39,6 +39,14 @@ def test_parallel_speedup(artifact_dir):
     speedup = (serial.wall_seconds / parallel.wall_seconds
                if parallel.wall_seconds else 0.0)
 
+    # assumption-stack A/B on the gap-recovery bench: sibling decisions
+    # re-solve only their divergent suffix, so total solver work drops
+    ab = measure_incremental_ab()
+    assert ab["verdicts_equal"] and ab["models_equal"]
+    assert ab["solver_work_reduction"] >= 0.20, (
+        f"incremental solving saved only "
+        f"{ab['solver_work_reduction']:.1%} solver work (need >=20%)")
+
     data = {
         "workloads": WORKLOADS,
         "parallelism": POOL_WIDTH,
@@ -47,6 +55,7 @@ def test_parallel_speedup(artifact_dir):
         "parallel_wall_seconds": round(parallel.wall_seconds, 4),
         "speedup": round(speedup, 3),
         "solver_cache": parallel.solver_cache_stats,
+        "incremental_ab": ab,
         "serial": serial.to_dict(),
         "parallel": parallel.to_dict(),
     }

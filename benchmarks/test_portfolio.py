@@ -1,0 +1,69 @@
+"""Benchmark: portfolio-width invariance across the full Table-1 set.
+
+Reconstructs all 13 workloads at solver-portfolio widths 1, 2 and 4 and
+asserts the outcomes are byte-identical: same success/verified verdicts,
+same reoccurrence counts, same recorded input bytes.  The commit rules
+(`repro.solver.portfolio`) promise exactly this — only the reference
+backend's models commit, variants may only rescue unsat-vs-timeout —
+so any drift here is a racer leaking nondeterminism into results.
+Records the equality matrix plus the race/win/rescue counters to
+``benchmarks/out/BENCH_portfolio.json``.
+"""
+
+import json
+import os
+
+from repro.parallel import run_batch
+from repro.workloads import workload_names
+
+WIDTHS = (1, 2, 4)
+
+
+def _signature(item):
+    """The externally observable outcome of one reconstruction."""
+    return {
+        "success": item.success,
+        "verified": item.verified,
+        "occurrences": item.occurrences,
+        "unrelated_occurrences": item.unrelated_occurrences,
+        "recorded_bytes": item.recorded_bytes,
+        "error": item.error,
+    }
+
+
+def test_portfolio_width_invariance(artifact_dir):
+    names = workload_names()
+    runs = {width: run_batch(names, portfolio=width) for width in WIDTHS}
+
+    reference = {item.workload: _signature(item)
+                 for item in runs[1].items}
+    for width in WIDTHS[1:]:
+        for item in runs[width].items:
+            assert _signature(item) == reference[item.workload], (
+                f"portfolio={width} diverged on {item.workload}")
+        counters = runs[width].telemetry.get("counters", {})
+        assert counters.get("solver.portfolio.races", 0) > 0, (
+            f"portfolio={width} never raced")
+
+    def portfolio_counters(result):
+        counters = result.telemetry.get("counters", {})
+        return {name: value for name, value in sorted(counters.items())
+                if name.startswith("solver.portfolio.")}
+
+    data = {
+        "workloads": names,
+        "widths": list(WIDTHS),
+        "cpu_count": os.cpu_count(),
+        "signatures": reference,
+        "wall_seconds": {width: round(runs[width].wall_seconds, 4)
+                         for width in WIDTHS},
+        "portfolio_counters": {width: portfolio_counters(runs[width])
+                               for width in WIDTHS},
+    }
+    (artifact_dir / "BENCH_portfolio.json").write_text(
+        json.dumps(data, indent=2) + "\n")
+    succeeded = runs[1].succeeded
+    print(f"\n{len(names)} workloads byte-identical at widths "
+          f"{WIDTHS} ({succeeded} succeeded); "
+          f"races at width 4: "
+          f"{data['portfolio_counters'][4].get('solver.portfolio.races', 0)}")

@@ -179,7 +179,9 @@ def cmd_reproduce(args) -> int:
         trace_recovery=recovery,
         shards=args.shards,
         cache_dir=args.cache_dir,
-        steal=args.steal)
+        steal=args.steal,
+        portfolio=args.portfolio,
+        incremental=args.incremental)
     site = ProductionSite(workload.failing_env,
                           trace_after=args.trace_after,
                           mapping_loss=args.mapping_loss,
@@ -287,7 +289,8 @@ def cmd_bench(args) -> int:
     echo(f"serial baseline over "
          f"{len(names) if names else 'all'} workload(s) ...")
     serial = run_batch(names, parallel=1, capture_events=capture,
-                       cache_dir=args.cache_dir)
+                       cache_dir=args.cache_dir,
+                       portfolio=args.portfolio)
     result, speedup = serial, None
     matrix = []
     for width in widths:
@@ -296,7 +299,8 @@ def cmd_bench(args) -> int:
         else:
             echo(f"parallel run, {width} worker(s) ...")
             leg = run_batch(names, parallel=width, capture_events=capture,
-                            cache_dir=args.cache_dir)
+                            cache_dir=args.cache_dir,
+                            portfolio=args.portfolio)
             leg_speedup = (serial.wall_seconds / leg.wall_seconds
                            if leg.wall_seconds > 0 else None)
             result, speedup = leg, leg_speedup
@@ -314,6 +318,7 @@ def cmd_bench(args) -> int:
     data = {
         "workloads": [item.workload for item in result.items],
         "parallelism": final_width,
+        "portfolio": args.portfolio,
         "cpu_count": os.cpu_count(),
         "serial_wall_seconds": round(serial.wall_seconds, 4),
         "parallel_wall_seconds":
@@ -325,6 +330,15 @@ def cmd_bench(args) -> int:
         "parallel": result.to_dict() if final_width > 1 else None,
     }
     data["overhead"] = result.overhead
+    if args.ab_incremental:
+        from .parallel import measure_incremental_ab
+        echo("incremental-solving A/B (scratch vs assumption stack) ...")
+        ab = measure_incremental_ab()
+        data["incremental_ab"] = ab
+        echo(f"  solver work reduction "
+             f"{ab['solver_work_reduction']:.1%} "
+             f"(verdicts equal: {ab['verdicts_equal']}, "
+             f"models equal: {ab['models_equal']})")
     if args.output:
         pathlib.Path(args.output).write_text(json.dumps(data, indent=2))
         echo(f"wrote {args.output}")
@@ -491,6 +505,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="persistent cross-process solver cache "
                         "directory (warm-starts later runs)")
+    p.add_argument("--portfolio", type=int, default=1, metavar="N",
+                   help="race each solver query across N strategy "
+                        "backends sharing one budget; the first "
+                        "definitive answer wins (default: 1, reference "
+                        "search only)")
+    p.add_argument("--incremental", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="assumption-stack incremental solving across "
+                        "sibling gap attempts (--no-incremental "
+                        "re-solves every attempt from scratch)")
     p.add_argument("--json", action="store_true",
                    help="emit the report as machine-readable JSON")
 
@@ -528,6 +552,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="persistent solver cache shared by all workers "
                         "and runs")
+    p.add_argument("--portfolio", type=int, default=1, metavar="N",
+                   help="race each solver query across N strategy "
+                        "backends (default: 1, reference search only)")
+    p.add_argument("--ab-incremental", action="store_true",
+                   help="also run the incremental-solving A/B (scratch "
+                        "vs assumption stack on the sharded sqlite gap "
+                        "search) and record it in the summary")
     p.add_argument("-o", "--output", default=None, metavar="BENCH.json",
                    help="write the machine-readable benchmark summary")
     p.add_argument("--merged-telemetry", default=None,

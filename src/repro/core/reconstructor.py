@@ -41,11 +41,13 @@ logger = logging.getLogger(__name__)
 
 
 def _exact_driver(module, trace, failure, **kwargs):
-    # sharding/persistence knobs only matter to the recovering driver's
-    # gap search; an exact trace has nothing to search or share
+    # sharding/persistence/incrementality knobs only matter to the
+    # recovering driver's gap search; an exact trace has nothing to
+    # search or share, and stays bit-for-bit on the non-incremental path
     kwargs.pop("shards", None)
     kwargs.pop("cache_dir", None)
     kwargs.pop("steal", None)
+    kwargs.pop("incremental", None)
     return ShepherdedSymex(module, trace, failure, **kwargs).run()
 
 
@@ -84,9 +86,13 @@ class ExecutionReconstructor:
                  trace_recovery: bool = False,
                  shards: int = 1,
                  cache_dir: Optional[str] = None,
-                 steal: bool = True):
+                 steal: bool = True,
+                 portfolio: int = 1,
+                 incremental: bool = True):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if portfolio < 1:
+            raise ValueError(f"portfolio must be >= 1, got {portfolio}")
         self.module = module
         self.work_limit = work_limit
         self.max_occurrences = max_occurrences
@@ -96,6 +102,10 @@ class ExecutionReconstructor:
         self.steal = steal
         #: persistent cross-process solver-cache directory
         self.cache_dir = cache_dir
+        #: solver-strategy race width per query (1: reference only)
+        self.portfolio = portfolio
+        #: assumption-stack reuse across sibling gap attempts
+        self.incremental = incremental
         #: occurrences of *other* bugs never consume the reconstruction
         #: budget — ours still reoccurs regardless of how noisy the
         #: deployment is — but give-up must stay decidable, so they get
@@ -181,7 +191,9 @@ class ExecutionReconstructor:
                                            solver_cache=solver_cache,
                                            shards=self.shards,
                                            cache_dir=self.cache_dir,
-                                           steal=self.steal)
+                                           steal=self.steal,
+                                           portfolio=self.portfolio,
+                                           incremental=self.incremental)
             record = IterationRecord(
                 occurrence=occurrence_no,
                 status=result.status,

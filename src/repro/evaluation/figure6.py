@@ -143,7 +143,10 @@ def measure_workload(workload: Workload, runs: int = RUNS,
             last_samples.append(
                 model.er_sample(result, encoder.bytes_emitted).overhead)
             ptwrites_last = result.ptwrite_count
+        # the model's noise term can dip a tiny sample mean below zero;
+        # a deployment's overhead cannot be negative, so clamp
         er_last, _ = _mean_stderr(last_samples)
+        er_last = max(0.0, er_last)
     return OverheadRow(workload.name, workload.app, er_mean, er_se,
                        rr_mean, rr_se, instr_count, trace_bytes,
                        er_last, ptwrites_last)

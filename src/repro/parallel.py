@@ -74,16 +74,19 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from . import telemetry
 from .core import ExecutionReconstructor, ProductionSite
+from .errors import SearchCancelled
 from .solver import terms as T
 from .solver.cache import SolverCache
 from .solver.diskcache import DiskSolverCache
+from .solver.incremental import AssumptionStack
 from .symex.engine import ShepherdedSymex
-from .symex.gaps import SearchCancelled, _search_gap_decisions
+from .symex.gaps import _search_gap_decisions
 from .trace.degrade import gap_count
 from .workloads import get_workload, workload_names
 
-__all__ = ["BatchItem", "BatchResult", "GapShardOutcome", "run_batch",
-           "shard_gap_search", "write_merged_jsonl"]
+__all__ = ["BatchItem", "BatchResult", "GapShardOutcome",
+           "measure_incremental_ab", "run_batch", "shard_gap_search",
+           "write_merged_jsonl"]
 
 logger = logging.getLogger(__name__)
 
@@ -205,7 +208,8 @@ def _solver_cache_stats(counters: Dict) -> Dict[str, float]:
 def _reconstruct_one(name: str, capture_events: bool,
                      cache_dir: Optional[str] = None,
                      context: Optional[telemetry.TraceContext] = None,
-                     enqueued: Optional[float] = None) -> BatchItem:
+                     enqueued: Optional[float] = None,
+                     portfolio: int = 1) -> BatchItem:
     """Worker body: one workload under a private telemetry registry.
 
     Runs in a pool process (or inline for ``parallel=1``); must only
@@ -229,7 +233,8 @@ def _reconstruct_one(name: str, capture_events: bool,
                 workload.fresh_module(),
                 work_limit=workload.work_limit,
                 max_occurrences=workload.max_occurrences,
-                cache_dir=cache_dir)
+                cache_dir=cache_dir,
+                portfolio=portfolio)
             report = reconstructor.reconstruct(
                 ProductionSite(workload.failing_env))
             item.success = report.success
@@ -256,13 +261,16 @@ def _reconstruct_one(name: str, capture_events: bool,
 def run_batch(names: Optional[Sequence[str]] = None, *,
               parallel: int = 1,
               capture_events: bool = False,
-              cache_dir: Optional[str] = None) -> BatchResult:
+              cache_dir: Optional[str] = None,
+              portfolio: int = 1) -> BatchResult:
     """Reconstruct ``names`` (default: every workload), ``parallel``-wide.
 
     Results come back in input order regardless of completion order.  A
     workload that raises contributes a :class:`BatchItem` with ``error``
     set instead of aborting the batch.  ``cache_dir`` points every
-    worker at one shared persistent solver cache.
+    worker at one shared persistent solver cache; ``portfolio`` is the
+    per-worker solver-strategy race width (answers are unchanged, so
+    batch results stay comparable across widths).
     """
     names = list(names) if names is not None else workload_names()
     if parallel < 1:
@@ -278,7 +286,7 @@ def run_batch(names: Optional[Sequence[str]] = None, *,
         context = tel.trace_context()
         if parallel == 1 or len(names) <= 1:
             items = [_reconstruct_one(name, capture_events, cache_dir,
-                                      context)
+                                      context, None, portfolio)
                      for name in names]
         else:
             workers = min(parallel, len(names))
@@ -289,7 +297,7 @@ def run_batch(names: Optional[Sequence[str]] = None, *,
             try:
                 futures = [pool.submit(_reconstruct_one, name,
                                        capture_events, cache_dir,
-                                       context, time.time())
+                                       context, time.time(), portfolio)
                            for name in names]
                 items = [future.result() for future in futures]
             finally:
@@ -489,6 +497,11 @@ def _gap_shard_run(prefix: List[bool],
     cache_dir = state["cache_dir"]
     cache = SolverCache(
         persistent=DiskSolverCache(cache_dir) if cache_dir else None)
+    engine_kwargs = dict(state["engine_kwargs"])
+    if engine_kwargs.pop("incremental", False):
+        # per-shard assumption stack: each worker's DFS walks its own
+        # sibling prefixes, so retained state never crosses processes
+        cache.assumptions = AssumptionStack()
     control = None
     if state.get("cancel") is not None:
         control = _StealControl(prefix, state["cancel"],
@@ -500,7 +513,7 @@ def _gap_shard_run(prefix: List[bool],
                               prefix_len=len(prefix)):
             result = _search_gap_decisions(
                 state["module"], state["trace"], state["failure"],
-                state["max_attempts"], cache, dict(state["engine_kwargs"]),
+                state["max_attempts"], cache, engine_kwargs,
                 initial_decisions=list(prefix), locked_prefix=len(prefix),
                 control=control)
     except SearchCancelled as stop:
@@ -791,6 +804,7 @@ def shard_gap_search(module, trace, failure, *, shards: int,
                      max_attempts: int, solver_cache=None,
                      cache_dir: Optional[str] = None,
                      steal: bool = True,
+                     incremental: bool = True,
                      **engine_kwargs):
     """Gap-recovery search fanned out over ``shards`` worker processes.
 
@@ -831,23 +845,27 @@ def shard_gap_search(module, trace, failure, *, shards: int,
         return replay_with_gap_recovery(module, trace, failure,
                                         max_attempts=max_attempts,
                                         solver_cache=solver_cache,
+                                        incremental=incremental,
                                         **engine_kwargs)
     tel = telemetry.get()
     steals = 0
     loop_snapshots: List[Dict] = []
     capture_events = tel.enabled
+    # per-worker config rides inside the shipped kwargs dict; the shard
+    # body pops what ShepherdedSymex must not see
+    worker_kwargs = dict(engine_kwargs, incremental=incremental)
     with tel.span("symex.gap_shard_search", shards=shards,
                   tasks=len(prefixes), steal=steal):
         # captured inside the span: worker root spans parent on it
         context = tel.trace_context()
         if steal:
             outcomes, steals, loop_snapshots = _steal_shard_outcomes(
-                module, trace, failure, max_attempts, engine_kwargs,
+                module, trace, failure, max_attempts, worker_kwargs,
                 cache_dir, shards, prefixes, context, capture_events)
             errors: List[BaseException] = []
         else:
             outcomes, errors = _static_shard_outcomes(
-                module, trace, failure, max_attempts, engine_kwargs,
+                module, trace, failure, max_attempts, worker_kwargs,
                 cache_dir, shards, prefixes, context, capture_events)
     merged = telemetry.merge_snapshots(
         [o.telemetry for o in outcomes] + loop_snapshots)
@@ -892,3 +910,80 @@ def shard_gap_search(module, trace, failure, *, shards: int,
         result.divergence_reason += \
             f" (after {total_attempts} gap assignments)"
     return result
+
+
+def measure_incremental_ab(workload_name: str = "sqlite-7be932d", *,
+                           mapping_loss: float = 0.085,
+                           shards: int = 4,
+                           work_scale: int = 20,
+                           steal: bool = False) -> Dict:
+    """A/B the assumption-stack reuse on the sharded gap-recovery bench.
+
+    Runs the same degraded trace through :func:`shard_gap_search` twice
+    — ``incremental=False`` (every sibling attempt re-solved from
+    scratch) then ``incremental=True`` (per-shard
+    :class:`~repro.solver.incremental.AssumptionStack`) — each under a
+    fresh telemetry registry, and totals the solver work actually
+    charged (the ``solver.work_per_query`` histogram, workers' snapshots
+    folded in).  Returns a JSON-ready dict with both legs and the
+    relative ``solver_work_reduction``; correctness is part of the
+    record (``verdicts_equal``/``models_equal`` — the two legs must
+    agree bit for bit, incrementality is an optimization only).
+
+    ``steal`` defaults *off* here (unlike the production scheduler):
+    work stealing re-splits shard subspaces at timing-dependent points,
+    which perturbs each shard's assumption-stack reuse run to run.  The
+    static prefix fan-out makes both legs fully deterministic, so the
+    measured reduction is reproducible.
+    """
+    from .symex.gaps import replay_with_gap_recovery
+
+    workload = get_workload(workload_name)
+    module = workload.fresh_module()
+    occurrence = ProductionSite(workload.failing_env,
+                                mapping_loss=mapping_loss,
+                                per_cpu_buffers=True).run_once(module)
+    kwargs = dict(work_limit=workload.work_limit * work_scale,
+                  shards=shards, steal=steal)
+    legs: Dict[str, Dict] = {}
+    models: Dict[str, Optional[Dict]] = {}
+    statuses: Dict[str, str] = {}
+    for label, incremental in (("scratch", False), ("incremental", True)):
+        registry = telemetry.Telemetry()
+        started = time.perf_counter()
+        with telemetry.scoped(registry):
+            result = replay_with_gap_recovery(
+                module, occurrence.trace, occurrence.failure,
+                incremental=incremental, **kwargs)
+        wall = time.perf_counter() - started
+        snapshot = registry.snapshot()
+        work = snapshot.get("histograms", {}).get(
+            "solver.work_per_query", {})
+        counters = snapshot.get("counters", {})
+        legs[label] = {
+            "status": result.status,
+            "gap_attempts": result.gap_attempts,
+            "wall_seconds": round(wall, 4),
+            "solver_work": int(work.get("sum", 0)),
+            "solver_queries": int(work.get("count", 0)),
+            "reused_terms": int(counters.get(
+                "solver.incremental.reused_terms", 0)),
+        }
+        models[label] = (result.model.assignment
+                         if result.model is not None else None)
+        statuses[label] = result.status
+    scratch_work = legs["scratch"]["solver_work"]
+    incremental_work = legs["incremental"]["solver_work"]
+    reduction = (1.0 - incremental_work / scratch_work
+                 if scratch_work else 0.0)
+    return {
+        "workload": workload_name,
+        "mapping_loss": mapping_loss,
+        "shards": shards,
+        "gap_count": gap_count(occurrence.trace),
+        "scratch": legs["scratch"],
+        "incremental": legs["incremental"],
+        "solver_work_reduction": round(reduction, 4),
+        "verdicts_equal": statuses["scratch"] == statuses["incremental"],
+        "models_equal": models["scratch"] == models["incremental"],
+    }

@@ -1,11 +1,15 @@
 """Bitvector/array constraint solver with explicit work budgets."""
 
 from . import terms
+from .backend import (BACKEND_ORDER, ReferenceBackend, SolverBackend,
+                      make_backends)
 from .budget import DEFAULT_WORK_LIMIT, WORK_PER_SECOND, Budget, UnlimitedBudget
 from .cache import SolverCache, ValueEnumeration
 from .diskcache import DiskSolverCache
 from .evaluator import tv_eval
+from .incremental import AssumptionStack, Retained
 from .model import Model, input_var_name, parse_var_name
+from .portfolio import race
 from .solver import Solver
 from .terms import (Term, TermSpace, clear_term_cache, deserialize_term,
                     serialize_term, term_digest, term_scope)
@@ -31,4 +35,11 @@ __all__ = [
     "input_var_name",
     "parse_var_name",
     "Solver",
+    "SolverBackend",
+    "ReferenceBackend",
+    "BACKEND_ORDER",
+    "make_backends",
+    "race",
+    "AssumptionStack",
+    "Retained",
 ]

@@ -48,11 +48,33 @@ class Budget:
         return self.spent / WORK_PER_SECOND
 
 
+#: Nominal window an :class:`UnlimitedBudget` reports to callers that
+#: size scratch budgets from ``remaining()`` (model probes, superset
+#: verification).  Large enough that no real query ever nears it, small
+#: enough that derived sub-budgets stay ordinary integers.
+UNLIMITED_WINDOW = 1 << 62
+
+
 class UnlimitedBudget(Budget):
-    """A budget that never times out (used to disable stalls, Fig. 5)."""
+    """A budget that never times out (used to disable stalls, Fig. 5).
+
+    ``remaining()`` and ``exhausted`` are overridden alongside
+    ``charge()``: callers size probe/verification windows from
+    ``remaining()``, so it must stay a huge constant no matter how much
+    work has been charged (an earlier version inherited ``limit=0``
+    arithmetic, which silently disabled model probing whenever stalls
+    were disabled).
+    """
 
     def __init__(self, context: str = ""):
-        super().__init__(limit=0, context=context)
+        super().__init__(limit=UNLIMITED_WINDOW, context=context)
 
     def charge(self, amount: int) -> None:
         self.spent += amount
+
+    def remaining(self) -> int:
+        return UNLIMITED_WINDOW
+
+    @property
+    def exhausted(self) -> bool:
+        return False

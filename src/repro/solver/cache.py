@@ -98,6 +98,10 @@ class SolverCache:
         #: optional disk tier (:class:`DiskSolverCache`), shared across
         #: processes; consulted after every in-memory miss
         self.persistent = persistent
+        #: optional :class:`~repro.solver.incremental.AssumptionStack`;
+        #: the gap search enables one per session so sibling queries
+        #: along a shared constraint prefix re-solve only the delta
+        self.assumptions = None
         #: frozenset(constraints) -> bool
         self._feasible: "OrderedDict[FrozenSet[Term], bool]" = OrderedDict()
         #: (term, frozenset(constraints), limit) -> ValueEnumeration
@@ -127,18 +131,19 @@ class SolverCache:
 
     def digest_key(self, key: FrozenSet[Term]) -> FrozenSet[str]:
         """The key's cross-process form: canonical per-term digests."""
-        out = set()
-        for term in key:
-            digest = self._digests.get(term)
-            if digest is None:
-                digest = term_digest(term)
-                self._digests[term] = digest
-                while len(self._digests) > _MAX_DIGEST_MEMO:
-                    self._digests.popitem(last=False)
-            else:
-                self._digests.move_to_end(term)
-            out.add(digest)
-        return frozenset(out)
+        return frozenset(self.term_digest(term) for term in key)
+
+    def term_digest(self, term: Term) -> str:
+        """One term's canonical digest, via the session memo."""
+        digest = self._digests.get(term)
+        if digest is None:
+            digest = term_digest(term)
+            self._digests[term] = digest
+            while len(self._digests) > _MAX_DIGEST_MEMO:
+                self._digests.popitem(last=False)
+        else:
+            self._digests.move_to_end(term)
+        return digest
 
     # -- feasibility -----------------------------------------------------
 
@@ -234,10 +239,51 @@ class SolverCache:
         return result
 
     def store_values(self, term: Term, key: FrozenSet[Term], limit: int,
-                     values: ValueEnumeration) -> None:
+                     values: ValueEnumeration,
+                     witnesses: Optional[List[Dict[str, int]]] = None, *,
+                     write_through: bool = True) -> None:
+        """Memoize an enumeration; persist it when it is budget-stable.
+
+        Only ``complete`` and limit-truncated enumerations reach the
+        disk tier (an ``unevaluable`` truncation depends on which model
+        the search happened to find).  ``witnesses`` — one satisfying
+        assignment per enumerated value — ride along so loaders can
+        re-verify every value against their live constraints, exactly
+        like cached models: a poisoned file degrades to a cache miss,
+        never to injected values.
+        """
         self._values[(term, key, limit)] = values
         while len(self._values) > self.max_entries:
             self._values.popitem(last=False)
+        if (write_through and self.persistent is not None
+                and (values.complete or values.truncated_reason == "limit")
+                and len(witnesses or ()) == len(values)):
+            self.persistent.store_values(
+                self.digest_key(key), self.term_digest(term), limit,
+                list(values), values.complete, values.truncated_reason,
+                witnesses or [])
+
+    def lookup_values_persistent(self, term: Term, key: FrozenSet[Term],
+                                 limit: int):
+        """Disk-tier enumeration lookup: ``(enumeration, witnesses)``.
+
+        The result is *unverified* — callers must check every witness
+        against their live constraints (and the term against its
+        claimed value) before trusting it, mirroring the superset-model
+        verification path.
+        """
+        if self.persistent is None:
+            return None
+        lookup = getattr(self.persistent, "lookup_values", None)
+        if lookup is None:
+            return None
+        found = lookup(self.digest_key(key), self.term_digest(term), limit)
+        if found is None:
+            return None
+        values, complete, reason, witnesses = found
+        enum = ValueEnumeration(values, complete=complete,
+                                truncated_reason=reason)
+        return enum, witnesses
 
     # -- models ----------------------------------------------------------
 

@@ -88,6 +88,11 @@ class DiskSolverCache:
         #: (feasible digest set, model) pairs (superset-model tier)
         self._models: Deque[Tuple[FrozenSet[str], Dict[str, int]]] = deque(
             maxlen=MAX_MODEL_SCAN)
+        #: (digest set, term digest, limit) -> (values, complete,
+        #: reason, witnesses) — persisted ``feasible_values`` results;
+        #: witnesses are re-verified by the loader, like models
+        self._values: "OrderedDict[Tuple[FrozenSet[str], str, int], Tuple]" \
+            = OrderedDict()
         self._offset = 0
         #: lookups answered / entries appended by *this* handle
         self.hits = 0
@@ -157,6 +162,9 @@ class DiskSolverCache:
         key = frozenset(entry.get("k", ()))
         if not key:
             return
+        if "t" in entry:  # value-enumeration entry, not a verdict
+            self._absorb_values(key, entry)
+            return
         feasible = bool(entry.get("f"))
         self._feasible[key] = feasible
         self._feasible.move_to_end(key)
@@ -168,6 +176,21 @@ class DiskSolverCache:
         if feasible and model:
             self._models.append(
                 (key, {str(n): int(v) for n, v in model.items()}))
+
+    def _absorb_values(self, key: FrozenSet[str], entry: Dict) -> None:
+        try:
+            index = (key, str(entry["t"]), int(entry["l"]))
+            values = [int(v) for v in entry.get("v", ())]
+            witnesses = [{str(n): int(v) for n, v in w.items()}
+                         for w in entry.get("w", ())]
+        except (KeyError, TypeError, ValueError):
+            logger.warning("skipping malformed value entry in %s", self.path)
+            return
+        self._values[index] = (values, bool(entry.get("c")),
+                               entry.get("r"), witnesses)
+        self._values.move_to_end(index)
+        while len(self._values) > self.max_entries:
+            self._values.popitem(last=False)
 
     # -- writing ---------------------------------------------------------
 
@@ -215,6 +238,52 @@ class DiskSolverCache:
             self.appended += 1
             self._absorb(entry)
 
+    def store_values(self, digests: Iterable[str], term_digest: str,
+                     limit: int, values: Iterable[int], complete: bool,
+                     reason: Optional[str],
+                     witnesses: Iterable[Dict[str, int]]) -> None:
+        """Append one ``feasible_values`` enumeration.
+
+        Keyed like other entries (the constraint-set digests) plus the
+        enumerated term's digest and the request limit.  Witness models
+        — one per value — are stored alongside so loaders can re-verify
+        each value against their live constraints; a file that lies
+        about a value therefore costs a wasted check, never a wrong
+        enumeration.
+        """
+        key = frozenset(digests)
+        index = (key, term_digest, int(limit))
+        if not key or index in self._values:
+            return
+        entry = {"k": sorted(key), "t": term_digest, "l": int(limit),
+                 "v": [int(v) for v in values], "c": bool(complete),
+                 "w": [{n: int(v) for n, v in w.items()} for w in witnesses]}
+        if reason is not None:
+            entry["r"] = reason
+        line = json.dumps(entry, separators=(",", ":")) + "\n"
+        wrote = False
+        try:
+            with open(self.path, "a+", encoding="utf-8") as fh:
+                self._locked(fh, exclusive=True)
+                try:
+                    self._absorb_new_lines(fh)
+                    if index not in self._values:
+                        end = fh.seek(0, os.SEEK_END)
+                        fh.write(line)
+                        fh.flush()
+                        if end == self._offset:
+                            self._offset = fh.tell()
+                        wrote = True
+                finally:
+                    self._unlocked(fh)
+        except OSError as exc:
+            logger.warning("disk cache append failed (%s); continuing "
+                           "without persistence", exc)
+            return
+        if wrote:
+            self.appended += 1
+            self._absorb(entry)
+
     # -- lookup ----------------------------------------------------------
 
     def lookup(self, digests: Iterable[str]):
@@ -248,6 +317,26 @@ class DiskSolverCache:
                 return True, dict(stored_model), "subsume"
         return None
 
+    def lookup_values(self, digests: Iterable[str], term_digest: str,
+                      limit: int):
+        """Exact-key enumeration lookup.
+
+        Returns ``(values, complete, reason, witnesses)`` or ``None``.
+        The caller re-verifies every witness before trusting the result.
+        """
+        key = frozenset(digests)
+        if not key:
+            return None
+        self.refresh()
+        found = self._values.get((key, term_digest, int(limit)))
+        if found is None:
+            return None
+        self._values.move_to_end((key, term_digest, int(limit)))
+        self.hits += 1
+        values, complete, reason, witnesses = found
+        return (list(values), complete, reason,
+                [dict(w) for w in witnesses])
+
     # -- stats -----------------------------------------------------------
 
     def stats(self) -> Dict[str, int]:
@@ -255,6 +344,7 @@ class DiskSolverCache:
             "entries": len(self._feasible),
             "infeasible_sets": len(self._infeasible_sets),
             "models": len(self._models),
+            "value_entries": len(self._values),
             "hits": self.hits,
             "appended": self.appended,
         }

@@ -1,0 +1,182 @@
+"""Race diverse search backends on one query; commit deterministically.
+
+``race()`` runs the same query on N strategies (see
+:mod:`repro.solver.backend`) sharing one budget *pool*: each racer gets
+a private window equal to the caller budget's remaining work, the first
+definitive answer wins, and the rest are cancelled through the same
+cancel-Event / :class:`~repro.errors.SearchCancelled` machinery the
+gap-search shards use.
+
+**Commit rules** make the raced answer byte-identical to the reference
+backend alone, independent of N and of thread timing:
+
+* Only the **reference** backend may commit a *model* (and the
+  assumption-stack snapshot riding with it).  Variant models are
+  discarded — committing one would change which assignment downstream
+  concretization sees, and a variant model found where the reference
+  would have timed out would even change *stall* behaviour.
+* Any backend may commit **unsat**: every backend is complete, so unsat
+  is canonical — whoever proves it first ends the race.  A variant
+  proving unsat where the reference would have timed out is a *rescue*
+  (strictly less stalling, same verdict semantics); it is counted but
+  disabled nowhere, because unsat-vs-timeout never reaches test-case
+  bytes: an unsat per-access check and a stalled one both terminate the
+  replay attempt the same way only faster.  When determinism across
+  portfolio widths is the priority (the equality harness), rescues are
+  the one sanctioned divergence: strictly fewer timeouts.
+* **Timeout** is declared only when the reference exhausted its window
+  and no racer proved unsat.
+
+**Charging** is exactly-once: the caller's budget is charged with the
+*winner's* spend (the modelled-time analog of "the portfolio answers as
+fast as its best member"); loser work is real CPU but modelled-parallel,
+so it lands in the ``solver.portfolio.loser_work`` histogram instead of
+the query budget.  The ``_metered`` wrapper upstream then attributes the
+query once, from the budget delta.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import telemetry
+from ..errors import SearchCancelled, SolverTimeout, UnsatError
+from .budget import Budget
+from .terms import Term
+
+__all__ = ["race", "RaceBudget"]
+
+logger = logging.getLogger(__name__)
+
+
+class RaceBudget(Budget):
+    """A racer's private window, cancellable by the shared Event.
+
+    The cancel check rides on ``charge`` — the hot path every solver
+    routine already calls — so a cancelled racer stops within one
+    evaluation step without any polling machinery of its own.
+    """
+
+    def __init__(self, limit: int, context: str, cancel: threading.Event):
+        super().__init__(limit, context)
+        self._cancel = cancel
+
+    def charge(self, amount: int) -> None:
+        self.spent += amount
+        if self._cancel.is_set():
+            raise SearchCancelled()
+        if self.spent > self.limit:
+            raise SolverTimeout(self.spent, self.limit, self.context)
+
+
+def race(backends: Sequence, constraints: Sequence[Term], budget: Budget,
+         hints: Optional[Dict[str, int]] = None, retained=None):
+    """Run one query on every backend; return ``(model, snapshot)``.
+
+    Raises :class:`UnsatError` or :class:`SolverTimeout` exactly as the
+    reference backend alone would (modulo unsat rescues, see module
+    docstring).  The caller's ``budget`` is charged once, with the
+    winner's spend.
+    """
+    tel = telemetry.get()
+    tel.count("solver.portfolio.races")
+    cancel = threading.Event()
+    window = budget.remaining()
+    #: slot i: (outcome, spent); outcome in sat/unsat/timeout/cancelled
+    slots: List[Optional[Tuple[str, int]]] = [None] * len(backends)
+
+    def run_variant(index: int, backend) -> None:
+        racer = RaceBudget(window, budget.context, cancel)
+        try:
+            backend.search(constraints, racer, hints=hints,
+                           retained=retained)
+            outcome = "sat"  # not committable: only reference models win
+        except UnsatError:
+            outcome = "unsat"
+            cancel.set()  # canonical verdict: end the race, stop the rest
+        except SolverTimeout:
+            outcome = "timeout"
+        except SearchCancelled:
+            outcome = "cancelled"
+        except Exception:  # never let a racer bug hang the join below
+            logger.exception("portfolio backend %s crashed", backend.name)
+            outcome = "cancelled"
+        slots[index] = (outcome, racer.spent)
+
+    threads = [threading.Thread(target=run_variant, args=(i, b),
+                                name=f"portfolio-{b.name}", daemon=True)
+               for i, b in enumerate(backends[1:], start=1)]
+    for thread in threads:
+        thread.start()
+
+    # the reference races on the calling thread, under the same
+    # cancellable window, so a variant's unsat proof stops it mid-DFS
+    reference = RaceBudget(window, budget.context, cancel)
+    ref_model = ref_snapshot = None
+    #: the reference's own definitive exception; carries its assumption-
+    #: stack harvest (``exc.snapshot``).  Only an *uncancelled* reference
+    #: harvest may reach the stack: variant harvests (and a reference cut
+    #: short by a variant's proof) are dropped so the retained state is
+    #: byte-identical to what the serial reference would have produced.
+    ref_exc = None
+    try:
+        ref_model, ref_snapshot = backends[0].search(
+            constraints, reference, hints=hints, retained=retained)
+        ref_outcome = "sat"
+        cancel.set()
+    except UnsatError as exc:
+        ref_outcome = "unsat"
+        ref_exc = exc
+        cancel.set()
+    except SolverTimeout as exc:
+        ref_outcome = "timeout"  # no cancel: a variant may still rescue
+        ref_exc = exc
+    except SearchCancelled:
+        ref_outcome = "cancelled"
+    for thread in threads:
+        thread.join()
+    slots[0] = (ref_outcome, reference.spent)
+
+    def settle(winner_index: int) -> None:
+        name = backends[winner_index].name
+        tel.count(f"solver.portfolio.wins.{name}")
+        for index, slot in enumerate(slots):
+            if index == winner_index or slot is None:
+                continue
+            outcome, spent = slot
+            if outcome == "cancelled":
+                tel.count("solver.portfolio.cancelled")
+            if outcome == "sat":
+                tel.count("solver.portfolio.variant_sat_discarded")
+            # loser CPU is modelled-parallel: telemetry, not the budget
+            tel.histogram("solver.portfolio.loser_work").record(spent)
+        budget.charge(slots[winner_index][1])
+
+    ref_harvest = getattr(ref_exc, "snapshot", None) if ref_exc else None
+    if ref_outcome == "sat":
+        settle(0)
+        return ref_model, ref_snapshot
+    if ref_outcome == "unsat":
+        settle(0)
+        raise ref_exc  # the reference's own proof, harvest attached
+    # reference timed out or was cancelled: an unsat racer (the only
+    # definitive variant outcome) decides; lowest index for stability
+    for index, slot in enumerate(slots):
+        if slot is not None and slot[0] == "unsat":
+            if ref_outcome == "timeout":
+                tel.count("solver.portfolio.rescues")
+            settle(index)
+            err = UnsatError("no satisfying assignment")
+            # the verdict is the variant's, but the retainable facts are
+            # still the (uncancelled, timed-out) reference's own
+            err.snapshot = ref_harvest
+            raise err
+    # no definitive answer anywhere: the portfolio stalls exactly like
+    # the serial reference (whose spend overran the window, so charging
+    # it trips the caller's budget)
+    settle(0)
+    err = SolverTimeout(budget.spent, budget.limit, budget.context)
+    err.snapshot = ref_harvest
+    raise err

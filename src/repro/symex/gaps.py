@@ -16,10 +16,12 @@ import logging
 from typing import List, Optional
 
 from .. import telemetry
+from ..errors import SearchCancelled
 from ..interp.failures import FailureInfo
 from ..ir.module import Module
 from ..solver import terms as T
 from ..solver.cache import SolverCache
+from ..solver.incremental import AssumptionStack
 from ..trace.decoder import DecodedTrace
 from .engine import ShepherdedSymex
 from .result import SymexResult
@@ -29,20 +31,10 @@ logger = logging.getLogger(__name__)
 #: bound on replays (exponential worst case; divergence-guided in practice)
 MAX_GAP_ATTEMPTS = 512
 
-
-class SearchCancelled(Exception):
-    """A search control aborted the DFS (cooperative shard cancellation).
-
-    Raised out of :func:`_search_gap_decisions` by the ``control``
-    hook's ``checkpoint`` when the parent has finalized a winner in an
-    earlier subspace; ``attempts`` counts the replays this shard
-    completed before stopping, so the parent's attempt accounting still
-    closes.
-    """
-
-    def __init__(self, attempts: int = 0):
-        super().__init__(f"gap search cancelled after {attempts} attempts")
-        self.attempts = attempts
+#: re-export: :class:`SearchCancelled` historically lived here; the
+#: portfolio racer shares it now, so the class moved to ``repro.errors``
+__all__ = ["SearchCancelled", "replay_with_gap_recovery",
+           "MAX_GAP_ATTEMPTS"]
 
 
 def replay_with_gap_recovery(module: Module, trace: DecodedTrace,
@@ -51,6 +43,7 @@ def replay_with_gap_recovery(module: Module, trace: DecodedTrace,
                              shards: int = 1,
                              cache_dir: Optional[str] = None,
                              steal: bool = True,
+                             incremental: bool = True,
                              **engine_kwargs) -> SymexResult:
     """Shepherd a trace containing :class:`GapEvent`s.
 
@@ -67,7 +60,11 @@ def replay_with_gap_recovery(module: Module, trace: DecodedTrace,
     ``steal`` selects the work-stealing scheduler (idle workers split a
     busy sibling's subspace; the default) over the static 2^k prefix
     fan-out.  ``cache_dir`` points every worker (and the serial search)
-    at a shared persistent solver cache.
+    at a shared persistent solver cache.  ``incremental`` (default on)
+    gives the session an :class:`AssumptionStack`, so sibling attempts'
+    queries along a shared constraint prefix re-solve only the delta;
+    switching it off re-solves every sibling from scratch (the A/B the
+    benchmark harness measures).
     """
     if max_attempts < 1:
         raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
@@ -84,7 +81,10 @@ def replay_with_gap_recovery(module: Module, trace: DecodedTrace,
         return shard_gap_search(module, trace, failure,
                                 shards=shards, max_attempts=max_attempts,
                                 solver_cache=cache, cache_dir=cache_dir,
-                                steal=steal, **engine_kwargs)
+                                steal=steal, incremental=incremental,
+                                **engine_kwargs)
+    if incremental and cache.assumptions is None:
+        cache.assumptions = AssumptionStack()
     with T.term_scope(reuse_active=True):
         return _search_gap_decisions(module, trace, failure, max_attempts,
                                      cache, engine_kwargs)
@@ -127,6 +127,12 @@ def _search_gap_decisions(module, trace, failure, max_attempts,
         if control is not None:
             locked_prefix = control.checkpoint(decisions, locked_prefix,
                                                attempts)
+        if cache.assumptions is not None:
+            # attempt boundary (where steal checkpoints change the
+            # prefix one decision at a time): the stack keeps the
+            # surviving common-prefix frames; the first query of this
+            # replay pops exactly the abandoned sibling's frames
+            cache.assumptions.mark_attempt()
         engine = ShepherdedSymex(module, trace, failure,
                                  gap_decisions=decisions,
                                  solver_cache=cache, **engine_kwargs)

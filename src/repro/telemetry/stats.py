@@ -203,6 +203,31 @@ def render_stats(events: Sequence[Dict]) -> str:
                 line += (f", {subsumed} subsumption hits, "
                          f"{disk} disk hits")
             parts.append(line)
+        races = counters.get("solver.portfolio.races", 0)
+        if races:
+            wins = {name[len("solver.portfolio.wins."):]: value
+                    for name, value in counters.items()
+                    if name.startswith("solver.portfolio.wins.")}
+            win_text = ", ".join(f"{name} {count}" for name, count
+                                 in sorted(wins.items()))
+            parts.append(
+                f"solver portfolio: {races} races (wins: {win_text}); "
+                f"{counters.get('solver.portfolio.rescues', 0)} unsat "
+                f"rescues, "
+                f"{counters.get('solver.portfolio.cancelled', 0)} "
+                f"cancelled, "
+                f"{counters.get('solver.portfolio.variant_sat_discarded', 0)}"
+                " variant models discarded")
+        inc_queries = counters.get("solver.incremental.queries", 0)
+        if inc_queries:
+            parts.append(
+                f"incremental solving: {inc_queries} session queries, "
+                f"{counters.get('solver.incremental.reused_terms', 0)} "
+                f"constraints answered from the assumption stack, "
+                f"{counters.get('solver.incremental.conflicts_learned', 0)} "
+                f"conflicts learned, "
+                f"{counters.get('solver.incremental.skipped_candidates', 0)} "
+                f"candidates pruned")
         histograms = metrics.get("histograms", {})
         overhead_names = {name for _, name in OVERHEAD_SOURCES}
         span_rows = []

@@ -4,7 +4,8 @@ import pytest
 
 from repro import telemetry
 from repro.errors import SolverTimeout
-from repro.solver import Solver, SolverCache, ValueEnumeration
+from repro.solver import (Solver, SolverCache, UnlimitedBudget,
+                          ValueEnumeration)
 from repro.solver import terms as T
 
 
@@ -182,3 +183,28 @@ class TestFeasibleValuesEnumeration:
         assert not values.complete
         assert values.truncated_reason == "unevaluable"
         assert tel.counter("solver.values.partial").value == 1
+
+
+class TestUnlimitedBudgetWindow:
+    """Regression: UnlimitedBudget must expose a real remaining() window.
+
+    An earlier version inherited ``limit=0`` arithmetic, so every
+    probe/verification window sized from ``remaining()`` collapsed to
+    zero and model probing silently never fired when stalls were
+    disabled.
+    """
+
+    def test_remaining_stays_huge_after_charges(self):
+        budget = UnlimitedBudget()
+        budget.charge(10**9)
+        assert budget.remaining() >= 10**12
+        assert not budget.exhausted
+
+    def test_model_probe_fires_under_unlimited_budget(self, tel):
+        cache = SolverCache()
+        solver = Solver(cache=cache)
+        solver.solve([_c("a", 5)])             # records the model a=5
+        grown = [_c("a", 5), T.cmp("ult", T.var("a"), T.const(10), 8)]
+        assert solver.is_feasible(grown, UnlimitedBudget())
+        assert cache.model_probe_hits == 1
+        assert tel.counter("solver.cache.model_probe_hits").value == 1

@@ -241,3 +241,67 @@ class TestSubsumptionProperties:
             if subset and len(subset) < len(full):
                 assert solver.is_feasible(subset)
                 assert cache.subsumption_hits + cache.model_probe_hits >= 1
+
+
+class TestEnumerationPersistence:
+    """``feasible_values`` results survive sessions — after re-proof.
+
+    Enumerations persist with one witness model per value; a fresh
+    session re-verifies every witness against its live constraints
+    before serving the enumeration, so a poisoned file degrades to a
+    cache miss (the enumeration loop runs), never to injected values.
+    """
+
+    CS = staticmethod(lambda: [T.cmp("ult", T.var("a"), T.const(3), 8)])
+
+    def test_roundtrip_across_sessions(self, tmp_path):
+        cs, term = self.CS(), T.var("a")
+        cold = SolverCache(persistent=DiskSolverCache(tmp_path))
+        first = Solver(cache=cold).feasible_values(term, cs, limit=8)
+        assert first.complete and sorted(first) == [0, 1, 2]
+        warm = SolverCache(persistent=DiskSolverCache(tmp_path))
+        second = Solver(cache=warm).feasible_values(term, cs, limit=8)
+        assert (list(second), second.complete) == (list(first), True)
+        assert warm.disk_hits >= 1
+
+    def test_unevaluable_truncation_never_persisted(self, tmp_path):
+        cs, term = self.CS(), T.var("a")
+        cache = SolverCache(persistent=DiskSolverCache(tmp_path))
+        from repro.solver import ValueEnumeration
+        cache.store_values(term, SolverCache.key(cs), 8,
+                           ValueEnumeration([1], complete=False,
+                                            truncated_reason="unevaluable"),
+                           witnesses=[{"a": 1}])
+        assert cache.lookup_values_persistent(
+            term, SolverCache.key(cs), 8) is None
+
+    def test_poisoned_values_not_served(self, tmp_path):
+        # a file claiming an extra (infeasible) value fails witness
+        # re-verification wholesale and the loop re-enumerates
+        cs, term = self.CS(), T.var("a")
+        scratch = SolverCache()
+        key = SolverCache.key(cs)
+        disk = DiskSolverCache(tmp_path)
+        disk.store_values(scratch.digest_key(key),
+                          scratch.term_digest(term), 8,
+                          [0, 1, 2, 99], True, None,
+                          [{"a": 0}, {"a": 1}, {"a": 2}, {"a": 99}])
+        cache = SolverCache(persistent=DiskSolverCache(tmp_path))
+        result = Solver(cache=cache).feasible_values(term, cs, limit=8)
+        assert 99 not in result
+        assert sorted(result) == [0, 1, 2]
+        assert cache.disk_hits == 0
+
+    def test_witness_value_mismatch_rejected(self, tmp_path):
+        # witnesses satisfy the constraints but the term evaluates to a
+        # different value than the file claims -> still rejected
+        cs, term = self.CS(), T.var("a")
+        scratch = SolverCache()
+        key = SolverCache.key(cs)
+        disk = DiskSolverCache(tmp_path)
+        disk.store_values(scratch.digest_key(key),
+                          scratch.term_digest(term), 8,
+                          [0, 7], True, None, [{"a": 0}, {"a": 1}])
+        cache = SolverCache(persistent=DiskSolverCache(tmp_path))
+        result = Solver(cache=cache).feasible_values(term, cs, limit=8)
+        assert sorted(result) == [0, 1, 2]

@@ -1,0 +1,226 @@
+"""Portfolio racing: N-invariance, commit rules, exactly-once charging.
+
+The portfolio's contract is that racing N strategy backends returns
+byte-identical answers to the reference backend alone — the only
+sanctioned divergence is an unsat *rescue* (a variant proving unsat
+where the reference would have stalled: strictly fewer timeouts, same
+verdict semantics).  These tests pin the commit rules with stub
+backends driven through ``race()`` directly, and the invariance with
+property tests across N.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.errors import SearchCancelled, SolverTimeout, UnsatError
+from repro.solver import terms as T
+from repro.solver.backend import (BACKEND_ORDER, ReferenceBackend,
+                                  StagedBackend, make_backends)
+from repro.solver.budget import Budget
+from repro.solver.evaluator import tv_eval
+from repro.solver.budget import UnlimitedBudget
+from repro.solver.portfolio import RaceBudget, race
+from repro.solver.solver import Solver
+
+
+@pytest.fixture(autouse=True)
+def fresh_terms():
+    with T.term_scope():
+        yield
+
+
+@pytest.fixture
+def tel():
+    registry = telemetry.Telemetry()
+    with telemetry.scoped(registry):
+        yield registry
+
+
+_byte = st.integers(0, 255)
+
+
+@st.composite
+def small_constraints(draw):
+    """Random constraints over two byte vars (brute-forceable)."""
+    a, b = T.var("p0"), T.var("p1")
+    out = []
+    for _ in range(draw(st.integers(1, 4))):
+        op = draw(st.sampled_from(["eq", "ne", "ult", "ule", "ugt"]))
+        shape = draw(st.integers(0, 2))
+        if shape == 0:
+            lhs = a
+        elif shape == 1:
+            lhs = T.binop(draw(st.sampled_from(["add", "xor", "and"])),
+                          a, b, 8)
+        else:
+            lhs = T.binop("add", b, T.const(draw(_byte)), 8)
+        out.append(T.cmp(op, lhs, T.const(draw(_byte)), 8))
+    return out
+
+
+def _outcome(solver, constraints):
+    try:
+        return ("sat", solver.solve(constraints).assignment)
+    except UnsatError:
+        return ("unsat", None)
+    except SolverTimeout:
+        return ("timeout", None)
+
+
+class TestMakeBackends:
+    def test_reference_first_and_capped(self):
+        assert [type(b) for b in make_backends(1)] == [ReferenceBackend]
+        assert type(make_backends(4)[3]) is StagedBackend
+        assert len(make_backends(99)) == len(BACKEND_ORDER)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            make_backends(0)
+
+
+class TestPortfolioInvariance:
+    @settings(max_examples=40, deadline=None)
+    @given(small_constraints())
+    def test_models_identical_across_widths(self, constraints):
+        reference = _outcome(Solver(), constraints)
+        for width in (2, 4):
+            assert _outcome(Solver(portfolio=width),
+                            constraints) == reference
+
+    def test_every_backend_complete_on_unsat(self):
+        a = T.var("a")
+        cs = [T.cmp("eq", a, T.const(1), 8),
+              T.cmp("eq", a, T.const(2), 8)]
+        for backend in make_backends(4):
+            with pytest.raises(UnsatError):
+                backend.search(cs, Budget(10_000))
+
+    def test_every_backend_model_satisfies(self):
+        cs = [T.cmp("ugt", T.var("a"), T.const(200), 8),
+              T.cmp("eq", T.binop("xor", T.var("a"), T.var("b"), 8),
+                    T.const(0xFF), 8)]
+        for backend in make_backends(4):
+            model, _snapshot = backend.search(cs, Budget(100_000))
+            for c in cs:
+                assert tv_eval(T.bool_term(c), model.assignment,
+                               UnlimitedBudget()) == 1
+
+
+class _StubUnsat:
+    """Variant that proves unsat after a fixed spend.
+
+    An optional ``gate`` event delays the proof until a cooperating
+    backend has finished, making race orderings deterministic in tests.
+    """
+
+    name = "stub-unsat"
+
+    def __init__(self, spend=7, gate=None):
+        self.spend = spend
+        self.gate = gate
+
+    def search(self, constraints, budget, hints=None, retained=None):
+        if self.gate is not None:
+            self.gate.wait(timeout=5)
+        budget.charge(self.spend)
+        raise UnsatError("stub proof")
+
+
+class _StubHang:
+    """Reference that spins until cancelled (or its window ends)."""
+
+    name = "stub-hang"
+
+    def __init__(self):
+        self.cancelled = False
+
+    def search(self, constraints, budget, hints=None, retained=None):
+        try:
+            while True:
+                budget.charge(1)
+        except SearchCancelled:
+            self.cancelled = True
+            raise
+
+
+class _StubTimeout:
+    name = "stub-timeout"
+
+    def __init__(self, done=None):
+        self.done = done
+
+    def search(self, constraints, budget, hints=None, retained=None):
+        try:
+            budget.charge(budget.remaining() + 1)
+        finally:
+            if self.done is not None:
+                self.done.set()
+        raise AssertionError("window should have tripped")
+
+
+class TestRaceCommitRules:
+    def test_variant_unsat_cancels_reference(self, tel):
+        reference = _StubHang()
+        budget = Budget(1_000_000)
+        with pytest.raises(UnsatError):
+            race([reference, _StubUnsat(spend=7)], [], budget)
+        assert reference.cancelled
+        # the caller is charged exactly the winner's spend, not the sum
+        assert budget.spent == 7
+        snap = tel.snapshot()["counters"]
+        assert snap["solver.portfolio.races"] == 1
+        assert snap["solver.portfolio.wins.stub-unsat"] == 1
+        assert snap["solver.portfolio.cancelled"] == 1
+
+    def test_unsat_rescue_counted_on_reference_timeout(self, tel):
+        import threading
+        budget = Budget(50)
+        # gate the variant's proof on the reference's timeout so the
+        # rescue path (not the cancel path) is exercised deterministically
+        ref_done = threading.Event()
+        with pytest.raises(UnsatError):
+            race([_StubTimeout(done=ref_done),
+                  _StubUnsat(spend=7, gate=ref_done)], [], budget)
+        snap = tel.snapshot()["counters"]
+        assert snap["solver.portfolio.rescues"] == 1
+        assert budget.spent == 7
+
+    def test_all_timeout_charges_reference_spend(self, tel):
+        budget = Budget(50)
+        with pytest.raises(SolverTimeout):
+            race([_StubTimeout(), _StubTimeout()], [], budget)
+        snap = tel.snapshot()["counters"]
+        assert "solver.portfolio.rescues" not in snap
+
+    def test_race_budget_cancel_trips_on_charge(self):
+        import threading
+        cancel = threading.Event()
+        racer = RaceBudget(100, "t", cancel)
+        racer.charge(1)
+        cancel.set()
+        with pytest.raises(SearchCancelled):
+            racer.charge(1)
+
+
+class TestQueryAccounting:
+    def test_portfolio_query_counted_once(self, tel):
+        cs = [T.cmp("eq", T.var("a"), T.const(3), 8)]
+        Solver(portfolio=4).solve(cs)
+        snap = tel.snapshot()["counters"]
+        assert snap["solver.queries.solve"] == 1
+        assert tel.snapshot()["histograms"][
+            "solver.work_per_query"]["count"] == 1
+
+    def test_cancelled_outcome_counted_once(self, tel):
+        # drive _metered's cancelled branch directly: a cancellation is
+        # charged to solver.cancelled AND the query count exactly once
+        from repro.solver.solver import _metered
+        budget = Budget(100)
+        with pytest.raises(SearchCancelled):
+            with _metered("solve", budget):
+                raise SearchCancelled()
+        snap = tel.snapshot()["counters"]
+        assert snap["solver.cancelled"] == 1
+        assert snap["solver.queries.solve"] == 1
