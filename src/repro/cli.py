@@ -181,11 +181,13 @@ def cmd_reproduce(args) -> int:
         cache_dir=args.cache_dir,
         steal=args.steal,
         portfolio=args.portfolio,
-        incremental=args.incremental)
+        incremental=args.incremental,
+        pipeline=args.pipeline)
     site = ProductionSite(workload.failing_env,
                           trace_after=args.trace_after,
                           mapping_loss=args.mapping_loss,
-                          per_cpu_buffers=args.mapping_loss > 0)
+                          per_cpu_buffers=args.mapping_loss > 0,
+                          reoccurrence_delay=args.reoccurrence_delay)
     report = reconstructor.reconstruct(site)
 
     minimized = None
@@ -290,7 +292,9 @@ def cmd_bench(args) -> int:
          f"{len(names) if names else 'all'} workload(s) ...")
     serial = run_batch(names, parallel=1, capture_events=capture,
                        cache_dir=args.cache_dir,
-                       portfolio=args.portfolio)
+                       portfolio=args.portfolio,
+                       pipeline=args.pipeline,
+                       reoccurrence_delay=args.reoccurrence_delay)
     result, speedup = serial, None
     matrix = []
     for width in widths:
@@ -300,7 +304,9 @@ def cmd_bench(args) -> int:
             echo(f"parallel run, {width} worker(s) ...")
             leg = run_batch(names, parallel=width, capture_events=capture,
                             cache_dir=args.cache_dir,
-                            portfolio=args.portfolio)
+                            portfolio=args.portfolio,
+                            pipeline=args.pipeline,
+                            reoccurrence_delay=args.reoccurrence_delay)
             leg_speedup = (serial.wall_seconds / leg.wall_seconds
                            if leg.wall_seconds > 0 else None)
             result, speedup = leg, leg_speedup
@@ -319,6 +325,7 @@ def cmd_bench(args) -> int:
         "workloads": [item.workload for item in result.items],
         "parallelism": final_width,
         "portfolio": args.portfolio,
+        "pipeline": args.pipeline,
         "cpu_count": os.cpu_count(),
         "serial_wall_seconds": round(serial.wall_seconds, 4),
         "parallel_wall_seconds":
@@ -510,6 +517,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "backends sharing one budget; the first "
                         "definitive answer wins (default: 1, reference "
                         "search only)")
+    p.add_argument("--pipeline", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="pipelined reconstruction loop: overlap the "
+                        "production wait with speculative pre-solving "
+                        "and gap-search pre-sharding (outcomes are "
+                        "byte-identical to the sequential loop)")
+    p.add_argument("--reoccurrence-delay", type=float, default=0.0,
+                   metavar="SEC",
+                   help="simulated wall-clock delay before each failure "
+                        "reoccurrence (the wait the pipelined loop "
+                        "overlaps; affects timing only)")
     p.add_argument("--incremental", action=argparse.BooleanOptionalAction,
                    default=True,
                    help="assumption-stack incremental solving across "
@@ -555,6 +573,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--portfolio", type=int, default=1, metavar="N",
                    help="race each solver query across N strategy "
                         "backends (default: 1, reference search only)")
+    p.add_argument("--pipeline", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="pipelined reconstruction loop in every "
+                        "workload run (outcome-identical; see "
+                        "'repro reproduce --pipeline')")
+    p.add_argument("--reoccurrence-delay", type=float, default=0.0,
+                   metavar="SEC",
+                   help="simulated delay before each failure "
+                        "reoccurrence (the wait --pipeline overlaps)")
     p.add_argument("--ab-incremental", action="store_true",
                    help="also run the incremental-solving A/B (scratch "
                         "vs assumption stack on the sharded sqlite gap "

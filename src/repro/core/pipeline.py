@@ -1,0 +1,472 @@
+"""Speculative pre-solving for the pipelined reconstruction loop.
+
+The sequential loop (§3, Fig. 2) alternates *wait for a reoccurrence*
+and *analyze the trace* — the production wait is dead time.  The
+pipelined loop overlaps it: after a stall selects key data values and
+redeploys, the next occurrence is awaited on a background thread
+(:meth:`~repro.core.production.ProductionSite.start`) while the
+analysis side speculatively pre-solves the queries the *next* symbolic
+execution run is about to issue.
+
+What can be predicted?  The next run re-executes the same path up to
+the old stall point, with one difference: each *dynamic execution* of
+an instrumented ``ptwrite`` concretizes its register to the recorded
+value ``v`` and appends ``eq(t, v)`` to the path constraints, where
+``t`` is the term that execution instance built.  Because the
+``ptwrite`` sits immediately after the defining instruction, no other
+use of ``t`` can intervene, so the next run's constraint set at the
+old stall point is exactly the current one with every instance term
+substituted by its recorded constant, plus one ``eq`` per instance —
+computable *now* for any candidate assignment of values to instances.
+
+A recording point inside a loop executes many times, building several
+distinct terms that share one provenance; the speculator treats each
+such instance as a *slot*, ordered by first appearance in the
+constraint list (appended chronologically, so this approximates
+execution order — and a wrong guess only yields a key the engine
+never queries, see the commit rule).  It enumerates candidate values
+per slot, builds each joint assignment's transformed key through the
+public term constructors (so constant folding fires exactly as during
+execution and the keys match structurally), and solves them — on the
+persistent :class:`~repro.parallel.WorkerPool` when available, inline
+otherwise.
+
+**Strict commit rule.**  Nothing is visible to the engine until the
+real occurrence arrives: a speculation commits only when the arrived
+occurrence's recorded value *sequence* for every tag exactly matches
+the assumed per-slot assignment, position by position; every other
+assignment is discarded.  Even a committed verdict is semantically
+sound regardless of whether the slot ordering guessed the true
+execution order — the verdict was produced by actually solving the
+committed key's terms, so at worst a wrong guess stores an entry the
+next run never looks up.  A committed verdict flows only through
+:meth:`~repro.solver.cache.SolverCache.commit_speculation` — the
+exact-key feasibility tier plus disk write-through — never through the
+model/hint paths that could perturb the sequential search's candidate
+order.  Verdicts that consumed more than ``work_limit /
+commit_margin`` are discarded too: a hinted sequential search might
+exceed the budget (and stall) on a query the fresh speculative search
+squeaked through, and a committed verdict must never turn a
+sequential-stall into a pipelined-pass.  Under this rule the pipelined
+loop's outcomes are byte-identical to the sequential loop's on every
+workload; speculation only moves solver work off the critical path.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .. import telemetry
+from ..errors import SolverError, SolverTimeout, UnsatError
+from ..solver.budget import Budget
+from ..solver.cache import SolverCache
+from ..solver.diskcache import DiskSolverCache
+from ..solver.solver import Solver
+from ..solver import terms as T
+from ..solver.terms import (Term, deserialize_term, serialize_term,
+                            substitute)
+from ..symex.result import StallInfo
+from .instrument import InstrumentationResult
+from .selection import RecordingItem, RecordingPlan
+
+logger = logging.getLogger(__name__)
+
+#: joint assignments actually pre-solved (model-enumeration order)
+MAX_ASSIGNMENTS = 8
+#: enumeration budget multiplier over the engine's per-query limit —
+#: enumeration runs off the critical path, so it may dig deeper than a
+#: live query would; committed verdicts still answer to COMMIT_MARGIN
+ENUM_BUDGET_FACTOR = 4
+#: give up on stalls with more dynamic instances than this — the
+#: enumeration cost grows linearly in slots and the joint-match
+#: probability shrinks, so very wide loops are poor speculation targets
+MAX_SLOTS = 24
+#: a speculative verdict commits only when it cost at most
+#: ``work_limit / COMMIT_MARGIN`` — see the module docstring
+COMMIT_MARGIN = 2
+
+
+def _speculate_solve(index: int, serialized: List[str],
+                     work_limit: int,
+                     cache_dir: Optional[str]) -> Tuple[int,
+                                                        Optional[bool],
+                                                        int]:
+    """Solve one speculative key (pool task or inline).
+
+    Runs a *fresh* solver over a private in-memory cache (plus the
+    shared disk tier when configured) so speculation never touches the
+    reconstruction's live cache directly.  Returns ``(index, verdict,
+    work_spent)`` with ``verdict=None`` on timeout.
+    """
+    with T.term_scope():
+        terms = [deserialize_term(text) for text in serialized]
+        cache = SolverCache(
+            persistent=DiskSolverCache(cache_dir) if cache_dir else None)
+        solver = Solver(work_limit=work_limit, cache=cache)
+        budget = Budget(work_limit, context="speculation")
+        try:
+            verdict = solver.is_feasible(terms, budget)
+        except SolverTimeout:
+            return (index, None, budget.spent)
+        return (index, verdict, budget.spent)
+
+
+def _walk_subterms(roots: Sequence[Term]):
+    """Iterative pre-order subterm traversal, left-to-right and
+    id-deduplicated — the deterministic order the slot list is built
+    in, so first appearance tracks the order constraints (and the
+    subterms within each) were constructed."""
+    seen: set = set()
+    stack = [root for root in reversed(roots) if isinstance(root, Term)]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        yield node
+        for arg in reversed(node.args):
+            if isinstance(arg, Term):
+                stack.append(arg)
+
+
+def predict_preshard(trace, shards: int,
+                     steal: bool) -> Optional[List[List[bool]]]:
+    """Pre-compute the prefix partition the next gap search will use.
+
+    The partition depends only on the trace's gap count and the shard
+    width, so it can be derived from the *current* occurrence while
+    waiting for the next one.  The next trace may carry a different
+    gap count (degradation is seeded per occurrence); the prediction is
+    then simply wrong and counted as a ``preshard_miss`` — it is pure
+    bookkeeping, never a correctness input.
+    """
+    if shards <= 1:
+        return None
+    from ..parallel import _shard_prefixes, _steal_prefixes
+
+    return (_steal_prefixes if steal else _shard_prefixes)(trace, shards)
+
+
+class Speculator:
+    """Pre-solves the next run's stall-point queries during the wait.
+
+    Driven by the pipelined loop: :meth:`step` performs one bounded
+    unit of work between :meth:`DeferredOccurrence.poll` calls and
+    returns False once the speculation space is exhausted;
+    :meth:`commit` applies the strict commit rule against the arrived
+    occurrence.  All speculative solving happens on private solver
+    state; the only externally visible effect is the committed
+    exact-key cache entry (and its disk write-through).
+    """
+
+    def __init__(self, stall: StallInfo, plan: RecordingPlan,
+                 instrumented: InstrumentationResult,
+                 solver_cache: SolverCache, *,
+                 work_limit: int,
+                 cache_dir: Optional[str] = None,
+                 max_assignments: int = MAX_ASSIGNMENTS,
+                 commit_margin: int = COMMIT_MARGIN,
+                 pool=None):
+        self.stall = stall
+        self.items: List[RecordingItem] = list(plan.items)
+        #: recording item -> the ptwrite tag that will report its value
+        self.item_tags: Dict[RecordingItem, int] = {
+            item: tag for tag, item in instrumented.tag_map.items()}
+        self.solver_cache = solver_cache
+        self.work_limit = work_limit
+        self.cache_dir = cache_dir
+        self.max_assignments = max_assignments
+        self.commit_margin = commit_margin
+        self.pool = pool
+        #: wall-clock seconds of analysis work overlapped with the wait
+        self.overlap_seconds = 0.0
+        #: (values-tuple, live key) per assignment, parent-side terms
+        self._assignments: List[Tuple[Tuple[int, ...],
+                                      FrozenSet[Term]]] = []
+        #: assignment index -> (verdict, work_spent)
+        self._verdicts: Dict[int, Tuple[Optional[bool], int]] = {}
+        #: model-enumeration state: value tuples seen, ban constraints
+        self._enumerated: List[Tuple[int, ...]] = []
+        self._bans: List[Term] = []
+        self._enum_solver: Optional[Solver] = None
+        self._solve_cursor = 0
+        self._job = None
+        self._job_remaining = 0
+        self._phase = "enum"
+        #: (item index, instance term) per slot, first-appearance order
+        self._slots = self._collect_slots()
+        if self._slots is None:
+            self._phase = "done"
+            telemetry.count("pipeline.unspeculable_stalls")
+
+    # -- preparation ---------------------------------------------------
+
+    def _collect_slots(self) -> Optional[List[Tuple[int, Term]]]:
+        """One slot per dynamic instance of each recording item — every
+        distinct term in the stall constraints carrying the item's
+        provenance, in first-appearance order — or None when a selected
+        item never appears in the constraints (its ``eq``s next run
+        cannot be predicted) or the instance count exceeds
+        :data:`MAX_SLOTS`."""
+        if not self.items or not self.item_tags:
+            return None
+        prov_to_item = {}
+        for index, item in enumerate(self.items):
+            if item not in self.item_tags:
+                return None
+            prov_to_item[(item.point, item.register, item.size)] = index
+        slots: List[Tuple[int, Term]] = []
+        matched = set()
+        for node in _walk_subterms(self.stall.constraints):
+            if node.prov is None:
+                continue
+            index = prov_to_item.get(tuple(node.prov))
+            if index is None:
+                continue
+            slots.append((index, node))
+            matched.add(index)
+            if len(slots) > MAX_SLOTS:
+                return None
+        if len(matched) != len(self.items):
+            return None
+        return slots
+
+    def _begin_solving(self) -> None:
+        self._enum_solver = None
+        self._phase = "solve" if self._assignments else "done"
+        if self._phase == "solve" and self.pool is not None:
+            self._submit_all()
+
+    def _key_for(self, chosen: Tuple[int, ...]
+                 ) -> Optional[FrozenSet[Term]]:
+        """Mirror the engine's ptwrite transformation for one joint
+        assignment; None when the assignment is self-inconsistent
+        (a substituted constraint folds to constant-false).  Slots are
+        processed in order, so a later instance whose term *contains*
+        an earlier instance folds through the accumulated mapping —
+        exactly as the next run builds it from the already-concretized
+        register."""
+        assert self._slots is not None
+        mapping: Dict[Term, Term] = {}
+        eqs: List[Term] = []
+        for (_, term), value in zip(self._slots, chosen):
+            live = substitute(term, mapping)
+            if live.is_const:
+                if live.value != value:
+                    return None  # earlier folding contradicts this value
+            else:
+                eq = T.bool_term(T.cmp("eq", live, T.const(value), 64))
+                if eq.is_const:
+                    if eq.value == 0:
+                        return None
+                else:
+                    eqs.append(eq)
+                mapping[live] = T.const(value)
+            if term not in mapping:
+                mapping[term] = T.const(value)
+        out: List[Term] = list(eqs)
+        for constraint in self.stall.constraints:
+            folded = T.bool_term(substitute(constraint, mapping))
+            if folded.is_const:
+                if folded.value == 0:
+                    return None  # next run would diverge, never query
+                continue  # trivially true constraints are dropped
+            out.append(folded)
+        return SolverCache.key(out)
+
+    # -- the drive loop ------------------------------------------------
+
+    def step(self) -> bool:
+        """One bounded unit of speculation; False once exhausted."""
+        if self._phase == "done":
+            return False
+        started = time.perf_counter()
+        try:
+            if self._phase == "enum":
+                self._step_enum()
+            elif self._phase == "solve":
+                if self.pool is not None:
+                    self._step_pool()
+                else:
+                    self._step_inline()
+            return self._phase != "done"
+        finally:
+            self.overlap_seconds += time.perf_counter() - started
+
+    def _step_enum(self) -> None:
+        """Enumerate one joint assignment by solving for a model of the
+        stall constraints (private solver: the live cache must never
+        observe speculative queries).
+
+        Model enumeration — read every slot's value off one model, ban
+        that tuple, re-solve — beats independent per-slot value lists:
+        values the constraints *force* (comparison outcomes, derived
+        counts) appear in every model with their true value, and every
+        enumerated tuple is jointly feasible by construction.  Values
+        the constraints leave free (raw input bytes) are unpredictable
+        under any scheme; those assignments simply fail the commit
+        match."""
+        assert self._slots is not None
+        if len(self._enumerated) >= self.max_assignments:
+            self._begin_solving()
+            return
+        enum_limit = self.work_limit * ENUM_BUDGET_FACTOR
+        if self._enum_solver is None:
+            self._enum_solver = Solver(work_limit=enum_limit,
+                                       cache=SolverCache())
+        try:
+            model = self._enum_solver.solve(
+                list(self.stall.constraints) + self._bans,
+                Budget(enum_limit, context="speculation"))
+            chosen = tuple(model.eval_term(term)
+                           for _, term in self._slots)
+        except UnsatError:
+            self._begin_solving()  # value space exhausted
+            return
+        except SolverTimeout:
+            if not self._assignments:
+                telemetry.count("pipeline.enum_timeouts")
+            self._begin_solving()  # keep whatever was enumerated
+            return
+        except SolverError:
+            self._begin_solving()  # model does not determine a slot
+            return
+        if chosen in self._enumerated:
+            self._begin_solving()  # ban was vacuous (all-const slots)
+            return
+        self._enumerated.append(chosen)
+        key = self._key_for(chosen)
+        if key is not None:
+            self._assignments.append((chosen, key))
+        ban = None
+        for (_, term), value in zip(self._slots, chosen):
+            if term.is_const:
+                continue
+            ne = T.cmp("ne", term, T.const(value), 64)
+            ban = ne if ban is None else T.binop("or", ban, ne, 1)
+        if ban is None:
+            self._begin_solving()  # nothing bannable: one tuple only
+            return
+        self._bans.append(ban)
+
+    def _submit_all(self) -> None:
+        self._job = self.pool.begin_job({}, meter_queue_wait=False)
+        for index, (_, key) in enumerate(self._assignments):
+            serialized = [serialize_term(term) for term in key]
+            self._job.submit(_speculate_solve, index, serialized,
+                             self.work_limit, self.cache_dir)
+        self._job_remaining = len(self._assignments)
+
+    def _step_pool(self) -> None:
+        if self._job_remaining == 0:
+            self._finish_job()
+            return
+        kind, task_id, body = self._job.next_message()
+        if kind == "split":
+            return
+        self._job_remaining -= 1
+        if kind == "err":
+            logger.debug("speculation task %d failed: %s", task_id, body)
+            return
+        index, verdict, spent = body
+        self._verdicts[index] = (verdict, spent)
+        telemetry.count("pipeline.speculations")
+
+    def _step_inline(self) -> None:
+        index = self._solve_cursor
+        if index >= len(self._assignments):
+            self._phase = "done"
+            return
+        self._solve_cursor += 1
+        _, key = self._assignments[index]
+        serialized = [serialize_term(term) for term in key]
+        _, verdict, spent = _speculate_solve(index, serialized,
+                                             self.work_limit,
+                                             self.cache_dir)
+        self._verdicts[index] = (verdict, spent)
+        telemetry.count("pipeline.speculations")
+
+    def _finish_job(self) -> None:
+        if self._job is not None:
+            snapshots, events = self._job.finish()
+            tel = telemetry.get()
+            tel.absorb(telemetry.merge_snapshots(snapshots))
+            tel.forward(events)
+            self._job = None
+        self._phase = "done"
+
+    def drain(self) -> None:
+        """Collect any in-flight pool results (the occurrence arrived;
+        the pool must be free before the next shard search)."""
+        while self._phase == "solve" and self.pool is not None:
+            self._step_pool()
+        if self._job is not None:
+            self._finish_job()
+        self._phase = "done"
+
+    # -- the strict commit rule ----------------------------------------
+
+    def commit(self, occurrence) -> int:
+        """Apply the strict commit rule against the arrived occurrence.
+
+        Returns the number of committed verdicts (0 or 1: at most one
+        assignment can match the recorded values).  Everything else —
+        mismatched assignments, timeouts, over-budget verdicts — is
+        discarded; discarding is always safe because nothing was
+        visible before this point.
+        """
+        self.drain()
+        committed = 0
+        discarded = 0
+        recorded: Dict[int, List[int]] = {}
+        for event in occurrence.trace.ptwrites():
+            recorded.setdefault(event.tag, []).append(event.value)
+        for index, (chosen, key) in enumerate(self._assignments):
+            verdict_spent = self._verdicts.get(index)
+            matches = self._matches_recorded(chosen, recorded)
+            if not matches or verdict_spent is None:
+                discarded += 1
+                continue
+            verdict, spent = verdict_spent
+            if verdict is None or \
+                    spent * self.commit_margin > self.work_limit:
+                discarded += 1  # timeout or margin: too close to call
+                continue
+            self.solver_cache.commit_speculation(key, verdict)
+            committed += 1
+        telemetry.count("pipeline.commits", committed)
+        telemetry.count("pipeline.discards", discarded)
+        telemetry.histogram("pipeline.overlap_seconds").record(
+            self.overlap_seconds)
+        logger.debug("speculation: %d committed, %d discarded, "
+                     "%.3fs overlapped", committed, discarded,
+                     self.overlap_seconds)
+        return committed
+
+    def _matches_recorded(self, chosen: Tuple[int, ...],
+                          recorded: Dict[int, List[int]]) -> bool:
+        """Does this assignment match the recorded value sequences?
+
+        For each item, the values assumed for its slots (in slot order)
+        must equal the recorded sequence for its tag position by
+        position.  One relaxation: interning collapses structurally
+        identical instances into one slot while the trace still records
+        one value per execution — a recorded sequence that repeats a
+        single value matches an assumption of that same value (the
+        collapsed key is exact: the engine's duplicate ``eq``s dedup in
+        the frozenset key too)."""
+        assert self._slots is not None
+        for item_index, item in enumerate(self.items):
+            assumed = [value for (slot_item, _), value
+                       in zip(self._slots, chosen)
+                       if slot_item == item_index]
+            seq = recorded.get(self.item_tags[item], [])
+            if seq == assumed:
+                continue
+            if assumed and seq and set(seq) == set(assumed) \
+                    and len(set(seq)) == 1:
+                continue
+            return False
+        return True

@@ -15,8 +15,10 @@ deployment.
 from __future__ import annotations
 
 import logging
+import threading
+import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
 from .. import telemetry
 from ..errors import ReconstructionError, TraceTruncatedError
@@ -44,6 +46,58 @@ class Occurrence:
     run: RunResult  # available to evaluation harnesses, not to ER's core
 
 
+class DeferredOccurrence:
+    """Handle to a production run executing on a background thread.
+
+    The pipelined reconstruction loop starts the wait for the next
+    failure reoccurrence, then does speculative pre-solving while
+    :meth:`poll` returns ``None``.  The thread runs the *same*
+    :meth:`ProductionSite.run_once` body against the process-global
+    telemetry registry (span stacks are thread-local, so concurrent
+    production spans cannot corrupt the analysis side's nesting), which
+    keeps production counters and spans identical to the sequential
+    path.  Exceptions are captured and re-raised on the consuming
+    thread at :meth:`poll`/:meth:`wait` time.
+    """
+
+    def __init__(self, site: "ProductionSite", module: Module):
+        self._result: Optional[Occurrence] = None
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, args=(site, module),
+            name="repro-production", daemon=True)
+        self._thread.start()
+
+    def _run(self, site: "ProductionSite", module: Module) -> None:
+        try:
+            self._result = site.run_once(module)
+        except BaseException as exc:  # noqa: BLE001 — re-raised on poll
+            self._error = exc
+
+    def done(self) -> bool:
+        return not self._thread.is_alive()
+
+    def poll(self) -> Optional[Occurrence]:
+        """The occurrence if the production run has finished, else
+        ``None`` (non-blocking); re-raises a failed run's exception."""
+        if self._thread.is_alive():
+            return None
+        return self._finish()
+
+    def wait(self) -> Occurrence:
+        """Block until the production run finishes (the pipelined
+        loop's final fallback once speculation work runs dry)."""
+        self._thread.join()
+        return self._finish()
+
+    def _finish(self) -> Occurrence:
+        self._thread.join()
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
 class ProductionSite:
     """Runs the deployed module until the monitored failure occurs."""
 
@@ -54,7 +108,8 @@ class ProductionSite:
                  auto_grow_buffer: bool = True,
                  trace_after: int = 0,
                  mapping_loss: float = 0.0,
-                 per_cpu_buffers: bool = False):
+                 per_cpu_buffers: bool = False,
+                 reoccurrence_delay: float = 0.0):
         self.env_factory = env_factory
         self.ring_capacity = ring_capacity
         self.max_steps = max_steps
@@ -73,15 +128,38 @@ class ProductionSite:
         #: real PT writes one buffer per CPU; merging them by coarse
         #: timestamp loses the order of equal-timestamp chunks (§3.4)
         self.per_cpu_buffers = per_cpu_buffers
+        #: simulated wall-clock seconds until the failure reoccurs (§3.3:
+        #: real deployments take minutes-to-hours between occurrences;
+        #: the pipelined loop overlaps this wait with speculative
+        #: pre-solving).  Affects timing only, never outcomes.
+        self.reoccurrence_delay = reoccurrence_delay
         self._occurrence = 0
         self._untraced_failures = 0
+        self._deferred: Optional[DeferredOccurrence] = None
         #: ring-buffer wraps observed and capacity doublings performed
         self.ring_wraps = 0
         self.auto_grows = 0
 
+    def start(self, module: Module) -> DeferredOccurrence:
+        """Begin waiting for the next occurrence without blocking.
+
+        Non-blocking counterpart of :meth:`run_once` for the pipelined
+        loop: the production wait runs on a background thread while the
+        caller speculates.  Only one deferred run may be active at a
+        time — ``run_once`` mutates per-site state (occurrence index,
+        ring capacity) that must not race.
+        """
+        if self._deferred is not None and not self._deferred.done():
+            raise ReconstructionError(
+                "a deferred production run is already active")
+        self._deferred = DeferredOccurrence(self, module)
+        return self._deferred
+
     def run_once(self, module: Module) -> Occurrence:
         """Run the deployed module until it fails; ship the trace."""
         tel = telemetry.get()
+        if self.reoccurrence_delay > 0:
+            time.sleep(self.reoccurrence_delay)
         for _ in range(self.max_attempts):
             self._occurrence += 1
             env = self.env_factory(self._occurrence)

@@ -138,12 +138,39 @@ def run_table1(names: Optional[List[str]] = None,
     selected = [w for w in all_workloads()
                 if names is None or w.name in names]
     if parallel > 1 and len(selected) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+        # the shared persistent pool (repro.parallel): repeated table
+        # regenerations reuse already-spawned workers, and worker
+        # telemetry folds into the caller's registry instead of being
+        # dropped on the executor floor
+        from .. import telemetry
+        from ..parallel import get_pool
 
-        workers = min(parallel, len(selected))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            rows = list(pool.map(_run_workload_row,
-                                 [w.name for w in selected]))
+        tel = telemetry.get()
+        pool = get_pool(min(parallel, len(selected)))
+        job = pool.begin_job({}, context=tel.trace_context())
+        rows_by_task: dict = {}
+        errors: List[BaseException] = []
+        try:
+            for workload in selected:
+                job.submit(_run_workload_row, workload.name)
+            remaining = len(selected)
+            while remaining:
+                kind, task_id, body = job.next_message()
+                if kind == "split":
+                    continue
+                remaining -= 1
+                if kind == "err":
+                    errors.append(RuntimeError(
+                        f"table-1 row for "
+                        f"{selected[task_id].name!r} failed: {body}"))
+                    continue
+                rows_by_task[task_id] = body
+        finally:
+            snapshots, _ = job.finish()
+            tel.absorb(telemetry.merge_snapshots(snapshots))
+        if errors:
+            raise errors[0]
+        rows = [rows_by_task[i] for i in range(len(selected))]
     else:
         rows = [run_workload(workload) for workload in selected]
     return Table1Result(rows)

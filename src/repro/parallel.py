@@ -2,10 +2,21 @@
 
 Reconstructions of distinct failures are embarrassingly parallel — each
 one owns its module clone, production site, term space, and solver
-cache — so the batch runner fans workloads out over a
-:class:`~concurrent.futures.ProcessPoolExecutor`.  Process (not thread)
-workers sidestep the GIL: shepherded symbolic execution is pure Python
-and CPU-bound.
+cache — so the batch runner fans workloads out over a persistent
+:class:`WorkerPool`.  Process (not thread) workers sidestep the GIL:
+shepherded symbolic execution is pure Python and CPU-bound.
+
+The pool is fork-server-style and process-wide: spawned lazily on the
+first job, then *reused* across shard searches, batch runs, and the
+pipelined loop's speculation tasks instead of paying a fresh
+spin-up per call.  Jobs are generation-tagged — each
+:meth:`WorkerPool.begin_job` broadcasts a new generation payload (the
+shared module/trace/config that used to ride a pool initializer)
+through per-worker control queues, so redeploying a job is a message,
+not a respawn.  Workers batch their telemetry: one stats message per
+job per worker instead of a snapshot per task.  Idle pools reap their
+workers after :data:`POOL_IDLE_REAP_SECONDS`; :func:`close_pool` (also
+registered atexit) tears the shared pool down explicitly.
 
 Every worker runs under its own telemetry registry and ships back a
 picklable :class:`BatchItem` — outcome summary, metric snapshot, and
@@ -59,6 +70,7 @@ spans — surfaced by ``repro stats`` as the overhead-attribution table.
 
 from __future__ import annotations
 
+import atexit
 import json
 import logging
 import multiprocessing
@@ -66,11 +78,12 @@ import os
 import pathlib
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from itertools import product
 from queue import Empty
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, \
+    Sequence, Tuple, Union
 
 from . import telemetry
 from .core import ExecutionReconstructor, ProductionSite
@@ -84,9 +97,10 @@ from .symex.gaps import _search_gap_decisions
 from .trace.degrade import gap_count
 from .workloads import get_workload, workload_names
 
-__all__ = ["BatchItem", "BatchResult", "GapShardOutcome",
-           "measure_incremental_ab", "run_batch", "shard_gap_search",
-           "write_merged_jsonl"]
+__all__ = ["BatchItem", "BatchResult", "GapShardOutcome", "WorkerPool",
+           "close_pool", "get_pool", "in_pool_worker",
+           "measure_incremental_ab", "private_pool", "run_batch",
+           "shard_gap_search", "write_merged_jsonl"]
 
 logger = logging.getLogger(__name__)
 
@@ -209,7 +223,9 @@ def _reconstruct_one(name: str, capture_events: bool,
                      cache_dir: Optional[str] = None,
                      context: Optional[telemetry.TraceContext] = None,
                      enqueued: Optional[float] = None,
-                     portfolio: int = 1) -> BatchItem:
+                     portfolio: int = 1,
+                     pipeline: bool = False,
+                     reoccurrence_delay: float = 0.0) -> BatchItem:
     """Worker body: one workload under a private telemetry registry.
 
     Runs in a pool process (or inline for ``parallel=1``); must only
@@ -234,9 +250,11 @@ def _reconstruct_one(name: str, capture_events: bool,
                 work_limit=workload.work_limit,
                 max_occurrences=workload.max_occurrences,
                 cache_dir=cache_dir,
-                portfolio=portfolio)
+                portfolio=portfolio,
+                pipeline=pipeline)
             report = reconstructor.reconstruct(
-                ProductionSite(workload.failing_env))
+                ProductionSite(workload.failing_env,
+                               reoccurrence_delay=reoccurrence_delay))
             item.success = report.success
             item.verified = report.verified
             item.occurrences = report.occurrences
@@ -262,7 +280,10 @@ def run_batch(names: Optional[Sequence[str]] = None, *,
               parallel: int = 1,
               capture_events: bool = False,
               cache_dir: Optional[str] = None,
-              portfolio: int = 1) -> BatchResult:
+              portfolio: int = 1,
+              pipeline: bool = False,
+              reoccurrence_delay: float = 0.0,
+              pool: Optional[WorkerPool] = None) -> BatchResult:
     """Reconstruct ``names`` (default: every workload), ``parallel``-wide.
 
     Results come back in input order regardless of completion order.  A
@@ -270,7 +291,12 @@ def run_batch(names: Optional[Sequence[str]] = None, *,
     set instead of aborting the batch.  ``cache_dir`` points every
     worker at one shared persistent solver cache; ``portfolio`` is the
     per-worker solver-strategy race width (answers are unchanged, so
-    batch results stay comparable across widths).
+    batch results stay comparable across widths).  ``pool`` overrides
+    the process-wide shared :class:`WorkerPool`; by default the batch
+    reuses (and, first time, lazily spawns) the shared one, so repeated
+    batches pay at most one spin-up.  ``pipeline`` turns on each item's
+    pipelined reconstruction loop and ``reoccurrence_delay`` simulates
+    the production wait it overlaps (outcomes are unaffected by both).
     """
     names = list(names) if names is not None else workload_names()
     if parallel < 1:
@@ -278,7 +304,8 @@ def run_batch(names: Optional[Sequence[str]] = None, *,
     tel = telemetry.get()
     # pool lifecycle costs live on a scratch registry so they can join
     # the *merged* snapshot (the parent's own registry is not part of
-    # the per-item merge)
+    # the per-item merge); a reused pool records nothing here — that is
+    # the amortization the A/B benchmark measures
     overhead = telemetry.Telemetry()
     started = time.perf_counter()
     with tel.span("parallel.batch", workloads=len(names),
@@ -286,26 +313,47 @@ def run_batch(names: Optional[Sequence[str]] = None, *,
         context = tel.trace_context()
         if parallel == 1 or len(names) <= 1:
             items = [_reconstruct_one(name, capture_events, cache_dir,
-                                      context, None, portfolio)
+                                      context, None, portfolio,
+                                      pipeline, reoccurrence_delay)
                      for name in names]
         else:
             workers = min(parallel, len(names))
-            with tel.span("parallel.pool_spinup", workers=workers) as up:
-                pool = ProcessPoolExecutor(max_workers=workers)
-            overhead.histogram("span.parallel.pool_spinup").record(
-                up.seconds)
+            target = pool if pool is not None else get_pool(workers)
+            # the job-level registry carries queue-wait/idle metering;
+            # item event streams ride the BatchItem itself
+            job = target.begin_job({}, capture_events=False,
+                                   context=context)
+            if job.spinup_seconds:
+                overhead.histogram("span.parallel.pool_spinup").record(
+                    job.spinup_seconds)
+            results: Dict[int, BatchItem] = {}
+            errors: List[BaseException] = []
             try:
-                futures = [pool.submit(_reconstruct_one, name,
-                                       capture_events, cache_dir,
-                                       context, time.time(), portfolio)
-                           for name in names]
-                items = [future.result() for future in futures]
+                for name in names:
+                    job.submit(_reconstruct_one, name, capture_events,
+                               cache_dir, context, None, portfolio,
+                               pipeline, reoccurrence_delay)
+                remaining = len(names)
+                while remaining:
+                    kind, task_id, body = job.next_message()
+                    if kind == "split":
+                        continue
+                    remaining -= 1
+                    if kind == "err":
+                        errors.append(RuntimeError(
+                            f"batch task for workload "
+                            f"{names[task_id]!r} failed: {body}"))
+                        continue
+                    results[task_id] = body
             finally:
-                with tel.span("parallel.pool_teardown",
-                              workers=workers) as down:
-                    pool.shutdown()
-                overhead.histogram("span.parallel.pool_teardown").record(
-                    down.seconds)
+                snapshots, _ = job.finish()
+                for snapshot in snapshots:
+                    overhead.absorb(snapshot)
+                if pool is None:
+                    target.maybe_reap()
+            if errors:
+                raise errors[0]
+            items = [results[index] for index in range(len(names))]
     wall = time.perf_counter() - started
     merged = telemetry.merge_snapshots(
         [item.telemetry for item in items] + [overhead.snapshot()])
@@ -386,39 +434,447 @@ class GapShardOutcome:
     events: List[Dict] = field(default_factory=list)
 
 
-#: per-process shard state, shipped once via the pool initializer so the
-#: module/trace are not re-pickled for every prefix task
+#: per-process shard state, refreshed by each job's generation payload
+#: so the module/trace are not re-pickled for every prefix task
 _SHARD_STATE: Dict = {}
 
-#: how long an idle worker waits on the work queue before (re)posting a
+#: how long an idle worker waits on the task queue before (re)posting a
 #: steal token, and how long the parent waits on the results queue
-#: before health-checking its worker loops
+#: before health-checking its workers
 _WORKER_POLL = 0.05
 _PARENT_POLL = 0.1
 
+#: a pool whose last job ended this long ago reaps its workers on the
+#: next :meth:`WorkerPool.maybe_reap` touch (``None`` disables)
+POOL_IDLE_REAP_SECONDS = 300.0
 
-def _gap_shard_init(module, trace, failure, max_attempts,
-                    engine_kwargs, cache_dir, cancel=None,
-                    work_q=None, steal_q=None, results_q=None,
-                    done=None, context=None,
-                    capture_events=False) -> None:
-    """Pool initializer: stash the (large) shared inputs once per process.
+#: how long :meth:`_PoolJob.finish` waits for per-worker stats replies
+_STATS_DEADLINE = 30.0
 
-    The queues and events only exist under the work-stealing scheduler;
-    the static scheduler passes ``cancel`` alone (cooperative
-    cancellation works for both).  They ride through the executor's
-    ``initargs`` — multiprocessing's reducer handles queue/event
-    inheritance on the process-spawn path, unlike task pickling.
-    ``context`` is the parent's trace handoff (a plain frozen dataclass,
-    picklable); ``capture_events`` asks shards to buffer and ship their
-    event streams back for the parent to forward into its sink.
+
+def _pool_worker_main(slot: int, control_q, task_q, results_q, steal_q,
+                      cancel) -> None:
+    """Persistent worker main loop: generations of tasks, one process.
+
+    The worker alternates between its private control queue (generation
+    payloads, end-of-job markers, stop) and the shared task queue.  A
+    ``("gen", id, payload)`` message replaces :data:`_SHARD_STATE` and
+    opens a fresh per-job telemetry registry joined to the parent's
+    trace; every task of that generation runs scoped to it.  A task
+    tagged with a *newer* generation than the worker has seen makes the
+    worker block on its control queue — the parent always broadcasts
+    the payload before enqueueing the generation's tasks, so the
+    message is already in flight.  ``("end", id)`` ships the job's
+    telemetry back as a single batched ``("stats", ...)`` message (one
+    per job per worker, not one per task).
+
+    Idle workers under a stealing job post steal tokens exactly as the
+    old per-call loop did; idle stretches and task queue-wait land in
+    the job registry.  Task exceptions are shipped as ``("err", ...)``
+    messages — the worker itself never dies on a task failure.
     """
-    _SHARD_STATE.update(module=module, trace=trace, failure=failure,
-                        max_attempts=max_attempts,
-                        engine_kwargs=engine_kwargs, cache_dir=cache_dir,
-                        cancel=cancel, work_q=work_q, steal_q=steal_q,
-                        results_q=results_q, done=done, context=context,
-                        capture_events=capture_events)
+    global _IN_POOL_WORKER
+    _IN_POOL_WORKER = True
+    gen = 0
+    job: Optional[Dict] = None
+    idle_since: Optional[float] = None
+
+    def apply(message) -> bool:
+        nonlocal gen, job, idle_since
+        kind = message[0]
+        if kind == "gen":
+            _, new_gen, payload = message
+            gen = new_gen
+            idle_since = None
+            sink = (telemetry.MemorySink()
+                    if payload["capture_events"] else None)
+            registry = telemetry.Telemetry(sink,
+                                           context=payload["context"])
+            _SHARD_STATE.clear()
+            _SHARD_STATE.update(payload["state"])
+            _SHARD_STATE.update(
+                cancel=cancel,
+                steal_q=steal_q if payload["steal"] else None,
+                results_q=results_q)
+            job = {"registry": registry, "sink": sink,
+                   "steal": payload["steal"],
+                   "meter": payload["meter_queue_wait"]}
+            return True
+        if kind == "end":
+            _, end_gen = message
+            if job is not None:
+                events = job["sink"].events if job["sink"] else []
+                results_q.put(("stats", end_gen, slot,
+                               job["registry"].snapshot(), events))
+            job = None
+            _SHARD_STATE.clear()
+            return True
+        return False  # "stop"
+
+    while True:
+        try:
+            message = control_q.get_nowait()
+        except Empty:
+            message = None
+        if message is not None:
+            if not apply(message):
+                return
+            continue
+        try:
+            task = task_q.get(timeout=_WORKER_POLL)
+        except Empty:
+            if job is not None:
+                if idle_since is None:
+                    idle_since = time.perf_counter()
+                if job["steal"] and not cancel.is_set() \
+                        and steal_q.empty():
+                    steal_q.put((slot, time.time()))
+            continue
+        task_id, task_gen, func, args, enqueued = task
+        while task_gen > gen:
+            # the payload for this task's generation precedes it in the
+            # parent's send order; block on the control queue for it
+            if not apply(control_q.get()):
+                return
+        if task_gen < gen or job is None:
+            continue  # stale task from an ended generation
+        registry = job["registry"]
+        if idle_since is not None:
+            registry.histogram("parallel.worker_idle_seconds").record(
+                time.perf_counter() - idle_since)
+            idle_since = None
+        if job["meter"] and enqueued is not None:
+            registry.histogram("parallel.queue_wait_seconds").record(
+                max(time.time() - enqueued, 0.0))
+        try:
+            with telemetry.scoped(registry):
+                result = func(*args)
+            results_q.put(("done", task_id, task_gen, result))
+        except Exception as exc:  # noqa: BLE001 — ship back, stay alive
+            results_q.put(("err", task_id, task_gen, "".join(
+                traceback.format_exception_only(type(exc), exc)).strip()))
+
+
+#: set in pool worker processes: they must not spawn nested pools
+_IN_POOL_WORKER = False
+
+
+def in_pool_worker() -> bool:
+    """True inside a pool worker (or any daemonic child) — callers use
+    this to fall back to serial/inline paths instead of nesting pools."""
+    return _IN_POOL_WORKER or multiprocessing.current_process().daemon
+
+
+class _PoolJob:
+    """One generation of tasks on a :class:`WorkerPool`.
+
+    Created by :meth:`WorkerPool.begin_job`; the caller submits tasks,
+    consumes exactly one message per task via :meth:`next_message`
+    (plus any ``("split", prefix)`` donations), then calls
+    :meth:`finish` to collect the per-worker telemetry batch.
+    """
+
+    def __init__(self, pool: "WorkerPool", gen: int,
+                 spinup_seconds: float):
+        self.pool = pool
+        self.gen = gen
+        #: wall cost of the worker spawn this job triggered (0.0 when
+        #: the job reused live workers — the whole point of the pool)
+        self.spinup_seconds = spinup_seconds
+        self.submitted = 0
+        self._finished = False
+        self._snapshots: List[Dict] = []
+        self._events: List[Dict] = []
+
+    def submit(self, func: Callable, *args) -> int:
+        task_id = self.submitted
+        self.submitted += 1
+        telemetry.count("parallel.pool.tasks")
+        self.pool._task_q.put((task_id, self.gen, func, args,
+                               time.time()))
+        return task_id
+
+    def next_message(self) -> Tuple[str, Any, Any]:
+        """Next ``("done", task_id, result)``, ``("err", task_id, msg)``
+        or ``("split", prefix, None)`` message; health-checks worker
+        processes while the results queue is quiet."""
+        pool = self.pool
+        while True:
+            try:
+                message = pool._results_q.get(timeout=_PARENT_POLL)
+            except Empty:
+                for proc in pool._procs:
+                    if not proc.is_alive():
+                        raise RuntimeError(
+                            f"pool worker pid {proc.pid} died (exit "
+                            f"code {proc.exitcode}) mid-job")
+                continue
+            kind = message[0]
+            if kind == "split":
+                return ("split", message[1], None)
+            if kind in ("done", "err"):
+                _, task_id, gen, body = message
+                if gen != self.gen:
+                    continue  # leftover from an abandoned generation
+                return (kind, task_id, body)
+            # stray "stats" from a prior job's late worker: drop
+
+    def finish(self) -> Tuple[List[Dict], List[Dict]]:
+        """End the generation; collect each worker's batched stats.
+
+        The caller must have consumed all its task outcomes first (the
+        workers only see the ``end`` marker once they drain back to the
+        control queue).  Returns ``(snapshots, events)`` — one metric
+        snapshot per worker plus their buffered event streams.
+        """
+        if self._finished:
+            return self._snapshots, self._events
+        pool = self.pool
+        for control in pool._controls:
+            control.put(("end", self.gen))
+        remaining = set(range(len(pool._procs)))
+        deadline = time.monotonic() + _STATS_DEADLINE
+        while remaining and time.monotonic() < deadline:
+            try:
+                message = pool._results_q.get(timeout=_PARENT_POLL)
+            except Empty:
+                for slot in list(remaining):
+                    if not pool._procs[slot].is_alive():
+                        remaining.discard(slot)  # crashed: no stats
+                continue
+            if message[0] == "stats":
+                _, gen, slot, snapshot, events = message
+                if gen != self.gen:
+                    continue
+                remaining.discard(slot)
+                self._snapshots.append(snapshot)
+                self._events.extend(events)
+            # cancelled-task leftovers are dropped here by design
+        pool._drain(pool._steal_q)
+        pool._active_job = None
+        pool._last_used = time.monotonic()
+        self._finished = True
+        return self._snapshots, self._events
+
+
+class WorkerPool:
+    """A persistent, generation-tagged pool of fork-server workers.
+
+    Spawned lazily on the first job and reused across shard searches,
+    batch items, and speculation tasks — redeploying work is a
+    generation message on each worker's control queue, not a process
+    respawn.  All queues and the shared cancel event are created before
+    the workers so multiprocessing's inheritance path (not task
+    pickling) carries them.  One job runs at a time; concurrency comes
+    from the workers, not from overlapping jobs.
+    """
+
+    def __init__(self, workers: int, *,
+                 idle_reap_seconds: Optional[float] =
+                 POOL_IDLE_REAP_SECONDS):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.idle_reap_seconds = idle_reap_seconds
+        self.closed = False
+        #: lifetime counters (also mirrored into telemetry)
+        self.spinups = 0
+        self.jobs = 0
+        self._ctx = multiprocessing.get_context()
+        self._task_q = self._ctx.Queue()
+        self._results_q = self._ctx.Queue()
+        self._steal_q = self._ctx.Queue()
+        self._cancel = self._ctx.Event()
+        self._procs: List = []
+        self._controls: List = []
+        self._gen = 0
+        self._active_job: Optional[_PoolJob] = None
+        self._last_used = time.monotonic()
+
+    @property
+    def cancel(self):
+        """The shared cooperative-cancellation event (cleared per job)."""
+        return self._cancel
+
+    @property
+    def alive(self) -> bool:
+        return bool(self._procs) and all(p.is_alive()
+                                         for p in self._procs)
+
+    def pids(self) -> List[int]:
+        return [proc.pid for proc in self._procs]
+
+    def grow(self, workers: int) -> None:
+        """Raise the pool width (never shrinks); live pools spawn the
+        extra workers immediately so the next job sees them."""
+        if workers > self.workers:
+            self.workers = workers
+            if self._procs:
+                self._spawn_missing()
+
+    def ensure_workers(self) -> float:
+        """Spawn (or respawn after a crash/reap) the worker processes.
+
+        Returns the spin-up wall cost, 0.0 when live workers were
+        reused.  The spin-up span lands on the ambient registry, so
+        ``span.parallel.pool_spinup`` feeds the overhead-attribution
+        table exactly as the per-call executor's did — but at most once
+        per pool lifetime instead of once per search.
+        """
+        if self.closed:
+            raise RuntimeError("worker pool is closed")
+        if self.alive and len(self._procs) >= self.workers:
+            return 0.0
+        if self._procs and not self.alive:
+            self._stop_workers()  # a crashed worker poisons the pool
+        tel = telemetry.get()
+        with tel.span("parallel.pool_spinup",
+                      workers=self.workers) as span:
+            self._spawn_missing()
+        self.spinups += 1
+        telemetry.count("parallel.pool.spinups")
+        return span.seconds
+
+    def begin_job(self, state: Dict, *, steal: bool = False,
+                  capture_events: bool = False, context=None,
+                  meter_queue_wait: bool = True) -> _PoolJob:
+        """Start a new generation: broadcast ``state`` to every worker.
+
+        ``state`` replaces the workers' :data:`_SHARD_STATE` (the old
+        pool-initializer payload); ``steal`` arms idle-worker steal
+        tokens; ``capture_events`` buffers worker event streams for the
+        job's stats batch.  Counts a pool *reuse* when no spawn was
+        needed — the telemetry the benchmark asserts amortization on.
+        """
+        if self._active_job is not None:
+            raise RuntimeError("pool already has an active job")
+        spinup = self.ensure_workers()
+        self._cancel.clear()
+        self._drain(self._steal_q)
+        self._gen += 1
+        self.jobs += 1
+        telemetry.count("parallel.pool.generations")
+        if spinup == 0.0:
+            telemetry.count("parallel.pool.reuses")
+        payload = {"state": state, "steal": steal,
+                   "capture_events": capture_events, "context": context,
+                   "meter_queue_wait": meter_queue_wait}
+        for control in self._controls:
+            control.put(("gen", self._gen, payload))
+        job = _PoolJob(self, self._gen, spinup)
+        self._active_job = job
+        self._last_used = time.monotonic()
+        return job
+
+    def maybe_reap(self, now: Optional[float] = None) -> bool:
+        """Reap live workers if the pool has idled past the threshold.
+
+        Called opportunistically (end of a batch, pipeline wait loop);
+        the pool stays open — the next job just pays a fresh spin-up.
+        """
+        if self.closed or not self._procs or self._active_job is not None:
+            return False
+        if self.idle_reap_seconds is None:
+            return False
+        now = time.monotonic() if now is None else now
+        if now - self._last_used < self.idle_reap_seconds:
+            return False
+        self._stop_workers()
+        telemetry.count("parallel.pool.reaps")
+        return True
+
+    def close(self) -> None:
+        """Tear the pool down for good (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        if self._procs:
+            tel = telemetry.get()
+            with tel.span("parallel.pool_teardown",
+                          workers=len(self._procs)):
+                self._stop_workers()
+
+    # -- internals -----------------------------------------------------
+
+    def _spawn_missing(self) -> None:
+        while len(self._procs) < self.workers:
+            slot = len(self._procs)
+            control = self._ctx.Queue()
+            proc = self._ctx.Process(
+                target=_pool_worker_main,
+                name=f"repro-pool-{slot}",
+                args=(slot, control, self._task_q, self._results_q,
+                      self._steal_q, self._cancel),
+                daemon=True)
+            proc.start()
+            self._controls.append(control)
+            self._procs.append(proc)
+
+    def _stop_workers(self, join_timeout: float = 5.0) -> None:
+        for control in self._controls:
+            try:
+                control.put(("stop",))
+            except Exception:  # noqa: BLE001 — teardown best-effort
+                pass
+        for proc in self._procs:
+            proc.join(timeout=join_timeout)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._procs = []
+        self._controls = []
+        self._gen += 1  # invalidate any stale queued tasks
+        for q in (self._task_q, self._results_q, self._steal_q):
+            self._drain(q)
+
+    @staticmethod
+    def _drain(q) -> None:
+        while True:
+            try:
+                q.get_nowait()
+            except Empty:
+                return
+
+
+#: the process-wide shared pool (lazily created, grown on demand)
+_POOL: Optional[WorkerPool] = None
+
+
+def get_pool(workers: int) -> WorkerPool:
+    """The process-wide shared :class:`WorkerPool`, grown to at least
+    ``workers`` wide.  All pool consumers (shard searches, batches,
+    speculation) share it, which is what amortizes the spin-up."""
+    global _POOL
+    if in_pool_worker():
+        raise RuntimeError("nested worker pools are not supported")
+    if _POOL is None or _POOL.closed:
+        _POOL = WorkerPool(workers)
+    elif _POOL.workers < workers:
+        _POOL.grow(workers)
+    return _POOL
+
+
+def close_pool() -> None:
+    """Tear down the shared pool (atexit hook; also callable directly)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.close()
+        _POOL = None
+
+
+atexit.register(close_pool)
+
+
+@contextmanager
+def private_pool(workers: int) -> Iterator[WorkerPool]:
+    """A throwaway pool with per-call lifetime — the A/B baseline the
+    benchmark compares the shared pool against."""
+    pool = WorkerPool(workers, idle_reap_seconds=None)
+    try:
+        yield pool
+    finally:
+        pool.close()
 
 
 class _StealControl:
@@ -475,23 +931,19 @@ class _StealControl:
         return locked_prefix
 
 
-def _gap_shard_run(prefix: List[bool],
-                   enqueued: Optional[float] = None) -> GapShardOutcome:
-    """Worker body: search one prefix subspace under private state.
+def _gap_shard_run(prefix: List[bool]) -> GapShardOutcome:
+    """Pool-task body: search one prefix subspace under the job state.
 
-    Fresh term scope, telemetry registry, and in-memory solver cache per
-    shard; the persistent tier (when ``cache_dir`` is set) is the only
-    shared state, so shards warm-start each other's common-prefix
-    queries through the disk file.  The registry joins the parent's
-    trace (``_SHARD_STATE["context"]``) so the shard's spans link
-    across the process boundary; ``enqueued`` meters queue wait.
+    Fresh term scope and in-memory solver cache per shard; the
+    persistent tier (when ``cache_dir`` is set) is the only shared
+    state, so shards warm-start each other's common-prefix queries
+    through the disk file.  Telemetry goes to the ambient registry —
+    the per-job registry the pool worker scoped this task to — and
+    ships back batched in the job's stats message, so the returned
+    outcome carries only the reduced search result.
     """
     state = _SHARD_STATE
-    sink = telemetry.MemorySink() if state.get("capture_events") else None
-    registry = telemetry.Telemetry(sink, context=state.get("context"))
-    if enqueued is not None:
-        registry.histogram("parallel.queue_wait_seconds").record(
-            max(time.time() - enqueued, 0.0))
+    tel = telemetry.get()
     outcome = GapShardOutcome(prefix=list(prefix), worker=os.getpid())
     started = time.perf_counter()
     cache_dir = state["cache_dir"]
@@ -502,15 +954,12 @@ def _gap_shard_run(prefix: List[bool],
         # per-shard assumption stack: each worker's DFS walks its own
         # sibling prefixes, so retained state never crosses processes
         cache.assumptions = AssumptionStack()
-    control = None
-    if state.get("cancel") is not None:
-        control = _StealControl(prefix, state["cancel"],
-                                steal_q=state.get("steal_q"),
-                                results_q=state.get("results_q"))
+    control = _StealControl(prefix, state.get("cancel"),
+                            steal_q=state.get("steal_q"),
+                            results_q=state.get("results_q"))
     try:
-        with telemetry.scoped(registry), T.term_scope(), \
-                registry.span("parallel.shard_search",
-                              prefix_len=len(prefix)):
+        with T.term_scope(), tel.span("parallel.shard_search",
+                                      prefix_len=len(prefix)):
             result = _search_gap_decisions(
                 state["module"], state["trace"], state["failure"],
                 state["max_attempts"], cache, engine_kwargs,
@@ -520,68 +969,16 @@ def _gap_shard_run(prefix: List[bool],
         outcome.status = "cancelled"
         outcome.gap_attempts = stop.attempts
         outcome.divergence_reason = "cancelled: winner committed elsewhere"
-        registry.event("parallel.shard_cancelled", attempts=stop.attempts)
+        tel.event("parallel.shard_cancelled", attempts=stop.attempts)
     else:
         outcome.status = result.status
         outcome.gap_bits = list(result.gap_bits)
         outcome.gap_attempts = result.gap_attempts
         outcome.divergence_reason = result.divergence_reason
         outcome.diverged_chunk = result.diverged_chunk
-    if control is not None:
-        outcome.steals_donated = control.donated
+    outcome.steals_donated = control.donated
     outcome.wall_seconds = time.perf_counter() - started
-    outcome.telemetry = registry.snapshot()
-    if sink is not None:
-        outcome.events = sink.events
     return outcome
-
-
-def _steal_worker_loop(slot: int) -> Tuple[int, Dict]:
-    """Worker main loop under the stealing scheduler: pull, run, repeat.
-
-    An idle worker (empty work queue) posts a steal token — at most one
-    outstanding across the pool, so tokens cannot pile up — and the next
-    victim to checkpoint answers it through the parent.  Search errors
-    are reported as ``"error"`` outcomes rather than raised: the loop
-    future must survive so its sibling tasks still drain, and the parent
-    re-raises after accounting.  Returns the number of tasks this worker
-    ran plus a metric snapshot carrying its coordination overhead —
-    ``parallel.worker_idle_seconds`` records each contiguous stretch the
-    loop spent blocked on an empty work queue (including the final wait
-    for the parent's ``done``).
-    """
-    state = _SHARD_STATE
-    work_q, steal_q = state["work_q"], state["steal_q"]
-    results_q, cancel, done = (state["results_q"], state["cancel"],
-                               state["done"])
-    registry = telemetry.Telemetry(context=state.get("context"))
-    idle_hist = registry.histogram("parallel.worker_idle_seconds")
-    ran = 0
-    idle_since: Optional[float] = None
-    while not done.is_set():
-        try:
-            prefix, enqueued = work_q.get(timeout=_WORKER_POLL)
-        except Empty:
-            if idle_since is None:
-                idle_since = time.perf_counter()
-            if not cancel.is_set() and steal_q.empty():
-                steal_q.put((slot, time.time()))
-            continue
-        if idle_since is not None:
-            idle_hist.record(time.perf_counter() - idle_since)
-            idle_since = None
-        try:
-            outcome = _gap_shard_run(prefix, enqueued)
-        except Exception as exc:  # noqa: BLE001 — ship back, keep draining
-            outcome = GapShardOutcome(
-                prefix=list(prefix), worker=os.getpid(), status="error",
-                error="".join(traceback.format_exception_only(
-                    type(exc), exc)).strip())
-        results_q.put(outcome)
-        ran += 1
-    if idle_since is not None:
-        idle_hist.record(time.perf_counter() - idle_since)
-    return ran, registry.snapshot()
 
 
 def _shard_prefixes(trace, shards: int) -> List[List[bool]]:
@@ -635,169 +1032,126 @@ def _choose_outcome(outcomes: Sequence[GapShardOutcome]
     return max(candidates, key=lambda o: _dfs_key(o.prefix))
 
 
-def _static_shard_outcomes(module, trace, failure, max_attempts,
-                           engine_kwargs, cache_dir, shards, prefixes,
+def _static_shard_outcomes(pool, state, prefixes,
                            context=None, capture_events=False):
     """Static scheduler: 2^k fixed prefix tasks, scanned in DFS order.
 
-    Returns ``(outcomes, errors)``.  Once a winner lands, queued tasks
-    are cancelled and running ones are stopped cooperatively via the
-    shared cancel event; their outcomes are still drained so telemetry
-    and attempt totals stay complete and worker exceptions surface
-    instead of vanishing with a skipped future.
+    Returns ``(outcomes, errors, snapshots, events)``.  Task ids equal
+    submission (= serial DFS) order, so the winner scan walks a results
+    dict by index exactly as the old future loop did: the cancel event
+    is raised only once the scan *frontier* reaches a non-diverged
+    outcome — tasks DFS-after a slow earlier shard keep running until
+    that shard lands, the same conservative timing as before.  Every
+    submitted task is still drained so attempt totals stay complete and
+    worker exceptions surface instead of vanishing.
     """
-    tel = telemetry.get()
-    ctx = multiprocessing.get_context()
-    cancel = ctx.Event()
+    job = pool.begin_job(state, steal=False,
+                         capture_events=capture_events, context=context)
     outcomes: List[GapShardOutcome] = []
     errors: List[BaseException] = []
-    winner_found = False
-    workers = min(shards, len(prefixes))
-    with tel.span("parallel.pool_spinup", workers=workers,
-                  scheduler="static"):
-        pool = ProcessPoolExecutor(
-            max_workers=workers, mp_context=ctx,
-            initializer=_gap_shard_init,
-            initargs=(module, trace, failure, max_attempts,
-                      engine_kwargs, cache_dir, cancel,
-                      None, None, None, None, context, capture_events))
     try:
-        futures = [pool.submit(_gap_shard_run, prefix, time.time())
-                   for prefix in prefixes]
-        consumed = set()
-        for index, future in enumerate(futures):  # serial DFS order
-            if winner_found or errors:
-                future.cancel()  # queued tasks; running ones see cancel
+        for prefix in prefixes:
+            job.submit(_gap_shard_run, prefix)
+        results: Dict[int, GapShardOutcome] = {}
+        scan = 0
+        decided = False
+        remaining = len(prefixes)
+        while remaining:
+            kind, task_id, body = job.next_message()
+            if kind == "split":
+                continue  # static jobs withhold the steal queue
+            remaining -= 1
+            if kind == "err":
+                errors.append(RuntimeError(
+                    f"gap shard task {task_id} failed: {body}"))
+                pool.cancel.set()
                 continue
-            consumed.add(index)
-            try:
-                outcome = future.result()
-            except Exception as exc:  # noqa: BLE001 — surface after drain
-                errors.append(exc)
-                cancel.set()
-                continue
-            outcomes.append(outcome)
-            if outcome.status not in ("diverged", "cancelled"):
-                winner_found = True
-                cancel.set()
-        # drain shards that were already running when the scan stopped:
-        # they abort at their next checkpoint, and their attempt counts,
-        # telemetry, and exceptions still belong to this search
-        for index, future in enumerate(futures):
-            if index in consumed or future.cancelled():
-                continue
-            try:
-                outcomes.append(future.result())
-            except Exception as exc:  # noqa: BLE001
-                errors.append(exc)
+            results[task_id] = body
+            outcomes.append(body)
+            while not decided and scan in results:
+                outcome = results[scan]
+                scan += 1
+                if outcome.status not in ("diverged", "cancelled"):
+                    decided = True
+                    pool.cancel.set()
     finally:
-        with tel.span("parallel.pool_teardown", workers=workers,
-                      scheduler="static"):
-            pool.shutdown()
-    return outcomes, errors
+        snapshots, events = job.finish()
+    return outcomes, errors, snapshots, events
 
 
-def _steal_shard_outcomes(module, trace, failure, max_attempts,
-                          engine_kwargs, cache_dir, shards, prefixes,
+def _steal_shard_outcomes(pool, state, prefixes,
                           context=None, capture_events=False):
     """Work-stealing scheduler: a shared queue of splittable subspaces.
 
-    Every worker runs :func:`_steal_worker_loop`; the parent is the
-    only consumer of the results queue and the only producer of the
-    work queue, which makes the accounting exact: ``pending`` counts
-    subspaces handed to the pool minus outcomes received, and a
-    ``("split", prefix)`` message always reaches the parent *before*
-    any outcome for that prefix can exist (the donated subspace is
-    requeued by the parent itself).  The winner is finalized — and the
-    cancel event raised — only once no outstanding subspace precedes
-    its leaf in serial DFS order, so cancellation can never starve the
-    leaf the serial search would have returned.
+    The parent is the only consumer of the results queue and the only
+    producer of shard tasks, which keeps the accounting exact:
+    ``pending`` counts subspaces handed to the pool minus outcomes
+    received, and a ``("split", prefix)`` message always reaches the
+    parent *before* any outcome for that prefix can exist (the donated
+    subspace is resubmitted by the parent itself).  The winner is
+    finalized — and the cancel event raised — only once no outstanding
+    subspace precedes its leaf in serial DFS order, so cancellation can
+    never starve the leaf the serial search would have returned.
 
-    Returns ``(outcomes, steals, loop_snapshots)`` — the loop snapshots
-    carry each worker's idle-time histogram.
+    Returns ``(outcomes, errors, steals, snapshots, events)`` — the
+    per-worker stats batch carries the idle-time and queue-wait
+    histograms the old dedicated worker loops recorded.
     """
-    tel = telemetry.get()
-    ctx = multiprocessing.get_context()
-    work_q = ctx.Queue()
-    steal_q = ctx.Queue()
-    results_q = ctx.Queue()
-    cancel = ctx.Event()
-    done = ctx.Event()
+    job = pool.begin_job(state, steal=True,
+                         capture_events=capture_events, context=context)
     pending = 0
     outstanding = set()
-    for prefix in prefixes:
-        work_q.put((list(prefix), time.time()))
-        pending += 1
-        outstanding.add(tuple(prefix))
     outcomes: List[GapShardOutcome] = []
-    loop_snapshots: List[Dict] = []
+    errors: List[BaseException] = []
     steals = 0
     winner: Optional[GapShardOutcome] = None
     final = False
-    with tel.span("parallel.pool_spinup", workers=shards,
-                  scheduler="steal"):
-        pool = ProcessPoolExecutor(
-            max_workers=shards, mp_context=ctx,
-            initializer=_gap_shard_init,
-            initargs=(module, trace, failure, max_attempts,
-                      engine_kwargs, cache_dir, cancel,
-                      work_q, steal_q, results_q, done, context,
-                      capture_events))
     try:
-        loops = [pool.submit(_steal_worker_loop, slot)
-                 for slot in range(shards)]
-        try:
-            while pending:
-                try:
-                    message = results_q.get(timeout=_PARENT_POLL)
-                except Empty:
-                    for loop in loops:  # a dead pool would hang us
-                        if loop.done() and loop.exception() is not None:
-                            raise loop.exception()
-                    continue
-                if isinstance(message, tuple):
-                    _, stolen = message
-                    pending += 1
-                    steals += 1
-                    outstanding.add(tuple(stolen))
-                    work_q.put((list(stolen), time.time()))
-                    continue
-                outcome = message
-                pending -= 1
-                outstanding.discard(tuple(outcome.prefix))
-                outcomes.append(outcome)
-                if outcome.status == "error":
-                    cancel.set()  # drain the rest fast, raise after
-                elif outcome.status not in ("diverged", "cancelled"):
-                    if winner is None or \
-                            (_dfs_key(outcome.gap_bits),
-                             _dfs_key(outcome.prefix)) < \
-                            (_dfs_key(winner.gap_bits),
-                             _dfs_key(winner.prefix)):
-                        winner = outcome
-                if winner is not None and not final:
-                    # final iff no outstanding subspace can still hold
-                    # a DFS-earlier leaf; a prefix that orders equal-or
-                    # -before the winner leaf blocks (tuple comparison
-                    # treats a prefix of the leaf as earlier, which is
-                    # conservative and therefore sound)
-                    wkey = _dfs_key(winner.gap_bits)
-                    if all(_dfs_key(p) > wkey for p in outstanding):
-                        final = True
-                        cancel.set()
-        finally:
-            done.set()
-            for loop in loops:
-                try:
-                    _, snapshot = loop.result(timeout=30)
-                except Exception:  # noqa: BLE001 — crash surfaced above
-                    continue
-                loop_snapshots.append(snapshot)
+        for prefix in prefixes:
+            job.submit(_gap_shard_run, prefix)
+            pending += 1
+            outstanding.add(tuple(prefix))
+        while pending:
+            kind, task_id, body = job.next_message()
+            if kind == "split":
+                stolen = task_id  # ("split", prefix, None) message
+                pending += 1
+                steals += 1
+                outstanding.add(tuple(stolen))
+                job.submit(_gap_shard_run, stolen)
+                continue
+            pending -= 1
+            if kind == "err":
+                # the donated-prefix set no longer matches the task, so
+                # leave ``outstanding`` alone: ``final`` then stays
+                # False and the error is raised by the caller anyway
+                errors.append(RuntimeError(
+                    f"gap shard task {task_id} failed: {body}"))
+                pool.cancel.set()  # drain the rest fast, raise after
+                continue
+            outcome = body
+            outstanding.discard(tuple(outcome.prefix))
+            outcomes.append(outcome)
+            if outcome.status not in ("diverged", "cancelled", "error"):
+                if winner is None or \
+                        (_dfs_key(outcome.gap_bits),
+                         _dfs_key(outcome.prefix)) < \
+                        (_dfs_key(winner.gap_bits),
+                         _dfs_key(winner.prefix)):
+                    winner = outcome
+            if winner is not None and not final:
+                # final iff no outstanding subspace can still hold a
+                # DFS-earlier leaf; a prefix that orders equal-or-
+                # before the winner leaf blocks (tuple comparison
+                # treats a prefix of the leaf as earlier, which is
+                # conservative and therefore sound)
+                wkey = _dfs_key(winner.gap_bits)
+                if all(_dfs_key(p) > wkey for p in outstanding):
+                    final = True
+                    pool.cancel.set()
     finally:
-        with tel.span("parallel.pool_teardown", workers=shards,
-                      scheduler="steal"):
-            pool.shutdown()
-    return outcomes, steals, loop_snapshots
+        snapshots, events = job.finish()
+    return outcomes, errors, steals, snapshots, events
 
 
 def shard_gap_search(module, trace, failure, *, shards: int,
@@ -805,6 +1159,8 @@ def shard_gap_search(module, trace, failure, *, shards: int,
                      cache_dir: Optional[str] = None,
                      steal: bool = True,
                      incremental: bool = True,
+                     preshard: Optional[List[List[bool]]] = None,
+                     pool: Optional[WorkerPool] = None,
                      **engine_kwargs):
     """Gap-recovery search fanned out over ``shards`` worker processes.
 
@@ -830,6 +1186,14 @@ def shard_gap_search(module, trace, failure, *, shards: int,
     causally-linked trace across the process boundary.  The parent
     additionally records steal/cancellation counters and a per-shard
     attempt histogram (``parallel.shard_subspace_attempts``).
+
+    ``preshard`` is the pipelined loop's pre-computed prefix partition
+    (warmed while waiting on production): when it matches the partition
+    this trace actually needs it is counted as a ``preshard_hit`` —
+    the partition is pure bookkeeping either way, so correctness never
+    depends on the prediction.  ``pool`` overrides the process-wide
+    shared :class:`WorkerPool` (used by the A/B benchmark to price a
+    throwaway per-call pool against the persistent one).
     """
     from .symex.gaps import replay_with_gap_recovery
 
@@ -840,8 +1204,12 @@ def shard_gap_search(module, trace, failure, *, shards: int,
             persistent=DiskSolverCache(cache_dir) if cache_dir else None)
     prefixes = (_steal_prefixes if steal else _shard_prefixes)(trace,
                                                                shards)
-    if shards == 1 or not prefixes:
-        # no gaps to split on (or nothing to parallelize): serial path
+    if preshard is not None and prefixes:
+        telemetry.count("pipeline.preshard_hits" if preshard == prefixes
+                        else "pipeline.preshard_misses")
+    if shards == 1 or not prefixes or in_pool_worker():
+        # no gaps to split on, nothing to parallelize, or already inside
+        # a (daemonic) pool worker that cannot spawn children: serial
         return replay_with_gap_recovery(module, trace, failure,
                                         max_attempts=max_attempts,
                                         solver_cache=solver_cache,
@@ -849,29 +1217,28 @@ def shard_gap_search(module, trace, failure, *, shards: int,
                                         **engine_kwargs)
     tel = telemetry.get()
     steals = 0
-    loop_snapshots: List[Dict] = []
     capture_events = tel.enabled
-    # per-worker config rides inside the shipped kwargs dict; the shard
-    # body pops what ShepherdedSymex must not see
-    worker_kwargs = dict(engine_kwargs, incremental=incremental)
+    # per-worker config rides inside the job's generation payload; the
+    # shard body pops what ShepherdedSymex must not see
+    state = dict(module=module, trace=trace, failure=failure,
+                 max_attempts=max_attempts,
+                 engine_kwargs=dict(engine_kwargs,
+                                    incremental=incremental),
+                 cache_dir=cache_dir)
     with tel.span("symex.gap_shard_search", shards=shards,
                   tasks=len(prefixes), steal=steal):
         # captured inside the span: worker root spans parent on it
         context = tel.trace_context()
+        target = pool if pool is not None else get_pool(shards)
         if steal:
-            outcomes, steals, loop_snapshots = _steal_shard_outcomes(
-                module, trace, failure, max_attempts, worker_kwargs,
-                cache_dir, shards, prefixes, context, capture_events)
-            errors: List[BaseException] = []
+            outcomes, errors, steals, snapshots, events = \
+                _steal_shard_outcomes(target, state, prefixes,
+                                      context, capture_events)
         else:
-            outcomes, errors = _static_shard_outcomes(
-                module, trace, failure, max_attempts, worker_kwargs,
-                cache_dir, shards, prefixes, context, capture_events)
-    merged = telemetry.merge_snapshots(
-        [o.telemetry for o in outcomes] + loop_snapshots)
-    tel.absorb(merged)
-    tel.forward(event for outcome in outcomes
-                for event in outcome.events)
+            outcomes, errors, snapshots, events = _static_shard_outcomes(
+                target, state, prefixes, context, capture_events)
+    tel.absorb(telemetry.merge_snapshots(snapshots))
+    tel.forward(events)
     tel.count("parallel.gap_shards", len(outcomes))
     if steals:
         tel.count("parallel.steals", steals)

@@ -12,7 +12,7 @@ from .model import Model, input_var_name, parse_var_name
 from .portfolio import race
 from .solver import Solver
 from .terms import (Term, TermSpace, clear_term_cache, deserialize_term,
-                    serialize_term, term_digest, term_scope)
+                    serialize_term, substitute, term_digest, term_scope)
 
 __all__ = [
     "terms",
@@ -22,6 +22,7 @@ __all__ = [
     "clear_term_cache",
     "serialize_term",
     "deserialize_term",
+    "substitute",
     "term_digest",
     "SolverCache",
     "DiskSolverCache",

@@ -44,6 +44,7 @@ def replay_with_gap_recovery(module: Module, trace: DecodedTrace,
                              cache_dir: Optional[str] = None,
                              steal: bool = True,
                              incremental: bool = True,
+                             preshard=None,
                              **engine_kwargs) -> SymexResult:
     """Shepherd a trace containing :class:`GapEvent`s.
 
@@ -64,7 +65,9 @@ def replay_with_gap_recovery(module: Module, trace: DecodedTrace,
     gives the session an :class:`AssumptionStack`, so sibling attempts'
     queries along a shared constraint prefix re-solve only the delta;
     switching it off re-solves every sibling from scratch (the A/B the
-    benchmark harness measures).
+    benchmark harness measures).  ``preshard`` is the pipelined loop's
+    predicted prefix partition, forwarded to the sharded search purely
+    for hit/miss accounting.
     """
     if max_attempts < 1:
         raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
@@ -82,6 +85,7 @@ def replay_with_gap_recovery(module: Module, trace: DecodedTrace,
                                 shards=shards, max_attempts=max_attempts,
                                 solver_cache=cache, cache_dir=cache_dir,
                                 steal=steal, incremental=incremental,
+                                preshard=preshard,
                                 **engine_kwargs)
     if incremental and cache.assumptions is None:
         cache.assumptions = AssumptionStack()

@@ -229,6 +229,32 @@ def render_stats(events: Sequence[Dict]) -> str:
                 f"{counters.get('solver.incremental.skipped_candidates', 0)} "
                 f"candidates pruned")
         histograms = metrics.get("histograms", {})
+        speculations = counters.get("pipeline.speculations", 0)
+        spinups = counters.get("parallel.pool.spinups", 0)
+        pipeline_active = any(
+            name.startswith("pipeline.") for name in counters)
+        if speculations or spinups or pipeline_active:
+            commits = counters.get("pipeline.commits", 0)
+            hit_rate = (f"{commits / speculations:.1%}"
+                        if speculations else "n/a")
+            overlap = histograms.get("pipeline.overlap_seconds",
+                                     {}).get("sum", 0.0)
+            generations = counters.get("parallel.pool.generations", 0)
+            parts.append(
+                f"pipeline: {speculations} speculations, {commits} "
+                f"committed ({hit_rate} hit rate), "
+                f"{counters.get('pipeline.discards', 0)} discarded, "
+                f"{counters.get('pipeline.unspeculable_stalls', 0)} "
+                f"unspeculable stalls, "
+                f"{counters.get('pipeline.enum_timeouts', 0)} "
+                f"enumeration timeouts; {overlap:.3f}s overlapped with "
+                f"the production wait; preshard "
+                f"{counters.get('pipeline.preshard_hits', 0)} hits / "
+                f"{counters.get('pipeline.preshard_misses', 0)} misses; "
+                f"worker pool: {spinups} spin-ups over {generations} "
+                f"jobs ({counters.get('parallel.pool.reuses', 0)} "
+                f"reused, {counters.get('parallel.pool.reaps', 0)} "
+                f"idle reaps)")
         overhead_names = {name for _, name in OVERHEAD_SOURCES}
         span_rows = []
         metric_rows = []

@@ -1,0 +1,301 @@
+"""The pipelined reconstruction loop: speculation, deferred production
+waits, and the byte-identity property against the sequential loop."""
+
+import json
+import time
+from collections import Counter
+
+import pytest
+
+from repro import telemetry
+from repro.core import (DeferredOccurrence, ExecutionReconstructor,
+                        ProductionSite)
+from repro.core.instrument import InstrumentationResult
+from repro.core.pipeline import Speculator, predict_preshard
+from repro.core.selection import RecordingItem, RecordingPlan
+from repro.errors import ReconstructionError
+from repro.ir.module import ProgramPoint
+from repro.parallel import (_shard_prefixes, _steal_prefixes, close_pool,
+                            private_pool)
+from repro.solver import terms as T
+from repro.solver.cache import SolverCache
+from repro.symex.result import StallInfo
+from repro.trace.packets import PtwEvent
+from repro.workloads import get_workload, workload_names
+
+
+def _fingerprint(report):
+    """Everything observable about a reconstruction's outcome."""
+    return json.dumps({
+        "success": report.success,
+        "verified": report.verified,
+        "failure": str(report.failure),
+        "occurrences": report.occurrences,
+        "unrelated": report.unrelated_occurrences,
+        "streams": {name: data.hex() for name, data in
+                    (sorted(report.test_case.streams.items())
+                     if report.test_case else [])},
+        "iterations": [
+            (it.occurrence, it.status, it.instr_count, it.solver_calls,
+             [(str(item.point), item.register, item.size)
+              for item in it.recorded_items],
+             it.stall_point)
+            for it in report.iterations],
+    }, sort_keys=True)
+
+
+def _reconstruct(workload, *, pipeline, delay=0.0, shards=1):
+    registry = telemetry.Telemetry()
+    with telemetry.scoped(registry):
+        reconstructor = ExecutionReconstructor(
+            workload.fresh_module(), work_limit=workload.work_limit,
+            max_occurrences=workload.max_occurrences,
+            shards=shards, pipeline=pipeline)
+        site = ProductionSite(workload.failing_env,
+                              reoccurrence_delay=delay)
+        report = reconstructor.reconstruct(site)
+    return report, registry.snapshot()
+
+
+class TestByteIdentity:
+    """--pipeline and --no-pipeline must agree on every workload."""
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_pipeline_matches_sequential(self, name):
+        workload = get_workload(name)
+        sequential, _ = _reconstruct(workload, pipeline=False)
+        pipelined, _ = _reconstruct(workload, pipeline=True)
+        assert _fingerprint(sequential) == _fingerprint(pipelined)
+
+    def test_identity_with_speculation_active(self):
+        # a real production wait gives speculation room to run; this
+        # workload's selected items include raw input bytes, so some
+        # assignments are built and then *discarded* at commit — the
+        # mismatch path — and outcomes still match exactly
+        workload = get_workload("php-2012-2386")
+        sequential, _ = _reconstruct(workload, pipeline=False)
+        pipelined, snap = _reconstruct(workload, pipeline=True,
+                                       delay=0.4)
+        assert _fingerprint(sequential) == _fingerprint(pipelined)
+        counters = snap.get("counters", {})
+        committed = counters.get("pipeline.commits", 0)
+        discarded = counters.get("pipeline.discards", 0)
+        # every built assignment was adjudicated, one way or the other
+        assert committed + discarded >= counters.get(
+            "pipeline.speculations", 0) - counters.get(
+            "pipeline.enum_timeouts", 0) >= 0
+
+
+def _forced_value_speculator(solver_cache, pool=None):
+    """A stall whose recorded value the constraints force to 6.
+
+    ``t = x + 1`` carries the recording item's provenance and the only
+    constraint is ``t == 6``, so model enumeration finds 6 immediately
+    and the ban query is unsat — one assignment, deterministically.
+    """
+    point = ProgramPoint(func="f", block="entry", index=0)
+    x = T.var("x", 8)
+    t = T.binop("add", x, T.const(1), 8)
+    t.prov = (point, "%r", 1)
+    constraint = T.bool_term(T.cmp("eq", t, T.const(6), 64))
+    stall = StallInfo(constraints=[constraint], stall_terms=[],
+                      chains=[], exec_counts=Counter())
+    item = RecordingItem(point=point, register="%r", size=1)
+    plan = RecordingPlan(items=[item], bottleneck=[], graph_nodes=1,
+                         total_cost=1)
+    instrumented = InstrumentationResult(module=None,
+                                         tag_map={7: item}, next_tag=8)
+    spec = Speculator(stall, plan, instrumented, solver_cache,
+                      work_limit=50_000, pool=pool)
+    return spec, constraint
+
+
+class _FakeTrace:
+    def __init__(self, events):
+        self._events = events
+
+    def ptwrites(self):
+        return list(self._events)
+
+
+class _FakeOccurrence:
+    def __init__(self, events):
+        self.trace = _FakeTrace(events)
+
+
+class TestSpeculator:
+    def test_forced_value_commits(self):
+        cache = SolverCache()
+        with T.term_scope():
+            spec, constraint = _forced_value_speculator(cache)
+            while spec.step():
+                pass
+            committed = spec.commit(_FakeOccurrence([PtwEvent(7, 6)]))
+            assert committed == 1
+            # the committed key is the transformed set the next run
+            # queries: the eq itself (the forced constraint folds away)
+            key = SolverCache.key([constraint])
+            assert cache.lookup_feasible(key) is True
+
+    def test_mismatched_value_discards(self):
+        cache = SolverCache()
+        with T.term_scope():
+            spec, constraint = _forced_value_speculator(cache)
+            while spec.step():
+                pass
+            committed = spec.commit(_FakeOccurrence([PtwEvent(7, 9)]))
+            assert committed == 0
+            assert cache.lookup_feasible(
+                SolverCache.key([constraint])) is None
+
+    def test_extra_recorded_instance_discards(self):
+        # the tag reported two different values (a loop we modelled as
+        # one instance): the strict sequence match must reject
+        cache = SolverCache()
+        with T.term_scope():
+            spec, _ = _forced_value_speculator(cache)
+            while spec.step():
+                pass
+            committed = spec.commit(_FakeOccurrence(
+                [PtwEvent(7, 6), PtwEvent(7, 9)]))
+            assert committed == 0
+
+    def test_repeated_single_value_matches_collapsed_slot(self):
+        # ...but a sequence repeating the assumed value is exact: the
+        # interned duplicate instances dedup in the key too
+        cache = SolverCache()
+        with T.term_scope():
+            spec, constraint = _forced_value_speculator(cache)
+            while spec.step():
+                pass
+            committed = spec.commit(_FakeOccurrence(
+                [PtwEvent(7, 6), PtwEvent(7, 6)]))
+            assert committed == 1
+            assert cache.lookup_feasible(
+                SolverCache.key([constraint])) is True
+
+    def test_pooled_speculation_matches_inline(self):
+        inline_cache = SolverCache()
+        with T.term_scope():
+            spec, _ = _forced_value_speculator(inline_cache)
+            while spec.step():
+                pass
+            inline_verdicts = dict(spec._verdicts)
+        pooled_cache = SolverCache()
+        with private_pool(1) as pool:
+            with T.term_scope():
+                spec, _ = _forced_value_speculator(pooled_cache, pool)
+                while spec.step():
+                    pass
+                spec.drain()
+                pooled_verdicts = dict(spec._verdicts)
+        assert {k: v for k, (v, _) in inline_verdicts.items()} == \
+            {k: v for k, (v, _) in pooled_verdicts.items()}
+
+    def test_unselected_item_is_unspeculable(self):
+        registry = telemetry.Telemetry()
+        with telemetry.scoped(registry), T.term_scope():
+            point = ProgramPoint(func="f", block="entry", index=0)
+            item = RecordingItem(point=point, register="%r", size=1)
+            # no term in the constraints carries the item's provenance
+            stall = StallInfo(constraints=[T.bool_term(
+                T.cmp("eq", T.var("y", 8), T.const(1), 64))],
+                stall_terms=[], chains=[], exec_counts=Counter())
+            plan = RecordingPlan(items=[item], bottleneck=[],
+                                 graph_nodes=1, total_cost=1)
+            instrumented = InstrumentationResult(
+                module=None, tag_map={0: item}, next_tag=1)
+            spec = Speculator(stall, plan, instrumented, SolverCache(),
+                              work_limit=1_000)
+            assert spec.step() is False
+        assert registry.counter(
+            "pipeline.unspeculable_stalls").value == 1
+
+
+class TestPredictPreshard:
+    def test_matches_shard_partitioners(self):
+        workload = get_workload("libpng-2004-0597")
+        from repro.trace.degrade import degrade_trace
+        from repro.trace.decoder import decode
+        from repro.trace.encoder import PTEncoder
+        from repro.trace.ringbuffer import RingBuffer
+        from repro.interp.interpreter import Interpreter
+
+        module = workload.fresh_module()
+        encoder = PTEncoder(RingBuffer(1 << 22))
+        Interpreter(module, workload.failing_env(1),
+                    tracer=encoder).run()
+        trace = degrade_trace(decode(encoder.buffer), loss=0.085, seed=1)
+        assert predict_preshard(trace, 1, True) is None
+        assert predict_preshard(trace, 4, True) == \
+            _steal_prefixes(trace, 4)
+        assert predict_preshard(trace, 4, False) == \
+            _shard_prefixes(trace, 4)
+
+
+class TestDeferredOccurrence:
+    def test_start_delivers_same_occurrence_as_run_once(self):
+        workload = get_workload("objdump-2018-6323")
+        site = ProductionSite(workload.failing_env)
+        deferred = site.start(workload.fresh_module())
+        occurrence = deferred.wait()
+        assert deferred.done()
+        assert deferred.poll() is occurrence
+        assert occurrence.failure is not None
+        assert occurrence.trace.chunks
+
+    def test_only_one_deferred_run_at_a_time(self):
+        workload = get_workload("objdump-2018-6323")
+        site = ProductionSite(workload.failing_env,
+                              reoccurrence_delay=0.5)
+        module = workload.fresh_module()
+        site.start(module)
+        with pytest.raises(ReconstructionError, match="already active"):
+            site.start(module)
+
+    def test_poll_nonblocking_then_result(self):
+        workload = get_workload("objdump-2018-6323")
+        site = ProductionSite(workload.failing_env,
+                              reoccurrence_delay=0.3)
+        deferred = site.start(workload.fresh_module())
+        assert deferred.poll() is None  # still sleeping
+        assert deferred.wait().failure is not None
+
+    def test_background_exception_reraised_on_wait(self):
+        def exploding_env(_):
+            raise RuntimeError("production environment down")
+
+        site = ProductionSite(exploding_env)
+        deferred = site.start(get_workload(
+            "objdump-2018-6323").fresh_module())
+        with pytest.raises(RuntimeError, match="environment down"):
+            deferred.wait()
+
+
+class TestUnrelatedWaitAccounting:
+    def test_unrelated_occurrence_records_wait_seconds(self):
+        # reuse the two-bug module: the unrelated failure's production
+        # wait must land in the dropped-phase histogram
+        from tests.core.test_determinism import _two_bug_module
+        from repro.interp.env import Environment
+
+        def factory(occ):
+            data = b"\xff\x00" if occ == 2 else bytes([9, 9])
+            return Environment({"stdin": data})
+
+        registry = telemetry.Telemetry()
+        with telemetry.scoped(registry):
+            er = ExecutionReconstructor(_two_bug_module(),
+                                        work_limit=100,
+                                        max_occurrences=3)
+            report = er.reconstruct(ProductionSite(factory))
+        assert report.success
+        assert report.unrelated_occurrences == 1
+        snap = registry.snapshot()
+        hist = snap["histograms"].get("reconstruct.unrelated_wait_seconds")
+        assert hist is not None and hist["count"] == 1
+        assert hist["sum"] >= 0.0
+
+
+def teardown_module(module):
+    close_pool()
