@@ -396,6 +396,58 @@ def cmd_bench(args) -> int:
     return 0 if result.succeeded == len(result.items) else 1
 
 
+def cmd_serve(args) -> int:
+    from .serve import FleetService
+
+    echo = (lambda m: print(m, file=sys.stderr))
+    service = FleetService(
+        args.workload or None,
+        instances=args.instances,
+        parallel=args.parallel,
+        pipeline=args.pipeline,
+        reoccurrence_delay=args.reoccurrence_delay,
+        work_limit=args.work_limit,
+        max_occurrences=args.max_occurrences,
+        cache_dir=args.cache_dir,
+        wait_timeout=args.wait_timeout,
+        progress=echo)
+    summary = service.run()
+
+    data = summary.to_dict()
+    data["telemetry"] = telemetry.get().snapshot()
+    if args.output:
+        pathlib.Path(args.output).write_text(json.dumps(data, indent=2))
+        echo(f"wrote {args.output}")
+    if args.json:
+        print(json.dumps(data, indent=2))
+        return 0 if summary.succeeded else 1
+
+    rows = []
+    for bucket in summary.buckets:
+        rows.append([
+            bucket.workload,
+            bucket.signature["digest"],
+            "ok" if bucket.success else (bucket.error or bucket.status),
+            bucket.occurrences_consumed,
+            bucket.reports,
+            bucket.deduplicated + bucket.stale,
+            bucket.instances_reporting,
+            f"{bucket.wait_seconds:.2f}",
+            f"{bucket.wall_seconds:.2f}",
+        ])
+    print(render_table(
+        ["workload", "signature", "outcome", "#consumed", "#reports",
+         "#deduped", "#instances", "wait s", "wall s"],
+        rows, f"Fleet serve ({summary.instances} instance(s)/workload)"))
+    for name, error in sorted(summary.unserviced.items()):
+        print(f"  {name}: unserviced — {error}")
+    print(f"\n{sum(1 for b in summary.buckets if b.success)}"
+          f"/{len(summary.buckets)} bucket(s) reproduced from "
+          f"{summary.reports} report(s) across {summary.instance_runs} "
+          f"instance run(s); wall {summary.wall_seconds:.2f} s")
+    return 0 if summary.succeeded else 1
+
+
 def _load_telemetry_log(path) -> Optional[List[Dict]]:
     """Read a telemetry JSONL log for ``stats``/``trace-export``.
 
@@ -595,6 +647,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the benchmark summary as JSON")
 
+    p = sub.add_parser("serve", parents=[diag],
+                       help="fleet-mode reconstruction service: N "
+                            "simulated instances per workload, failure "
+                            "reports deduplicated by fault signature, "
+                            "one reconstruction per bucket consuming "
+                            "reoccurrences from any instance")
+    p.add_argument("workload", nargs="*",
+                   help="workload names (default: all)")
+    p.add_argument("--instances", type=int, default=2, metavar="N",
+                   help="simulated production instances per workload "
+                        "(default: 2); the wait for each reoccurrence "
+                        "ends at the first fleet-wide report")
+    p.add_argument("--parallel", type=int, default=1, metavar="N",
+                   help="bucket reconstructions to run concurrently "
+                        "(default: 1)")
+    p.add_argument("--pipeline", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="pipelined per-bucket reconstruction loop "
+                        "(outcome-identical; see 'repro reproduce "
+                        "--pipeline')")
+    p.add_argument("--reoccurrence-delay", type=float, default=0.0,
+                   metavar="SEC",
+                   help="simulated mean delay before each instance's "
+                        "failure reoccurrence, jittered per instance "
+                        "(affects timing only)")
+    p.add_argument("--work-limit", type=int, default=None,
+                   help="solver budget per query (the 30s-timeout "
+                        "analog)")
+    p.add_argument("--max-occurrences", type=int, default=None)
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persistent solver cache shared by all bucket "
+                        "reconstructions")
+    p.add_argument("--wait-timeout", type=float, default=600.0,
+                   metavar="SEC",
+                   help="give up when no instance reports a bucket's "
+                        "signature for this long (default: 600)")
+    p.add_argument("-o", "--output", default=None, metavar="SERVE.json",
+                   help="write the machine-readable serve summary")
+    p.add_argument("--json", action="store_true",
+                   help="print the serve summary as JSON")
+
     p = sub.add_parser("stats", parents=[diag],
                        help="per-iteration cost breakdown from a "
                             "telemetry JSONL log")
@@ -623,6 +716,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "report": cmd_report,
     "bench": cmd_bench,
+    "serve": cmd_serve,
     "stats": cmd_stats,
     "trace-export": cmd_trace_export,
 }

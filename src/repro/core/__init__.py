@@ -7,6 +7,8 @@ from .production import DeferredOccurrence, Occurrence, ProductionSite
 from .reconstructor import ExecutionReconstructor
 from .report import IterationRecord, ReconstructionReport, TestCase
 from .selection import RecordingItem, RecordingPlan, select_key_values
+from .signature import FaultSignature, canonical_signature, \
+    normalize_failure
 
 __all__ = [
     "ConstraintGraph",
@@ -25,4 +27,7 @@ __all__ = [
     "RecordingItem",
     "RecordingPlan",
     "select_key_values",
+    "FaultSignature",
+    "canonical_signature",
+    "normalize_failure",
 ]

@@ -62,20 +62,31 @@ class DeferredOccurrence:
 
     def __init__(self, site: "ProductionSite", module: Module):
         self._result: Optional[Occurrence] = None
-        self._error: Optional[BaseException] = None
+        self._error: Optional[Exception] = None
+        self._delivered = False
         self._thread = threading.Thread(
             target=self._run, args=(site, module),
             name="repro-production", daemon=True)
         self._thread.start()
 
     def _run(self, site: "ProductionSite", module: Module) -> None:
+        # Exception only: KeyboardInterrupt/SystemExit on the daemon
+        # thread must propagate (interpreter shutdown), not be stashed
+        # and re-raised later at an arbitrary poll() call site
         try:
             self._result = site.run_once(module)
-        except BaseException as exc:  # noqa: BLE001 — re-raised on poll
+        except Exception as exc:  # noqa: BLE001 — re-raised on poll
             self._error = exc
 
     def done(self) -> bool:
         return not self._thread.is_alive()
+
+    def unraised_error(self) -> Optional[Exception]:
+        """The captured run exception, if it finished with one that no
+        ``poll``/``wait`` caller has consumed yet."""
+        if self._delivered or self._thread.is_alive():
+            return None
+        return self._error
 
     def poll(self) -> Optional[Occurrence]:
         """The occurrence if the production run has finished, else
@@ -92,9 +103,15 @@ class DeferredOccurrence:
 
     def _finish(self) -> Occurrence:
         self._thread.join()
+        self._delivered = True
         if self._error is not None:
             raise self._error
-        assert self._result is not None
+        if self._result is None:
+            # the thread died without setting either field — a
+            # BaseException (interpreter shutdown, interrupt) tore it
+            # down; there is no occurrence to deliver
+            raise ReconstructionError(
+                "deferred production run terminated without a result")
         return self._result
 
 
@@ -149,9 +166,19 @@ class ProductionSite:
         time — ``run_once`` mutates per-site state (occurrence index,
         ring capacity) that must not race.
         """
-        if self._deferred is not None and not self._deferred.done():
-            raise ReconstructionError(
-                "a deferred production run is already active")
+        if self._deferred is not None:
+            if not self._deferred.done():
+                raise ReconstructionError(
+                    "a deferred production run is already active")
+            stale = self._deferred.unraised_error()
+            if stale is not None:
+                # the previous run finished with an error nobody
+                # polled; silently replacing the handle would discard
+                # it — surface the failure before starting a new run
+                logger.error("previous deferred production run failed "
+                             "unobserved: %s", stale)
+                self._deferred = None
+                raise stale
         self._deferred = DeferredOccurrence(self, module)
         return self._deferred
 

@@ -18,14 +18,11 @@ from __future__ import annotations
 import logging
 from typing import Callable, List, Optional
 
-import dataclasses
-
 from .. import telemetry
 from ..errors import ReconstructionError
 from ..interp.failures import FailureInfo
 from ..interp.interpreter import Interpreter
-from ..ir import instructions as ins
-from ..ir.module import Module, ProgramPoint
+from ..ir.module import Module
 from ..solver.budget import DEFAULT_WORK_LIMIT, WORK_PER_SECOND
 from ..solver.cache import SolverCache
 from ..symex.engine import ShepherdedSymex
@@ -35,6 +32,7 @@ from .pipeline import Speculator, predict_preshard
 from .production import ProductionSite
 from .report import IterationRecord, ReconstructionReport, TestCase
 from .selection import RecordingPlan, select_key_values
+from .signature import normalize_failure
 
 SelectionFn = Callable[[StallInfo, frozenset], RecordingPlan]
 
@@ -173,7 +171,7 @@ class ExecutionReconstructor:
                           iteration=occurrence_no + 1) as prod_span:
                 occurrence = self._await_occurrence(production, deployed,
                                                     speculator)
-            normalized = _normalize_failure(deployed, occurrence.failure)
+            normalized = normalize_failure(deployed, occurrence.failure)
             if signature is None:
                 signature = normalized
             elif not signature.matches(normalized):
@@ -357,18 +355,3 @@ class ExecutionReconstructor:
         result = Interpreter(deployed, test_case.environment()).run()
         return (result.failure is not None
                 and result.failure.matches(failure))
-
-
-def _normalize_failure(module: Module, failure: FailureInfo) -> FailureInfo:
-    """Map a failure point back to pre-instrumentation coordinates.
-
-    Inserted ``ptwrite`` instructions shift indices within a block, so
-    failure signatures are compared after discounting them — the analog
-    of REPT/ER matching failures across binary versions by symbolized PC.
-    """
-    block = module.function(failure.point.func).block(failure.point.block)
-    upto = block.instrs[: failure.point.index]
-    shift = sum(1 for instr in upto if isinstance(instr, ins.PtWrite))
-    point = ProgramPoint(failure.point.func, failure.point.block,
-                         failure.point.index - shift)
-    return dataclasses.replace(failure, point=point)

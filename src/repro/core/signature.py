@@ -1,0 +1,103 @@
+"""Canonical fault signatures: the fleet's deduplication key.
+
+A production *fleet* reports the same bug from many instances at once.
+To converge per **failure**, not per report, the serve layer buckets
+incoming reports by a canonical *fault signature* — the analog of the
+paper's "same failure" matching rule (PC + call stack), made stable
+across the two ways coordinates drift in this system:
+
+* **Instrumentation shift.**  Each key–value iteration redeploys a
+  module with ``ptwrite`` instructions spliced in, which shifts
+  instruction indices inside a block.  :func:`normalize_failure`
+  discounts the inserted ``ptwrite``\\ s, so a failure reported by an
+  instrumented instance signs identically to the uninstrumented one —
+  a bucket survives its own redeploys.
+* **Run-to-run noise.**  Thread ids and faulting addresses vary across
+  occurrences of one bug (ASLR, allocator state); the signature
+  deliberately excludes them, exactly as
+  :meth:`~repro.interp.failures.FailureInfo.matches` does.
+
+The signature carries a short stable :attr:`~FaultSignature.digest`
+(SHA-256 over the canonical fields) used as the bucket key and in
+telemetry/report output, where the full tuple would be unwieldy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, Tuple
+
+from ..interp.failures import FailureInfo
+from ..ir import instructions as ins
+from ..ir.module import Module, ProgramPoint
+
+__all__ = ["FaultSignature", "canonical_signature", "normalize_failure"]
+
+
+def normalize_failure(module: Module, failure: FailureInfo) -> FailureInfo:
+    """Map a failure point back to pre-instrumentation coordinates.
+
+    Inserted ``ptwrite`` instructions shift indices within a block, so
+    failure signatures are compared after discounting them — the analog
+    of REPT/ER matching failures across binary versions by symbolized
+    PC.  ``module`` must be the (possibly instrumented) module the
+    failing run executed.
+    """
+    block = module.function(failure.point.func).block(failure.point.block)
+    upto = block.instrs[: failure.point.index]
+    shift = sum(1 for instr in upto if isinstance(instr, ins.PtWrite))
+    point = ProgramPoint(failure.point.func, failure.point.block,
+                         failure.point.index - shift)
+    return dataclasses.replace(failure, point=point)
+
+
+@dataclass(frozen=True)
+class FaultSignature:
+    """Canonical identity of a fault, stable across instances and
+    instrumented redeploys.
+
+    ``site`` is the normalized failure point rendered as
+    ``func:block:index``; ``call_stack`` is the failing thread's frame
+    names innermost-last.  Transient per-occurrence detail (tid,
+    faulting address, message text) is excluded on purpose: two reports
+    are the same fault exactly when their signatures are equal.
+    """
+
+    kind: str
+    site: str
+    call_stack: Tuple[str, ...] = ()
+
+    @cached_property
+    def digest(self) -> str:
+        """Short stable content hash — the bucket/routing key."""
+        blob = json.dumps([self.kind, self.site, list(self.call_stack)],
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict:
+        return {"kind": self.kind, "site": self.site,
+                "call_stack": list(self.call_stack),
+                "digest": self.digest}
+
+    def __str__(self) -> str:
+        stack = " < ".join(reversed(self.call_stack)) or "?"
+        return f"{self.digest} {self.kind} at {self.site} [{stack}]"
+
+
+def canonical_signature(module: Module,
+                        failure: FailureInfo) -> FaultSignature:
+    """The fault signature of one failure occurrence.
+
+    ``module`` is the module the failing run executed — needed to
+    discount its ``ptwrite`` instrumentation from the failure point so
+    every iteration of one bucket signs identically.
+    """
+    normalized = normalize_failure(module, failure)
+    return FaultSignature(
+        kind=normalized.kind.value,
+        site=str(normalized.point),
+        call_stack=tuple(normalized.call_stack))

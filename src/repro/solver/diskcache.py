@@ -207,7 +207,11 @@ class DiskSolverCache:
             return  # empty query or already persisted: nothing to add
         entry = {"k": sorted(key), "f": bool(feasible)}
         if feasible and model:
-            entry["m"] = {name: int(value) for name, value in model.items()}
+            # str() on write: the readers (_absorb here, JSON keys on
+            # replay) only ever see string names, so a non-string term
+            # name must not produce a differently-keyed local index
+            entry["m"] = {str(name): int(value)
+                          for name, value in model.items()}
         line = json.dumps(entry, separators=(",", ":")) + "\n"
         wrote = False
         try:
@@ -252,12 +256,19 @@ class DiskSolverCache:
         enumeration.
         """
         key = frozenset(digests)
-        index = (key, term_digest, int(limit))
+        # normalize on write exactly as _absorb normalizes on read
+        # (str() on the term digest and every witness-model key): a
+        # non-string term name must round-trip to the same index and
+        # witness mapping a replaying reader builds, or the local index
+        # diverges from the persisted one
+        index = (key, str(term_digest), int(limit))
         if not key or index in self._values:
             return
-        entry = {"k": sorted(key), "t": term_digest, "l": int(limit),
+        entry = {"k": sorted(key), "t": str(term_digest),
+                 "l": int(limit),
                  "v": [int(v) for v in values], "c": bool(complete),
-                 "w": [{n: int(v) for n, v in w.items()} for w in witnesses]}
+                 "w": [{str(n): int(v) for n, v in w.items()}
+                       for w in witnesses]}
         if reason is not None:
             entry["r"] = reason
         line = json.dumps(entry, separators=(",", ":")) + "\n"
@@ -328,10 +339,11 @@ class DiskSolverCache:
         if not key:
             return None
         self.refresh()
-        found = self._values.get((key, term_digest, int(limit)))
+        index = (key, str(term_digest), int(limit))
+        found = self._values.get(index)
         if found is None:
             return None
-        self._values.move_to_end((key, term_digest, int(limit)))
+        self._values.move_to_end(index)
         self.hits += 1
         values, complete, reason, witnesses = found
         return (list(values), complete, reason,

@@ -255,6 +255,24 @@ def render_stats(events: Sequence[Dict]) -> str:
                 f"jobs ({counters.get('parallel.pool.reuses', 0)} "
                 f"reused, {counters.get('parallel.pool.reaps', 0)} "
                 f"idle reaps)")
+        reports = counters.get("serve.reports", 0)
+        if reports:
+            wait = histograms.get(
+                "serve.first_reoccurrence_wait_seconds", {})
+            parts.append(
+                f"fleet serve: {reports} failure reports over "
+                f"{counters.get('serve.instance_runs', 0)} instance "
+                f"runs into {counters.get('serve.buckets', 0)} "
+                f"signature bucket(s); "
+                f"{counters.get('serve.deduplicated_reports', 0)} "
+                f"deduplicated, "
+                f"{counters.get('serve.stale_reports', 0)} stale, "
+                f"{counters.get('serve.redeployments', 0)} "
+                f"redeployments, "
+                f"{counters.get('serve.instance_errors', 0)} instance "
+                f"errors; reoccurrence wait "
+                f"{wait.get('sum', 0.0):.3f}s across "
+                f"{wait.get('count', 0)} bucket(s)")
         overhead_names = {name for _, name in OVERHEAD_SOURCES}
         span_rows = []
         metric_rows = []

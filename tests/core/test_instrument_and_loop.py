@@ -4,7 +4,8 @@ import pytest
 
 from repro.core.instrument import instrument
 from repro.core.production import ProductionSite
-from repro.core.reconstructor import ExecutionReconstructor, _normalize_failure
+from repro.core.reconstructor import ExecutionReconstructor
+from repro.core.signature import normalize_failure
 from repro.core.selection import RecordingItem
 from repro.errors import IRError, ReconstructionError
 from repro.interp.env import Environment
@@ -88,8 +89,8 @@ class TestNormalizeFailure:
         item = RecordingItem(ProgramPoint("main", "entry", 0), "%x", 1)
         inst = instrument(abort_module, [item])
         run2 = Interpreter(inst.module, Environment({"stdin": b"\xff"})).run()
-        n1 = _normalize_failure(abort_module, run.failure)
-        n2 = _normalize_failure(inst.module, run2.failure)
+        n1 = normalize_failure(abort_module, run.failure)
+        n2 = normalize_failure(inst.module, run2.failure)
         assert n1.matches(n2)
 
 

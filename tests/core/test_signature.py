@@ -1,0 +1,111 @@
+"""Canonical fault signatures: the fleet's deduplication key.
+
+Pins the bucketing contract: occurrences of one bug sign identically
+across instances, run-to-run noise, and ``ptwrite``-instrumented
+redeploys; occurrences of different bugs never collide.
+"""
+
+import pytest
+
+from repro.core.instrument import instrument
+from repro.core.selection import RecordingItem
+from repro.core.signature import (FaultSignature, canonical_signature,
+                                  normalize_failure)
+from repro.interp.env import Environment
+from repro.interp.interpreter import Interpreter
+from repro.ir.builder import ModuleBuilder
+from repro.ir.module import ProgramPoint
+
+
+def _fail(module, data=b"\xff"):
+    run = Interpreter(module, Environment({"stdin": data})).run()
+    assert run.failure is not None
+    return run.failure
+
+
+@pytest.fixture
+def inline_abort_module():
+    """Aborts in the *same block* as a recordable definition, so
+    instrumenting that definition shifts the failure point's index."""
+    b = ModuleBuilder("sig-demo")
+    f = b.function("main", [])
+    f.block("entry")
+    f.input("stdin", 1, dest="%x")
+    f.add("%x", 1, dest="%y")
+    f.abort("boom")
+    return b.build()
+
+
+class TestCanonicalSignature:
+    def test_same_failure_signs_identically(self, abort_module):
+        # different occurrences (different inputs) of one bug
+        s1 = canonical_signature(abort_module, _fail(abort_module, b"\xc8"))
+        s2 = canonical_signature(abort_module, _fail(abort_module, b"\xff"))
+        assert s1 == s2
+        assert s1.digest == s2.digest
+
+    def test_run_to_run_noise_excluded(self, abort_module):
+        import dataclasses
+
+        failure = _fail(abort_module)
+        noisy = dataclasses.replace(failure, tid=7, address=0xdead,
+                                    message="other text")
+        assert canonical_signature(abort_module, failure) \
+            == canonical_signature(abort_module, noisy)
+
+    def test_instrumentation_shift_discounted(self, inline_abort_module):
+        module = inline_abort_module
+        bare = canonical_signature(module, _fail(module))
+        # splice a ptwrite before the abort in the same block
+        item = RecordingItem(ProgramPoint("main", "entry", 0), "%x", 1)
+        inst = instrument(module, [item])
+        shifted_failure = _fail(inst.module)
+        assert shifted_failure.point != _fail(module).point  # did shift
+        assert canonical_signature(inst.module, shifted_failure) == bare
+
+    def test_distinct_failures_never_collide(self, abort_module,
+                                             inline_abort_module):
+        s1 = canonical_signature(abort_module, _fail(abort_module))
+        s2 = canonical_signature(inline_abort_module,
+                                 _fail(inline_abort_module))
+        assert s1 != s2
+        assert s1.digest != s2.digest
+
+    def test_normalize_matches_original_coordinates(self,
+                                                    inline_abort_module):
+        module = inline_abort_module
+        original = _fail(module)
+        item = RecordingItem(ProgramPoint("main", "entry", 1), "%y", 1)
+        inst = instrument(module, [item])
+        normalized = normalize_failure(inst.module, _fail(inst.module))
+        assert normalized.point == original.point
+        assert normalized.matches(original)
+
+
+class TestDigest:
+    def test_digest_is_stable_content_hash(self):
+        a = FaultSignature("abort", "main:entry:2", ("main",))
+        b = FaultSignature("abort", "main:entry:2", ("main",))
+        assert a.digest == b.digest
+        assert len(a.digest) == 16
+        int(a.digest, 16)  # hex
+
+    def test_digest_covers_every_field(self):
+        base = FaultSignature("abort", "main:entry:2", ("main",))
+        assert base.digest != FaultSignature(
+            "hang", "main:entry:2", ("main",)).digest
+        assert base.digest != FaultSignature(
+            "abort", "main:entry:3", ("main",)).digest
+        assert base.digest != FaultSignature(
+            "abort", "main:entry:2", ("main", "helper")).digest
+
+    def test_to_dict_and_str(self):
+        sig = FaultSignature("abort", "main:entry:2", ("main", "helper"))
+        data = sig.to_dict()
+        assert data["kind"] == "abort"
+        assert data["site"] == "main:entry:2"
+        assert data["call_stack"] == ["main", "helper"]
+        assert data["digest"] == sig.digest
+        rendered = str(sig)
+        assert sig.digest in rendered
+        assert "helper < main" in rendered

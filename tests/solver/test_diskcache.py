@@ -305,3 +305,42 @@ class TestEnumerationPersistence:
         cache = SolverCache(persistent=DiskSolverCache(tmp_path))
         result = Solver(cache=cache).feasible_values(term, cs, limit=8)
         assert sorted(result) == [0, 1, 2]
+
+
+class TestWriteNormalization:
+    """Writers normalize exactly as readers do.
+
+    Regression: ``store``/``store_values`` used to index witness-model
+    and model keys as passed, while the JSONL replay path applies
+    ``str()`` to every key — so a non-string term name made the local
+    index diverge from what a fresh handle (or the writer itself after
+    a refresh) reads back from disk.
+    """
+
+    def test_model_keys_roundtrip_nonstring(self, tmp_path):
+        writer = DiskSolverCache(tmp_path)
+        writer.store(["d1"], True, model={1: 7, "b": 2})
+        local = writer.lookup(["d1"])
+        fresh = DiskSolverCache(tmp_path).lookup(["d1"])
+        assert local == fresh
+        assert fresh[1] == {"1": 7, "b": 2}
+
+    def test_witness_keys_roundtrip_nonstring(self, tmp_path):
+        writer = DiskSolverCache(tmp_path)
+        writer.store_values(["d1"], "t1", 8, [5], True, None, [{1: 5}])
+        local = writer.lookup_values(["d1"], "t1", 8)
+        fresh = DiskSolverCache(tmp_path).lookup_values(["d1"], "t1", 8)
+        assert local == fresh
+        values, complete, reason, witnesses = fresh
+        assert witnesses == [{"1": 5}]
+
+    def test_nonstring_term_digest_roundtrip(self, tmp_path):
+        # a digest that is accidentally an int must hit the same index
+        # locally as after a replay (JSON stores it as a string)
+        writer = DiskSolverCache(tmp_path)
+        writer.store_values(["d1"], 42, 8, [1], True, None, [{"a": 1}])
+        assert writer.lookup_values(["d1"], 42, 8) is not None
+        assert writer.lookup_values(["d1"], "42", 8) is not None
+        fresh = DiskSolverCache(tmp_path)
+        assert fresh.lookup_values(["d1"], 42, 8) \
+            == writer.lookup_values(["d1"], "42", 8)

@@ -268,6 +268,50 @@ class TestBench:
         assert "no-such-workload" in capsys.readouterr().out
 
 
+class TestServe:
+    def test_serve_table_output(self, capsys):
+        assert main(["serve", "sqlite-7be932d", "--instances", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "Fleet serve" in captured.out
+        assert "sqlite-7be932d" in captured.out
+        assert "new bucket" in captured.err  # per-bucket progress
+
+    def test_serve_converges_to_single_site_reconstruction(self, capsys):
+        assert main(["reproduce", "sqlite-7be932d", "--json"]) == 0
+        single = json.loads(capsys.readouterr().out)
+        assert main(["serve", "sqlite-7be932d", "--instances", "3",
+                     "--json"]) == 0
+        fleet = json.loads(capsys.readouterr().out)
+        bucket = fleet["buckets"][0]
+        assert bucket["streams"] == single["test_case"]["streams"]
+        assert bucket["iterations"] == len(single["iterations"])
+        assert fleet["succeeded"] is True
+
+    def test_serve_writes_summary_artifact(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        assert main(["serve", "sqlite-7be932d", "--instances", "2",
+                     "--parallel", "2", "--pipeline",
+                     "-o", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["instances"] == 2
+        assert data["pipeline"] is True
+        assert data["buckets"][0]["signature"]["digest"]
+        assert "telemetry" in data
+        assert data["telemetry"]["counters"]["serve.reports"] >= 2
+
+    def test_serve_telemetry_jsonl(self, capsys, tmp_path):
+        log = tmp_path / "serve.jsonl"
+        assert main(["serve", "sqlite-7be932d", "--instances", "2",
+                     "--telemetry", str(log)]) == 0
+        assert main(["stats", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet serve" in out
+        assert "signature bucket" in out
+
+    def test_serve_unknown_workload(self, capsys):
+        assert main(["serve", "no-such-bug"]) == 2
+
+
 class TestReproduceSharded:
     """`reproduce --shards/--cache-dir/--mapping-loss` end to end."""
 
