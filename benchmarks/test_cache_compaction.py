@@ -1,0 +1,123 @@
+"""Benchmark: solver-cache compaction after a fleet merge.
+
+Two "machines" reconstruct the same workloads cold, each building its
+own persistent solver cache; a fleet merge (``repro cache merge
+--no-compact``) unions them into one duplicate-heavy store — every
+query both machines solved appears twice.  Compaction must shrink that
+store substantially (the acceptance bar is ≥30 %; deduplicating a
+two-way merge lands near 50 %) while changing *no* answer: a live
+``DiskSolverCache`` handle open across the compaction and a warm batch
+run both observe identical results before and after.  The measured
+pre/post sizes and warm hit rates land in
+``benchmarks/out/BENCH_cache.json`` — the artifact the CI cache leg
+uploads.
+"""
+
+import json
+import shutil
+
+from repro.parallel import run_batch
+from repro.solver.diskcache import DiskSolverCache
+from repro.solver.segments import (SegmentLayout, compact_store,
+                                   iter_lines, merge_caches,
+                                   store_stats)
+
+#: the CI disk-cache smoke workloads: cheap, deterministic, enough
+#: solver traffic to make the duplicate-heavy merge meaningful
+WORKLOADS = ["objdump-2018-6323", "matrixssl-2014-1569"]
+
+
+def _all_keys(path):
+    """Every digest-set key the store holds (for live-handle probing)."""
+    layout = SegmentLayout(path)
+    manifest = layout.load_manifest()
+    keys = []
+    seen = set()
+    for name in manifest.segments + [manifest.active]:
+        for line in iter_lines(layout.file(name)):
+            entry = json.loads(line)
+            key = tuple(sorted(entry.get("k", ())))
+            if key and key not in seen:
+                seen.add(key)
+                keys.append(list(key))
+    return keys
+
+
+def test_merge_then_compact_shrinks_without_changing_answers(
+        artifact_dir, tmp_path):
+    # -- two machines build independent caches of the same workloads
+    machine_a = tmp_path / "cache-a"
+    machine_b = tmp_path / "cache-b"
+    cold_a = run_batch(WORKLOADS, parallel=1, cache_dir=str(machine_a))
+    cold_b = run_batch(WORKLOADS, parallel=1, cache_dir=str(machine_b))
+    assert cold_a.succeeded == cold_b.succeeded == len(WORKLOADS)
+
+    # -- fleet merge, raw union: the duplicate-heavy store under test
+    merged = tmp_path / "merged"
+    merge_result = merge_caches(machine_a, machine_b, merged,
+                                compact=False)
+    assert merge_result["entries_out"] == \
+        merge_result["entries_a"] + merge_result["entries_b"]
+    pre = store_stats(merged)
+    assert pre["total_bytes"] > 0
+
+    # -- a warm run against (a copy of) the raw union; the copy keeps
+    # -- the measured store byte-identical for the size comparison
+    raw_copy = tmp_path / "merged-raw-run"
+    shutil.copytree(merged, raw_copy)
+    warm_raw = run_batch(WORKLOADS, parallel=1,
+                         cache_dir=str(raw_copy))
+
+    # -- live handle open across the compaction
+    live = DiskSolverCache(merged)
+    keys = _all_keys(merged)
+    assert keys
+    before = [found[:2] if (found := live.lookup(key)) else None
+              for key in keys]
+
+    _manifest, compaction = compact_store(merged)
+    post = store_stats(merged)
+
+    after = [found[:2] if (found := live.lookup(key)) else None
+             for key in keys]
+    assert after == before  # the live handle never notices
+
+    warm_compacted = run_batch(WORKLOADS, parallel=1,
+                               cache_dir=str(merged))
+
+    # -- identical outcomes and warm hit rates, raw vs compacted
+    assert warm_compacted.succeeded == warm_raw.succeeded \
+        == len(WORKLOADS)
+    for raw_item, compacted_item in zip(warm_raw.items,
+                                        warm_compacted.items):
+        assert raw_item.workload == compacted_item.workload
+        assert raw_item.success == compacted_item.success
+    rate_raw = warm_raw.solver_cache_stats["hit_rate"]
+    rate_compacted = warm_compacted.solver_cache_stats["hit_rate"]
+    assert rate_compacted == rate_raw
+
+    # -- the acceptance bar: ≥30 % smaller on the merged workload
+    shrink = 1.0 - post["total_bytes"] / pre["total_bytes"]
+    assert shrink >= 0.30, (pre["total_bytes"], post["total_bytes"])
+
+    data = {
+        "workloads": WORKLOADS,
+        "pre_bytes": pre["total_bytes"],
+        "post_bytes": post["total_bytes"],
+        "shrink": round(shrink, 4),
+        "pre_entries": pre["total_entries"],
+        "post_entries": post["total_entries"],
+        "compaction": compaction.to_dict(),
+        "warm_hit_rate_raw": rate_raw,
+        "warm_hit_rate_compacted": rate_compacted,
+        "warm_disk_hits_raw":
+            warm_raw.solver_cache_stats["disk_hits"],
+        "warm_disk_hits_compacted":
+            warm_compacted.solver_cache_stats["disk_hits"],
+        "live_handle_queries": len(keys),
+    }
+    (artifact_dir / "BENCH_cache.json").write_text(
+        json.dumps(data, indent=2) + "\n")
+    print(f"\ncache compaction: {pre['total_bytes']} -> "
+          f"{post['total_bytes']} bytes ({shrink:.1%} smaller), warm "
+          f"hit rate {rate_raw:.1%} == {rate_compacted:.1%}\n")

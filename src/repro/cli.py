@@ -19,6 +19,14 @@ Commands
     Batch-reconstruct workloads serially and with a process pool;
     report the speedup and solver-cache hit rates (``repro bench
     --parallel 4 -o BENCH_parallel.json``).
+``cache stats|compact|merge|verify``
+    Maintain a persistent solver-cache store: show its segment layout
+    and droppable-entry counts, seal + compact it in place (``repro
+    cache compact --cache-dir DIR``), union two machines' stores
+    (``repro cache merge A B -o OUT``), or check manifest/segment
+    consistency (``verify`` exits non-zero on a corrupt or
+    inconsistent manifest, zero with warnings for tolerated states
+    like torn tails and orphan files).
 ``stats TELEMETRY.jsonl``
     Render the per-iteration cost breakdown of a recorded run —
     including the coordination-overhead attribution table for parallel
@@ -477,6 +485,79 @@ def _load_telemetry_log(path) -> Optional[List[Dict]]:
     return events
 
 
+def cmd_cache(args) -> int:
+    from .solver import segments
+
+    if args.cache_command == "stats":
+        stats = segments.store_stats(args.cache_dir)
+        if args.json:
+            print(json.dumps(stats, indent=2))
+            return 0
+        print(f"solver cache at {stats['directory']} "
+              f"(generation {stats['generation']})")
+        rows = [(seg["name"],
+                 "sealed" if seg["sealed"] else "active",
+                 seg["bytes"], seg["entries"])
+                for seg in stats["segments"]]
+        print(render_table(["segment", "state", "bytes", "entries"],
+                           rows, "Segments"))
+        print(f"{stats['total_entries']} entries in "
+              f"{stats['total_bytes']} bytes; compaction would drop "
+              f"{stats['droppable_entries']} "
+              f"({stats['droppable_duplicates']} duplicates, "
+              f"{stats['droppable_subsumed']} subsumed infeasible, "
+              f"{stats['droppable_tombstoned']} tombstoned)")
+        return 0
+
+    if args.cache_command == "compact":
+        manifest, stats = segments.compact_store(args.cache_dir)
+        if args.json:
+            print(json.dumps(stats.to_dict(), indent=2))
+            return 0
+        print(f"compacted {args.cache_dir}: {stats.entries_in} -> "
+              f"{stats.entries_out} entries "
+              f"({stats.bytes_in} -> {stats.bytes_out} bytes, "
+              f"{stats.dropped_duplicates} duplicates, "
+              f"{stats.dropped_subsumed} subsumed, "
+              f"{stats.dropped_tombstoned} tombstoned dropped) "
+              f"in {stats.seconds:.3f}s")
+        return 0
+
+    if args.cache_command == "merge":
+        try:
+            stats = segments.merge_caches(args.source_a, args.source_b,
+                                          args.output,
+                                          compact=args.compact)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(stats, indent=2))
+            return 0
+        print(f"merged {args.source_a} ({stats['entries_a']} entries) "
+              f"+ {args.source_b} ({stats['entries_b']} entries) -> "
+              f"{args.output} ({stats['entries_out']} entries in "
+              f"{stats['segments_out']} segment(s))")
+        return 0
+
+    # verify
+    problems, warnings = segments.verify_store(args.cache_dir)
+    if args.json:
+        print(json.dumps({"problems": problems, "warnings": warnings,
+                          "ok": not problems}, indent=2))
+        return 1 if problems else 0
+    for problem in problems:
+        print(f"problem: {problem}")
+    for warning in warnings:
+        print(f"warning: {warning}")
+    if problems:
+        print(f"{args.cache_dir}: INCONSISTENT "
+              f"({len(problems)} problem(s))")
+        return 1
+    print(f"{args.cache_dir}: ok ({len(warnings)} warning(s))")
+    return 0
+
+
 def cmd_stats(args) -> int:
     events = _load_telemetry_log(args.file)
     if events is None:
@@ -688,6 +769,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the serve summary as JSON")
 
+    p = sub.add_parser("cache",
+                       help="maintain a persistent solver-cache store "
+                            "(stats, compact, merge, verify)")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    for name, leaf_help in (
+            ("stats", "segment layout, sizes, droppable entries"),
+            ("compact", "seal the active segment, then rewrite all "
+                        "sealed segments dropping duplicates, subsumed "
+                        "infeasible sets, and tombstoned entries"),
+            ("verify", "check manifest/segment consistency; exits "
+                       "non-zero on a corrupt or inconsistent "
+                       "manifest")):
+        leaf = cache_sub.add_parser(name, parents=[diag],
+                                    help=leaf_help)
+        leaf.add_argument("--cache-dir", required=True, metavar="DIR",
+                          help="the store's directory (the same value "
+                               "passed to reproduce/bench/serve)")
+        leaf.add_argument("--json", action="store_true",
+                          help="machine-readable JSON output")
+    leaf = cache_sub.add_parser(
+        "merge", parents=[diag],
+        help="union two machines' stores into a fresh one "
+             "(last-writer-wins on conflicting value enumerations: "
+             "the second source wins)")
+    leaf.add_argument("source_a", metavar="CACHE_A",
+                      help="first source store directory")
+    leaf.add_argument("source_b", metavar="CACHE_B",
+                      help="second source store directory (wins "
+                           "conflicts)")
+    leaf.add_argument("-o", "--output", required=True, metavar="OUT",
+                      help="destination directory (must not already "
+                           "hold a store)")
+    leaf.add_argument("--compact", action=argparse.BooleanOptionalAction,
+                      default=True,
+                      help="compact the union after importing "
+                           "(--no-compact keeps the raw union)")
+    leaf.add_argument("--json", action="store_true",
+                      help="machine-readable JSON output")
+
     p = sub.add_parser("stats", parents=[diag],
                        help="per-iteration cost breakdown from a "
                             "telemetry JSONL log")
@@ -717,6 +837,7 @@ COMMANDS = {
     "report": cmd_report,
     "bench": cmd_bench,
     "serve": cmd_serve,
+    "cache": cmd_cache,
     "stats": cmd_stats,
     "trace-export": cmd_trace_export,
 }

@@ -215,6 +215,12 @@ def _solver_cache_stats(counters: Dict) -> Dict[str, float]:
         "subsumption_hits":
             counters.get("solver.cache.subsumption_hits", 0),
         "disk_hits": counters.get("solver.cache.disk_hits", 0),
+        "disk_hits_exact":
+            counters.get("solver.cache.disk_hits_exact", 0),
+        "disk_hits_subsume":
+            counters.get("solver.cache.disk_hits_subsume", 0),
+        "disk_hits_values":
+            counters.get("solver.cache.disk_hits_values", 0),
         "hit_rate": round((hits + probes) / total, 4) if total else 0.0,
     }
 

@@ -196,8 +196,9 @@ class SolverCache:
     def superset_model(self, key: FrozenSet[Term]):
         """A model recorded for ``key`` or a superset, if any tier has one.
 
-        Returns ``(model, source)`` with ``source`` ``"memory"`` or
-        ``"disk"`` — or ``None``.  Sound to *try* for ``solve``: a
+        Returns ``(model, source)`` with ``source`` ``"memory"``,
+        ``"disk-exact"``, or ``"disk-subsume"`` — or ``None``.  Sound to
+        *try* for ``solve``: a
         superset's model satisfies every constraint in the subset.
         Callers still verify it against the live constraints before
         returning it, so a stale or corrupt disk tier degrades to a
@@ -209,10 +210,10 @@ class SolverCache:
         if self.persistent is not None:
             found = self.persistent.lookup(self.digest_key(key))
             if found is not None:
-                feasible, model, _kind = found
+                feasible, model, kind = found
                 if feasible and model:
                     self.disk_hits += 1
-                    return dict(model), "disk"
+                    return dict(model), f"disk-{kind}"
         return None
 
     def store_feasible(self, key: FrozenSet[Term], feasible: bool, *,

@@ -1,0 +1,752 @@
+"""Segmented solver-cache storage: seal, compact, merge, verify.
+
+The disk tier (:mod:`repro.solver.diskcache`) started life as one
+append-only JSONL file.  That is the right *write* format — a single
+locked append is crash-safe and cheap — but it grows without bound and
+two machines' files cannot be combined.  This module matures the layout
+into a **segmented store**:
+
+* an **active** append segment, written exactly like the old single
+  file (same entry schema, same torn-tail tolerance);
+* zero or more **sealed** segments — immutable files named
+  ``<stem>.00001.jsonl`` — created by *sealing* the active segment when
+  it crosses a size cap;
+* a tiny **manifest** (``<stem>.manifest.json``) naming the active
+  segment and the sealed ones in replay order.
+
+Sealing never copies or renames data: it is a single atomic manifest
+swap (write-temp + ``os.replace``) that re-labels the current active
+file as sealed and points writers at a fresh name.  A crash therefore
+leaves either the old or the new manifest, never a torn state.
+
+**Compaction** rewrites the sealed segments into one, dropping
+
+1. *duplicate keys* — only the last writer of a verdict or
+   value-enumeration key is kept (replay semantics: later lines win);
+2. *tombstoned entries* — a ``{"k": [...], "x": true}`` line erases
+   every earlier entry for its key, and, because compaction always
+   covers the full sealed prefix, the tombstone itself;
+3. *subsumed infeasible sets* — an infeasible set that is a strict
+   superset of another retained infeasible set answers no query the
+   subset doesn't (subset-infeasible subsumption), so it is dropped.
+
+Feasible entries are only deduplicated, never subsumption-dropped: an
+exact feasible hit may carry no model while a superset's entry does,
+and compaction must not change any ``(feasible, model)`` lookup result.
+The compacted file is installed atomically — temp write, rename, then
+one manifest swap — under the store's exclusive lock, so concurrent
+readers either see the old segment list or the new one, both of which
+answer every previously-answerable query identically.  Old segment
+files are unlinked only after the swap (readers holding them open keep
+their file descriptors; POSIX keeps the data alive).
+
+**Merge** unions two independent machines' stores by importing both
+stores' lines as sealed segments of a new store — first ``a``'s, then
+``b``'s, so replay gives ``b`` last-writer-wins on the only entries
+that can conflict (value-enumeration indexes truncated at different
+points; feasibility verdicts never conflict by construction) — and then
+compacting.  ``merge_caches(a, b, out, compact=False)`` keeps the raw
+union, which is what the compaction benchmark measures shrinkage on.
+
+Crash-safety is fault-injected in the tests: :func:`set_fault_hook`
+raises at the *temp-written*, *renamed*, and *manifest-swapped*
+boundaries, and the suite asserts a fresh reader and a live concurrent
+handle answer every pre-compaction query identically after each kind of
+death.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import logging
+import os
+import pathlib
+import re
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: single-line appends are near-atomic
+    fcntl = None
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "DEFAULT_SEAL_BYTES",
+    "AUTO_COMPACT_MIN_SEGMENTS",
+    "Manifest",
+    "SegmentLayout",
+    "FileLock",
+    "set_fault_hook",
+    "seal_locked",
+    "compact_locked",
+    "compact_store",
+    "merge_caches",
+    "verify_store",
+    "store_stats",
+]
+
+#: default active-segment size cap; crossing it seals the segment
+DEFAULT_SEAL_BYTES = 1 << 20
+#: auto-compaction (from ``DiskSolverCache.store``) fires once this
+#: many sealed segments exist — i.e. on every seal after the first
+AUTO_COMPACT_MIN_SEGMENTS = 2
+
+MANIFEST_VERSION = 1
+
+#: sealed-segment (and their temp) file names: ``<stem>.00001.jsonl``
+_SEGMENT_RE = re.compile(r"\.\d{5}\.jsonl(\.tmp)?$")
+
+
+# ----------------------------------------------------------------------
+# fault injection (crash-safety tests)
+
+_fault_hook: Optional[Callable[[str], None]] = None
+
+
+def set_fault_hook(hook: Optional[Callable[[str], None]]) -> None:
+    """Install a hook called at each install boundary (tests only).
+
+    The hook receives ``"compact.temp-written"``, ``"compact.renamed"``,
+    or ``"compact.manifest-swapped"`` and may raise to simulate the
+    compactor dying at that exact point.
+    """
+    global _fault_hook
+    _fault_hook = hook
+
+
+def _fault(point: str) -> None:
+    if _fault_hook is not None:
+        _fault_hook(point)
+
+
+# ----------------------------------------------------------------------
+# layout & manifest
+
+class Manifest:
+    """The store's tiny source of truth: active + sealed segment names.
+
+    ``generation`` increments on every seal/compaction/merge-install so
+    readers can detect *any* relabeling with one ``stat`` and rebuild;
+    ``next_segment`` is the monotonically-increasing name allocator
+    (sealed segments and post-seal active files share it, so a name is
+    never reused even across compactions).
+    """
+
+    __slots__ = ("generation", "next_segment", "active", "segments")
+
+    def __init__(self, generation: int = 0, next_segment: int = 1,
+                 active: str = "", segments: Optional[List[str]] = None):
+        self.generation = generation
+        self.next_segment = next_segment
+        self.active = active
+        self.segments = list(segments or ())
+
+    def to_dict(self) -> Dict:
+        return {"version": MANIFEST_VERSION,
+                "generation": self.generation,
+                "next_segment": self.next_segment,
+                "active": self.active,
+                "segments": list(self.segments)}
+
+    def __repr__(self):
+        return (f"Manifest(gen={self.generation}, "
+                f"active={self.active!r}, segments={self.segments!r})")
+
+
+class SegmentLayout:
+    """File naming for one store: directory, stem, manifest, lock.
+
+    ``path`` may be a directory (the conventional ``--cache-dir``) or a
+    ``*.jsonl`` file path (then the stem is that file's); both map onto
+    the same ``(directory, stem)`` pair every other name derives from.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]):
+        path = pathlib.Path(path)
+        if path.suffix == ".jsonl":
+            self.directory = path.parent
+            self.stem = path.stem
+        else:
+            self.directory = path
+            self.stem = "solver-cache"
+
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        return self.directory / f"{self.stem}.manifest.json"
+
+    @property
+    def lock_path(self) -> pathlib.Path:
+        return self.directory / f"{self.stem}.lock"
+
+    @property
+    def default_active(self) -> str:
+        """The pre-manifest (legacy single-file) active segment name."""
+        return f"{self.stem}.jsonl"
+
+    def segment_name(self, number: int) -> str:
+        return f"{self.stem}.{number:05d}.jsonl"
+
+    def file(self, name: str) -> pathlib.Path:
+        return self.directory / name
+
+    def manifest_stat(self) -> Optional[Tuple[int, int, int]]:
+        """A cheap change signature: the swap's rename always changes
+        the inode, so ``(ino, size, mtime_ns)`` catches every install."""
+        try:
+            st = os.stat(self.manifest_path)
+        except OSError:
+            return None
+        return (st.st_ino, st.st_size, st.st_mtime_ns)
+
+    def load_manifest(self) -> Manifest:
+        """The current manifest, or the legacy/fresh-store default."""
+        try:
+            raw = self.manifest_path.read_text(encoding="utf-8")
+        except OSError:
+            return Manifest(active=self.default_active)
+        try:
+            data = json.loads(raw)
+            manifest = Manifest(
+                generation=int(data["generation"]),
+                next_segment=int(data["next_segment"]),
+                active=str(data["active"]),
+                segments=[str(s) for s in data["segments"]])
+        except (KeyError, TypeError, ValueError) as exc:
+            # a corrupt manifest must not brick the cache (it is a
+            # cache): fall back to an empty view; `verify` reports it
+            logger.warning("corrupt cache manifest %s (%s); treating "
+                           "store as empty", self.manifest_path, exc)
+            return Manifest(active=self.default_active)
+        return manifest
+
+    def write_manifest(self, manifest: Manifest) -> None:
+        """Atomic install: write-temp, fsync, rename over the old."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest.to_dict(), fh, separators=(",", ":"))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.manifest_path)
+
+    def orphan_files(self, manifest: Manifest) -> List[pathlib.Path]:
+        """Segment-pattern files no manifest entry references.
+
+        Orphans are leftovers of a compactor/merger that died between
+        rename and manifest swap — readers never open them, so they are
+        garbage, reclaimed under the exclusive lock on the next
+        compaction.
+        """
+        referenced = set(manifest.segments) | {manifest.active}
+        orphans = []
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return []
+        for name in names:
+            if not name.startswith(self.stem + "."):
+                continue
+            if name in referenced:
+                continue
+            # the legacy single-file name is a segment too once sealed,
+            # so an interrupted compaction can orphan it like any other
+            if _SEGMENT_RE.search(name) or name == self.default_active:
+                orphans.append(self.directory / name)
+        return orphans
+
+
+class FileLock:
+    """Advisory flock on a dedicated lock file.
+
+    The lock lives on its own file (not the data file) so its identity
+    survives seals and compactions relabeling the data files around it.
+    A shared lock guards reads of manifest + segments; every mutation —
+    append, seal, compact-install, merge-install — takes it exclusive.
+    """
+
+    def __init__(self, path: pathlib.Path):
+        self.path = path
+        self._fh = None
+        self._depth = 0
+
+    @contextlib.contextmanager
+    def acquire(self, exclusive: bool):
+        if self._depth:  # re-entrant within one handle (already held)
+            self._depth += 1
+            try:
+                yield
+            finally:
+                self._depth -= 1
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fh = open(self.path, "a+")
+        if fcntl is not None:
+            waited = time.perf_counter()
+            fcntl.flock(fh.fileno(),
+                        fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+            from .. import telemetry
+            telemetry.histogram(
+                "solver.diskcache.lock_wait_seconds").record(
+                    time.perf_counter() - waited)
+        self._fh = fh
+        self._depth = 1
+        try:
+            yield
+        finally:
+            self._depth = 0
+            self._fh = None
+            if fcntl is not None:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+            fh.close()
+
+
+# ----------------------------------------------------------------------
+# entry plumbing
+
+def iter_lines(path: pathlib.Path) -> Iterator[str]:
+    """Complete (newline-terminated) lines of one segment file.
+
+    A torn tail — possible in a sealed segment when the active file was
+    sealed while a crashed writer's fragment sat at its end — is
+    silently dropped, exactly as the live reader skips it.
+    """
+    try:
+        fh = open(path, "r", encoding="utf-8")
+    except OSError:
+        return
+    with fh:
+        for line in fh:
+            if not line.endswith("\n"):
+                return
+            yield line
+
+
+def parse_entry(line: str) -> Optional[Dict]:
+    """The entry a line carries, or ``None`` for corrupt/empty lines."""
+    try:
+        entry = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(entry, dict) or not entry.get("k"):
+        return None
+    return entry
+
+
+def entry_key(entry: Dict):
+    """The logical last-writer-wins key of one parsed entry.
+
+    ``("f", digests)`` for verdicts, ``("v", digests, term, limit)``
+    for value enumerations, ``("x", digests)`` for tombstones — or
+    ``None`` when the entry is malformed.
+    """
+    digests = frozenset(str(d) for d in entry.get("k", ()))
+    if not digests:
+        return None
+    if entry.get("x"):
+        return ("x", digests)
+    if "t" in entry:
+        try:
+            return ("v", digests, str(entry["t"]), int(entry["l"]))
+        except (KeyError, TypeError, ValueError):
+            return None
+    return ("f", digests)
+
+
+class CompactionStats:
+    """What one compaction read, dropped, and kept."""
+
+    __slots__ = ("entries_in", "entries_out", "dropped_duplicates",
+                 "dropped_tombstoned", "dropped_subsumed",
+                 "dropped_corrupt", "bytes_in", "bytes_out", "seconds")
+
+    def __init__(self):
+        self.entries_in = 0
+        self.entries_out = 0
+        self.dropped_duplicates = 0
+        self.dropped_tombstoned = 0
+        self.dropped_subsumed = 0
+        self.dropped_corrupt = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.seconds = 0.0
+
+    @property
+    def entries_dropped(self) -> int:
+        return self.entries_in - self.entries_out
+
+    def to_dict(self) -> Dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def compact_lines(lines: List[str],
+                  stats: Optional[CompactionStats] = None
+                  ) -> Tuple[List[str], CompactionStats]:
+    """Apply the drop rules to raw lines in replay order.
+
+    Pure function — the unit the property tests drive.  Returns the
+    retained lines (original relative order, byte-identical content)
+    and the accounting.
+    """
+    stats = stats or CompactionStats()
+    entries: List[Optional[Dict]] = []
+    last_writer: Dict[Tuple, int] = {}
+    for position, line in enumerate(lines):
+        entry = parse_entry(line)
+        key = entry_key(entry) if entry is not None else None
+        entries.append(entry if key is not None else None)
+        stats.entries_in += 1
+        stats.bytes_in += len(line.encode("utf-8"))
+        if key is None:
+            stats.dropped_corrupt += 1
+            continue
+        if key[0] == "x":
+            # a tombstone erases every earlier entry for its key —
+            # the verdict and every enumeration — and, since the
+            # compacted prefix is the *whole* history before the
+            # active segment, carries no further information itself
+            cancelled = [k for k in last_writer
+                         if k[1] == key[1] and k[0] in ("f", "v")]
+            for other in cancelled:
+                last_writer.pop(other)
+            stats.dropped_tombstoned += 1 + len(cancelled)
+            continue
+        if key in last_writer:
+            stats.dropped_duplicates += 1  # the older line loses
+        last_writer[key] = position
+    retain = set(last_writer.values())
+
+    # subsumed-infeasible pass: drop retained infeasible sets that are
+    # strict supersets of another retained infeasible set (the subset
+    # answers every query the superset could, with the same
+    # (False, None) result)
+    infeasible: List[Tuple[frozenset, int]] = []
+    for key, position in last_writer.items():
+        if key[0] == "f" and not entries[position].get("f"):
+            infeasible.append((key[1], position))
+    minimal: List[frozenset] = []
+    for digests, position in sorted(infeasible,
+                                    key=lambda pair: len(pair[0])):
+        if any(kept < digests for kept in minimal):
+            retain.discard(position)
+            stats.dropped_subsumed += 1
+        else:
+            minimal.append(digests)
+
+    retained_lines: List[str] = []
+    for position, line in enumerate(lines):
+        if position not in retain:
+            continue
+        retained_lines.append(line)
+        stats.entries_out += 1
+        stats.bytes_out += len(line.encode("utf-8"))
+    return retained_lines, stats
+
+
+# ----------------------------------------------------------------------
+# seal / compact / merge (caller holds the exclusive lock for *_locked)
+
+def seal_locked(layout: SegmentLayout, manifest: Manifest) -> Manifest:
+    """Re-label the active segment as sealed; point at a fresh name.
+
+    No data moves: one atomic manifest swap.  A missing or empty active
+    file seals nothing and returns the manifest unchanged.
+    """
+    active = layout.file(manifest.active or layout.default_active)
+    try:
+        if os.stat(active).st_size == 0:
+            return manifest
+    except OSError:
+        return manifest
+    sealed = Manifest(
+        generation=manifest.generation + 1,
+        next_segment=manifest.next_segment + 1,
+        active=layout.segment_name(manifest.next_segment),
+        segments=manifest.segments + [manifest.active
+                                      or layout.default_active])
+    layout.write_manifest(sealed)
+    return sealed
+
+
+def compact_locked(layout: SegmentLayout, manifest: Manifest
+                   ) -> Tuple[Manifest, CompactionStats]:
+    """Rewrite every sealed segment into one, installed atomically.
+
+    Protocol: write the compacted lines to ``<new>.jsonl.tmp``, fsync,
+    rename to ``<new>.jsonl`` (still unreferenced — invisible to
+    readers), swap the manifest, then unlink the replaced segments and
+    any orphans.  A crash at any boundary leaves a store that answers
+    every query identically: either the old manifest (temp/orphan files
+    are never opened) or the new one (the compacted segment is
+    complete before the swap).
+    """
+    started = time.perf_counter()
+    stats = CompactionStats()
+    if not manifest.segments:
+        return manifest, stats
+
+    lines: List[str] = []
+    for name in manifest.segments:
+        lines.extend(iter_lines(layout.file(name)))
+    retained, stats = compact_lines(lines, stats)
+
+    new_segments: List[str] = []
+    next_segment = manifest.next_segment
+    if retained:
+        new_name = layout.segment_name(next_segment)
+        next_segment += 1
+        tmp = layout.file(new_name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.writelines(retained)
+            fh.flush()
+            os.fsync(fh.fileno())
+        _fault("compact.temp-written")
+        os.replace(tmp, layout.file(new_name))
+        _fault("compact.renamed")
+        new_segments = [new_name]
+
+    compacted = Manifest(generation=manifest.generation + 1,
+                         next_segment=next_segment,
+                         active=manifest.active,
+                         segments=new_segments)
+    layout.write_manifest(compacted)
+    _fault("compact.manifest-swapped")
+
+    for name in manifest.segments:
+        try:
+            os.unlink(layout.file(name))
+        except OSError:
+            pass
+    for orphan in layout.orphan_files(compacted):
+        try:
+            os.unlink(orphan)
+        except OSError:
+            pass
+
+    stats.seconds = time.perf_counter() - started
+    from .. import telemetry
+    telemetry.count("solver.diskcache.compaction.entries_in",
+                    stats.entries_in)
+    telemetry.count("solver.diskcache.compaction.entries_dropped",
+                    stats.entries_dropped)
+    telemetry.histogram("solver.diskcache.compaction.seconds").record(
+        stats.seconds)
+    return compacted, stats
+
+
+def compact_store(path: Union[str, pathlib.Path], *,
+                  seal_first: bool = True
+                  ) -> Tuple[Manifest, CompactionStats]:
+    """The ``repro cache compact`` entry: seal, then compact, locked.
+
+    ``seal_first`` folds the current active segment into the compaction
+    (the CLI wants everything compacted; auto-compaction from
+    ``store()`` seals implicitly by having just crossed the cap).
+    """
+    layout = SegmentLayout(path)
+    lock = FileLock(layout.lock_path)
+    with lock.acquire(exclusive=True):
+        manifest = layout.load_manifest()
+        if seal_first:
+            manifest = seal_locked(layout, manifest)
+        return compact_locked(layout, manifest)
+
+
+def merge_caches(a: Union[str, pathlib.Path],
+                 b: Union[str, pathlib.Path],
+                 out: Union[str, pathlib.Path], *,
+                 compact: bool = True) -> Dict:
+    """Union two independent stores into a fresh one at ``out``.
+
+    Every entry either source holds lands in ``out``; on the one entry
+    kind that can conflict — value enumerations for the same
+    ``(key, term, limit)`` index truncated differently on each machine
+    — ``b`` wins (its segment replays later).  Feasibility verdicts
+    never conflict by construction (only proven verdicts are stored),
+    so their duplicates are pure redundancy for the compactor.
+
+    ``out`` must be empty (a fresh directory or one with no store);
+    merging into a live store would silently reorder its history.
+    """
+    layout_out = SegmentLayout(out)
+    sources = [SegmentLayout(a), SegmentLayout(b)]
+    if layout_out.directory.resolve() in (
+            source.directory.resolve() for source in sources):
+        raise ValueError("merge output must not be a source store")
+
+    stats = {"entries_a": 0, "entries_b": 0, "entries_out": 0,
+             "segments_out": 0, "compaction": None}
+    lock = FileLock(layout_out.lock_path)
+    with lock.acquire(exclusive=True):
+        manifest = layout_out.load_manifest()
+        if (manifest.segments
+                or os.path.exists(layout_out.file(manifest.active
+                                                  or layout_out
+                                                  .default_active))):
+            raise ValueError(f"merge output {layout_out.directory} "
+                             "already holds a store")
+        next_segment = 1
+        segments: List[str] = []
+        for label, source in zip(("entries_a", "entries_b"), sources):
+            source_lock = FileLock(source.lock_path)
+            with source_lock.acquire(exclusive=False):
+                source_manifest = source.load_manifest()
+                names = list(source_manifest.segments)
+                names.append(source_manifest.active
+                             or source.default_active)
+                lines: List[str] = []
+                for name in names:
+                    lines.extend(iter_lines(source.file(name)))
+            stats[label] = len(lines)
+            if not lines:
+                continue
+            new_name = layout_out.segment_name(next_segment)
+            next_segment += 1
+            tmp = layout_out.file(new_name + ".tmp")
+            layout_out.directory.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.writelines(lines)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, layout_out.file(new_name))
+            segments.append(new_name)
+        merged = Manifest(generation=1, next_segment=next_segment,
+                          active=layout_out.default_active,
+                          segments=segments)
+        layout_out.write_manifest(merged)
+        stats["entries_out"] = stats["entries_a"] + stats["entries_b"]
+        stats["segments_out"] = len(segments)
+        if compact and segments:
+            compacted, cstats = compact_locked(layout_out, merged)
+            stats["entries_out"] = cstats.entries_out
+            stats["segments_out"] = len(compacted.segments)
+            stats["compaction"] = cstats.to_dict()
+    return stats
+
+
+# ----------------------------------------------------------------------
+# verify / stats
+
+def verify_store(path: Union[str, pathlib.Path]
+                 ) -> Tuple[List[str], List[str]]:
+    """Check manifest/segment consistency: ``(problems, warnings)``.
+
+    *Problems* (exit non-zero in the CLI) are states the store cannot
+    serve correctly from: an unparseable or structurally-invalid
+    manifest, duplicate or missing segment files, the active name
+    colliding with a sealed one.  *Warnings* are tolerated-by-design
+    states: torn tails, corrupt data lines (the reader skips them),
+    and orphan files from an interrupted compaction.
+    """
+    layout = SegmentLayout(path)
+    problems: List[str] = []
+    warnings: List[str] = []
+
+    raw = None
+    try:
+        raw = layout.manifest_path.read_text(encoding="utf-8")
+    except OSError:
+        pass
+    if raw is None:
+        manifest = Manifest(active=layout.default_active)
+        # numbered segments with no manifest are unreachable data
+        for orphan in layout.orphan_files(manifest):
+            problems.append(f"segment {orphan.name} exists but no "
+                            "manifest references it")
+    else:
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            return [f"manifest {layout.manifest_path.name} is not "
+                    f"valid JSON: {exc}"], warnings
+        if not isinstance(data, dict):
+            return [f"manifest {layout.manifest_path.name} is not an "
+                    "object"], warnings
+        if data.get("version") != MANIFEST_VERSION:
+            problems.append(f"unsupported manifest version "
+                            f"{data.get('version')!r}")
+        for field, kind in (("generation", int), ("next_segment", int),
+                            ("active", str), ("segments", list)):
+            if not isinstance(data.get(field), kind):
+                problems.append(f"manifest field {field!r} missing or "
+                                f"not {kind.__name__}")
+        if problems:
+            return problems, warnings
+        manifest = Manifest(generation=data["generation"],
+                            next_segment=data["next_segment"],
+                            active=data["active"],
+                            segments=[str(s) for s in data["segments"]])
+        if len(set(manifest.segments)) != len(manifest.segments):
+            problems.append("manifest lists a segment twice")
+        if manifest.active in manifest.segments:
+            problems.append(f"active segment {manifest.active!r} is "
+                            "also listed as sealed")
+        for name in manifest.segments:
+            if not os.path.exists(layout.file(name)):
+                problems.append(f"sealed segment {name} is listed in "
+                                "the manifest but missing on disk")
+        for orphan in layout.orphan_files(manifest):
+            warnings.append(f"orphan file {orphan.name} (interrupted "
+                            "compaction?); the next compaction "
+                            "reclaims it")
+
+    for name in manifest.segments + [manifest.active]:
+        file = layout.file(name)
+        if not os.path.exists(file):
+            continue  # a missing *active* file is a fresh segment
+        complete = corrupt = 0
+        with open(file, "r", encoding="utf-8") as fh:
+            for line in fh:
+                if not line.endswith("\n"):
+                    warnings.append(f"{name}: torn tail "
+                                    "(crashed writer); skipped on read")
+                    break
+                complete += 1
+                if parse_entry(line) is None:
+                    corrupt += 1
+        if corrupt:
+            warnings.append(f"{name}: {corrupt}/{complete} corrupt "
+                            "line(s); skipped on read")
+    return problems, warnings
+
+
+def store_stats(path: Union[str, pathlib.Path]) -> Dict:
+    """Sizes and logical composition of one store (``repro cache
+    stats``)."""
+    layout = SegmentLayout(path)
+    lock = FileLock(layout.lock_path)
+    with lock.acquire(exclusive=False):
+        manifest = layout.load_manifest()
+        per_segment = []
+        all_lines: List[str] = []
+        for name in manifest.segments + [manifest.active]:
+            file = layout.file(name)
+            lines = list(iter_lines(file))
+            try:
+                size = os.stat(file).st_size
+            except OSError:
+                size = 0
+            per_segment.append({
+                "name": name,
+                "sealed": name != manifest.active,
+                "bytes": size,
+                "entries": len(lines),
+            })
+            all_lines.extend(lines)
+    retained, cstats = compact_lines(all_lines)
+    return {
+        "directory": str(layout.directory),
+        "generation": manifest.generation,
+        "segments": per_segment,
+        "sealed_segments": len(manifest.segments),
+        "total_bytes": sum(seg["bytes"] for seg in per_segment),
+        "total_entries": cstats.entries_in,
+        "retained_after_compaction": len(retained),
+        "droppable_entries": cstats.entries_dropped,
+        "droppable_duplicates": cstats.dropped_duplicates,
+        "droppable_subsumed": cstats.dropped_subsumed,
+        "droppable_tombstoned": cstats.dropped_tombstoned,
+        "corrupt_lines": cstats.dropped_corrupt,
+    }

@@ -129,8 +129,14 @@ class Solver:
                     # smuggle in a bad model
                     cache.subsumption_hits += 1
                     telemetry.count("solver.cache.subsumption_hits")
-                    if source == "disk":
+                    if source.startswith("disk"):
                         telemetry.count("solver.cache.disk_hits")
+                        if source == "disk-exact":
+                            telemetry.count(
+                                "solver.cache.disk_hits_exact")
+                        else:
+                            telemetry.count(
+                                "solver.cache.disk_hits_subsume")
                     if count:
                         cache.hits += 1
                         telemetry.count("solver.cache.hits")
@@ -229,6 +235,10 @@ class Solver:
                     telemetry.count("solver.cache.subsumption_hits")
                 if source.startswith("disk"):
                     telemetry.count("solver.cache.disk_hits")
+                    if source == "disk-exact":
+                        telemetry.count("solver.cache.disk_hits_exact")
+                    else:
+                        telemetry.count("solver.cache.disk_hits_subsume")
                 cache.store_feasible(key, feasible)  # promote to exact
                 return feasible
             cache.misses += 1
@@ -311,6 +321,7 @@ class Solver:
                     # cost a wasted check but never inject a value
                     cache.disk_hits += 1
                     telemetry.count("solver.cache.disk_hits")
+                    telemetry.count("solver.cache.disk_hits_values")
                     telemetry.event("solver.cache_hit", query="values",
                                     tier="disk")
                     cache.store_values(term, key, limit, enum,

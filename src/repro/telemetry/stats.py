@@ -202,6 +202,17 @@ def render_stats(events: Sequence[Dict]) -> str:
             if subsumed or disk:
                 line += (f", {subsumed} subsumption hits, "
                          f"{disk} disk hits")
+                tiers = [
+                    (name, counters.get(f"solver.cache.disk_hits_{name}",
+                                        0))
+                    for name in ("exact", "subsume", "values")]
+                if any(value for _, value in tiers):
+                    # per-tier disk attribution: `disk_hits` alone folds
+                    # exact, subsume, and value-enumeration answers
+                    line += (" ("
+                             + ", ".join(f"{value} {name}"
+                                         for name, value in tiers)
+                             + ")")
             parts.append(line)
         races = counters.get("solver.portfolio.races", 0)
         if races:

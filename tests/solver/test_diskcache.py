@@ -104,6 +104,23 @@ class TestDiskStore:
         assert stats["entries"] == 1 and stats["hits"] == 1
         assert stats["appended"] == 1
 
+    def test_hits_split_per_tier(self, tmp_path):
+        # regression: one folded `hits` counter misattributed the
+        # disk tier's answers in `repro stats`; each tier now counts
+        # apart and `hits` stays the backward-compatible sum
+        cache = DiskSolverCache(tmp_path)
+        cache.store(["d1"], False)
+        cache.store_values(["d2"], "t", 4, [1], True, None,
+                           [{"a": 1}])
+        assert cache.lookup(["d1"])[2] == "exact"
+        assert cache.lookup(["d1", "dx"])[2] == "subsume"
+        assert cache.lookup_values(["d2"], "t", 4) is not None
+        stats = cache.stats()
+        assert stats["hits_exact"] == 1
+        assert stats["hits_subsume"] == 1
+        assert stats["hits_values"] == 1
+        assert stats["hits"] == 3 and cache.hits == 3
+
 
 class TestTwoWriters:
     """Concurrent handles appending to one file must absorb each other.
@@ -150,6 +167,61 @@ class TestTwoWriters:
         assert b.appended == 0
         assert len(self._lines(a)) == 1
         assert b.lookup(["dup"])[::2] == (True, "exact")
+
+
+class TestTornTailAppend:
+    """Appending past a crashed writer's torn fragment.
+
+    Regression (two bugs in one append path): the fragment and the new
+    line used to concatenate into a single corrupt line — losing the
+    entry on disk for every other handle — and because the writer's
+    read offset could not advance past the fragment, its own entry was
+    absorbed locally *and* re-absorbed from disk on a later refresh,
+    duplicating it into the bounded ``_infeasible_sets``/``_models``
+    scan windows and double-counting stats.  The append path now
+    terminates the fragment with a newline first (the entry stays
+    parseable on its own) and remembers its own line so the eventual
+    re-read of that region skips it.
+    """
+
+    def _torn(self, cache, fragment='{"k": ["torn"], "f": fal'):
+        with open(cache.path, "a", encoding="utf-8") as fh:
+            fh.write(fragment)  # a crashed writer's partial line
+
+    def test_entry_durable_past_torn_fragment(self, tmp_path):
+        a = DiskSolverCache(tmp_path)
+        b = DiskSolverCache(tmp_path)
+        a.store(["k0"], True)
+        self._torn(a)
+        b.store(["k1"], False)  # second writer appends past the tear
+        fresh = DiskSolverCache(tmp_path)
+        assert fresh.lookup(["k0"])[0] is True
+        assert fresh.lookup(["k1"])[:2] == (False, None)
+        assert fresh.lookup(["torn"]) is None
+
+    def test_no_double_indexing_after_refresh(self, tmp_path):
+        a = DiskSolverCache(tmp_path)
+        a.store(["k0"], False)
+        self._torn(a)
+        a.store(["k1"], False)
+        assert a.stats()["infeasible_sets"] == 2
+        a.refresh()  # used to re-absorb k1 into the deque
+        a.refresh()
+        stats = a.stats()
+        assert stats["infeasible_sets"] == 2
+        assert stats["entries"] == 2
+        assert a.appended == 2
+
+    def test_model_window_not_double_filled(self, tmp_path):
+        a = DiskSolverCache(tmp_path)
+        b = DiskSolverCache(tmp_path)
+        a.store(["k0"], True, model={"x": 1})
+        self._torn(b, '{"k": ["t1"], "f"')
+        b.store(["k1"], True, model={"y": 2})
+        b.refresh()
+        a.refresh()
+        for handle in (a, b):
+            assert handle.stats()["models"] == 2
 
 
 class TestPersistentTier:

@@ -1,0 +1,447 @@
+"""Segmented solver-cache store: seal, compact, merge, verify.
+
+The properties pinned here are the ones concurrent users rely on:
+
+* sealing and compaction are invisible — a fresh handle and a live
+  concurrent handle answer every previously-answerable query
+  identically before, during (compactor killed at any install
+  boundary), and after;
+* compaction only drops redundancy — duplicates (last writer wins),
+  tombstoned entries, and infeasible sets subsumed by a retained
+  subset — so replaying the compacted store builds the same index;
+* merge unions two independent stores (every query either source
+  answered, the merged store answers) with last-writer-wins on the one
+  entry kind that can conflict, value enumerations.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import segments
+from repro.solver.diskcache import DiskSolverCache
+from repro.solver.segments import (Manifest, SegmentLayout, compact_lines,
+                                   compact_store, merge_caches,
+                                   set_fault_hook, store_stats,
+                                   verify_store)
+
+
+def _verdict(key, feasible, model=None):
+    entry = {"k": sorted(key), "f": feasible}
+    if model:
+        entry["m"] = model
+    return json.dumps(entry, separators=(",", ":")) + "\n"
+
+
+def _values(key, term, limit, values):
+    return json.dumps({"k": sorted(key), "t": term, "l": limit,
+                       "v": values, "c": True,
+                       "w": [{"x": v} for v in values]},
+                      separators=(",", ":")) + "\n"
+
+
+def _tomb(key):
+    return json.dumps({"k": sorted(key), "x": True},
+                      separators=(",", ":")) + "\n"
+
+
+class TestManifest:
+    def test_roundtrip(self, tmp_path):
+        layout = SegmentLayout(tmp_path)
+        manifest = Manifest(generation=3, next_segment=5,
+                            active="solver-cache.00004.jsonl",
+                            segments=["solver-cache.00002.jsonl"])
+        layout.write_manifest(manifest)
+        loaded = layout.load_manifest()
+        assert loaded.to_dict() == manifest.to_dict()
+
+    def test_missing_manifest_is_legacy_default(self, tmp_path):
+        layout = SegmentLayout(tmp_path)
+        manifest = layout.load_manifest()
+        assert manifest.generation == 0
+        assert manifest.active == "solver-cache.jsonl"
+        assert manifest.segments == []
+
+    def test_corrupt_manifest_degrades_to_empty_view(self, tmp_path):
+        layout = SegmentLayout(tmp_path)
+        layout.manifest_path.write_text('{"generation": "nope"}')
+        manifest = layout.load_manifest()  # warns, must not raise
+        assert manifest.segments == []
+
+    def test_jsonl_path_sets_stem(self, tmp_path):
+        layout = SegmentLayout(tmp_path / "mycache.jsonl")
+        assert layout.default_active == "mycache.jsonl"
+        assert layout.segment_name(3) == "mycache.00003.jsonl"
+        assert layout.manifest_path.name == "mycache.manifest.json"
+
+
+class TestSealing:
+    def test_store_seals_at_cap_and_stays_answerable(self, tmp_path):
+        cache = DiskSolverCache(tmp_path, seal_bytes=1,
+                                auto_compact=False)
+        for i in range(5):
+            cache.store([f"d{i}"], i % 2 == 0)
+        layout = SegmentLayout(tmp_path)
+        manifest = layout.load_manifest()
+        assert len(manifest.segments) == 5
+        assert manifest.active not in manifest.segments
+        for handle in (cache, DiskSolverCache(tmp_path)):
+            for i in range(5):
+                assert handle.lookup([f"d{i}"])[0] is (i % 2 == 0)
+
+    def test_auto_compaction_bounds_sealed_segments(self, tmp_path):
+        cache = DiskSolverCache(tmp_path, seal_bytes=1)
+        for i in range(6):
+            cache.store([f"d{i}"], True)
+        manifest = SegmentLayout(tmp_path).load_manifest()
+        assert len(manifest.segments) == 1  # collapsed on every seal
+        fresh = DiskSolverCache(tmp_path)
+        for i in range(6):
+            assert fresh.lookup([f"d{i}"])[0] is True
+
+    def test_compaction_drops_subsumed_superset_same_answers(
+            self, tmp_path):
+        cache = DiskSolverCache(tmp_path, auto_compact=False)
+        cache.store(["a"], False)
+        cache.store(["a", "b"], False)  # strict superset: droppable
+        cache.compact()
+        stats = store_stats(tmp_path)
+        assert stats["total_entries"] == 1
+        fresh = DiskSolverCache(tmp_path)
+        assert fresh.lookup(["a"])[:2] == (False, None)
+        # the dropped superset is still answered, now by subsumption
+        assert fresh.lookup(["a", "b"])[:2] == (False, None)
+
+    def test_live_handle_follows_external_compaction(self, tmp_path):
+        writer = DiskSolverCache(tmp_path, seal_bytes=1,
+                                 auto_compact=False)
+        for i in range(4):
+            writer.store([f"d{i}"], i % 2 == 0)
+        live = DiskSolverCache(tmp_path)
+        before = [live.lookup([f"d{i}"]) for i in range(4)]
+        compact_store(tmp_path)  # e.g. `repro cache compact` elsewhere
+        assert [live.lookup([f"d{i}"]) for i in range(4)] == before
+        assert [writer.lookup([f"d{i}"]) for i in range(4)] == before
+
+
+class TestCompactLines:
+    def test_duplicate_keys_keep_last_writer(self):
+        lines = [_verdict({"a"}, True),
+                 _verdict({"a"}, True, model={"x": 1})]
+        retained, stats = compact_lines(lines)
+        assert retained == [lines[1]]
+        assert stats.dropped_duplicates == 1
+
+    def test_tombstone_erases_key_and_itself(self):
+        lines = [_verdict({"a"}, True),
+                 _values({"a"}, "t", 4, [1]),
+                 _tomb({"a"}),
+                 _verdict({"b"}, False)]
+        retained, stats = compact_lines(lines)
+        assert retained == [lines[3]]
+        assert stats.dropped_tombstoned == 3  # verdict + values + stone
+
+    def test_entry_after_tombstone_survives(self):
+        lines = [_verdict({"a"}, True), _tomb({"a"}),
+                 _verdict({"a"}, False)]
+        retained, _stats = compact_lines(lines)
+        assert retained == [lines[2]]
+
+    def test_subsumed_infeasible_superset_dropped(self):
+        lines = [_verdict({"a"}, False), _verdict({"a", "b"}, False)]
+        retained, stats = compact_lines(lines)
+        assert retained == [lines[0]]
+        assert stats.dropped_subsumed == 1
+
+    def test_feasible_superset_never_subsumption_dropped(self):
+        # a feasible superset may carry the model an exact feasible
+        # entry lacks; both must survive
+        lines = [_verdict({"a"}, True),
+                 _verdict({"a", "b"}, True, model={"x": 1})]
+        retained, _stats = compact_lines(lines)
+        assert retained == lines
+
+    def test_corrupt_lines_dropped(self):
+        lines = ["{not json}\n", _verdict({"a"}, True), "{}\n"]
+        retained, stats = compact_lines(lines)
+        assert retained == [lines[1]]
+        assert stats.dropped_corrupt == 2
+
+    # -- the general property: replaying the compacted store answers
+    # -- every query the original store answered, identically
+
+    KEYS = st.frozensets(st.sampled_from(["a", "b", "c", "d"]),
+                         min_size=1, max_size=3)
+    SPEC = st.one_of(
+        st.tuples(st.just("f"), KEYS, st.booleans()),
+        st.tuples(st.just("v"), KEYS, st.sampled_from(["t1", "t2"]),
+                  st.integers(1, 2)),
+        st.tuples(st.just("x"), KEYS),
+    )
+
+    @staticmethod
+    def _line(spec):
+        if spec[0] == "f":
+            return _verdict(spec[1], spec[2])
+        if spec[0] == "v":
+            return _values(spec[1], spec[2], spec[3], [spec[3]])
+        return _tomb(spec[1])
+
+    @staticmethod
+    def _replay(lines):
+        """A minimal reader: the final index replay would build."""
+        feasible, values = {}, {}
+        for line in lines:
+            entry = json.loads(line)
+            key = frozenset(entry["k"])
+            if entry.get("x"):
+                feasible.pop(key, None)
+                for index in [i for i in values if i[0] == key]:
+                    del values[index]
+            elif "t" in entry:
+                values[(key, entry["t"], entry["l"])] = entry["v"]
+            else:
+                feasible[key] = entry["f"]
+        return feasible, values
+
+    @settings(max_examples=120, deadline=None)
+    @given(specs=st.lists(SPEC, max_size=25))
+    def test_replay_equivalence(self, specs):
+        lines = [self._line(spec) for spec in specs]
+        retained, stats = compact_lines(lines)
+        feasible0, values0 = self._replay(lines)
+        feasible1, values1 = self._replay(retained)
+        # value enumerations: exactly the surviving originals
+        assert values1 == values0
+        # nothing new, nothing flipped
+        assert set(feasible1) <= set(feasible0)
+        for key in feasible1:
+            assert feasible1[key] == feasible0[key]
+        # every original answer is preserved: feasible keys exactly,
+        # infeasible keys either exactly or via a retained subset
+        for key, verdict in feasible0.items():
+            if verdict:
+                assert feasible1.get(key) is True
+            else:
+                assert feasible1.get(key) is False or any(
+                    other < key and not v
+                    for other, v in feasible1.items())
+        # accounting adds up and compaction is idempotent
+        assert stats.entries_out == len(retained)
+        assert stats.entries_in == len(lines)
+        assert stats.entries_dropped == len(lines) - len(retained)
+        again, _ = compact_lines(retained)
+        assert again == retained
+
+
+QUERIES = [["a"], ["a", "b"], ["a", "b", "z"], ["c"], ["c", "d"],
+           ["zz"]]
+
+
+def _build_duplicate_heavy(tmp_path):
+    cache = DiskSolverCache(tmp_path, auto_compact=False)
+    cache.store(["a"], False)
+    cache.store(["a", "b"], False)  # subsumed once ["a"] is retained
+    cache.store(["c"], True, model={"x": 1})
+    cache.store_values(["c"], "t", 4, [1, 2], True, None,
+                       [{"x": 1}, {"x": 2}])
+    with open(cache.path, "a", encoding="utf-8") as fh:
+        fh.write(_verdict({"a"}, False))  # merged-in duplicate
+    return cache
+
+
+def _answers(cache):
+    out = []
+    for query in QUERIES:
+        found = cache.lookup(query)
+        out.append(found[:2] if found is not None else None)
+    out.append(cache.lookup_values(["c"], "t", 4))
+    return out
+
+
+class TestCrashSafety:
+    """Kill the compactor at every install boundary; nobody notices."""
+
+    class Killed(Exception):
+        pass
+
+    @pytest.mark.parametrize("point", ["compact.temp-written",
+                                       "compact.renamed",
+                                       "compact.manifest-swapped"])
+    def test_compactor_killed_at_boundary(self, tmp_path, point):
+        live = _build_duplicate_heavy(tmp_path)
+        observer = DiskSolverCache(tmp_path)
+        expected = _answers(observer)
+        assert _answers(live) == expected
+
+        def hook(reached):
+            if reached == point:
+                raise self.Killed(reached)
+
+        set_fault_hook(hook)
+        try:
+            with pytest.raises(self.Killed):
+                compact_store(tmp_path)
+        finally:
+            set_fault_hook(None)
+
+        # a fresh handle and both live handles answer identically
+        assert _answers(DiskSolverCache(tmp_path)) == expected
+        assert _answers(live) == expected
+        assert _answers(observer) == expected
+        # the store is not stuck: the next compaction completes and
+        # reclaims whatever the dead one left behind
+        compact_store(tmp_path)
+        assert _answers(DiskSolverCache(tmp_path)) == expected
+        problems, _warnings = verify_store(tmp_path)
+        assert problems == []
+
+    def test_interrupted_install_leaves_reclaimable_orphan(
+            self, tmp_path):
+        _build_duplicate_heavy(tmp_path)
+
+        def hook(reached):
+            if reached == "compact.renamed":
+                raise self.Killed(reached)
+
+        set_fault_hook(hook)
+        try:
+            with pytest.raises(self.Killed):
+                compact_store(tmp_path)
+        finally:
+            set_fault_hook(None)
+        _problems, warnings = verify_store(tmp_path)
+        assert any("orphan" in warning for warning in warnings)
+        compact_store(tmp_path)
+        _problems, warnings = verify_store(tmp_path)
+        assert not any("orphan" in warning for warning in warnings)
+
+
+class TestMerge:
+    def test_merged_store_answers_either_source(self, tmp_path):
+        a = DiskSolverCache(tmp_path / "a")
+        b = DiskSolverCache(tmp_path / "b")
+        a.store(["d1"], False)
+        a.store(["d2"], True, model={"x": 1})
+        b.store(["d1"], False)  # both machines solved it cold
+        b.store(["d3"], True, model={"y": 2})
+        stats = merge_caches(tmp_path / "a", tmp_path / "b",
+                             tmp_path / "out")
+        assert (stats["entries_a"], stats["entries_b"]) == (2, 2)
+        merged = DiskSolverCache(tmp_path / "out")
+        assert merged.lookup(["d1"])[:2] == (False, None)
+        assert merged.lookup(["d2"])[:2] == (True, {"x": 1})
+        assert merged.lookup(["d3"])[:2] == (True, {"y": 2})
+
+    def test_merge_lww_on_conflicting_value_enumerations(self,
+                                                         tmp_path):
+        a = DiskSolverCache(tmp_path / "a")
+        b = DiskSolverCache(tmp_path / "b")
+        # same index, truncated differently on each machine: b wins
+        a.store_values(["k"], "t", 4, [1], False, "limit", [{"x": 1}])
+        b.store_values(["k"], "t", 4, [1, 2], True, None,
+                       [{"x": 1}, {"x": 2}])
+        merge_caches(tmp_path / "a", tmp_path / "b", tmp_path / "out")
+        merged = DiskSolverCache(tmp_path / "out")
+        values, complete, _reason, _w = merged.lookup_values(["k"],
+                                                             "t", 4)
+        assert (values, complete) == ([1, 2], True)
+
+    def test_merge_compacts_duplicates_away(self, tmp_path):
+        a = DiskSolverCache(tmp_path / "a")
+        b = DiskSolverCache(tmp_path / "b")
+        for i in range(20):
+            a.store([f"d{i}"], False)
+            b.store([f"d{i}"], False)
+        raw = merge_caches(tmp_path / "a", tmp_path / "b",
+                           tmp_path / "raw", compact=False)
+        assert raw["entries_out"] == 40
+        compacted = merge_caches(tmp_path / "a", tmp_path / "b",
+                                 tmp_path / "out")
+        assert compacted["entries_out"] == 20
+        assert compacted["compaction"]["dropped_duplicates"] == 20
+
+    def test_merge_refuses_nonempty_output(self, tmp_path):
+        a = DiskSolverCache(tmp_path / "a")
+        a.store(["d1"], True)
+        out = DiskSolverCache(tmp_path / "out")
+        out.store(["d2"], True)
+        DiskSolverCache(tmp_path / "b").store(["d3"], True)
+        with pytest.raises(ValueError, match="already holds"):
+            merge_caches(tmp_path / "a", tmp_path / "b",
+                         tmp_path / "out")
+
+    def test_merge_refuses_source_as_output(self, tmp_path):
+        DiskSolverCache(tmp_path / "a").store(["d1"], True)
+        DiskSolverCache(tmp_path / "b").store(["d2"], True)
+        with pytest.raises(ValueError, match="source"):
+            merge_caches(tmp_path / "a", tmp_path / "b",
+                         tmp_path / "a")
+
+
+class TestVerify:
+    def test_healthy_store_is_ok(self, tmp_path):
+        cache = DiskSolverCache(tmp_path, seal_bytes=1)
+        for i in range(3):
+            cache.store([f"d{i}"], True)
+        problems, warnings = verify_store(tmp_path)
+        assert problems == [] and warnings == []
+
+    def test_unparseable_manifest_is_a_problem(self, tmp_path):
+        DiskSolverCache(tmp_path).store(["d1"], True)
+        SegmentLayout(tmp_path).manifest_path.write_text("{broken")
+        problems, _warnings = verify_store(tmp_path)
+        assert any("not valid JSON" in p for p in problems)
+
+    def test_missing_manifest_field_is_a_problem(self, tmp_path):
+        SegmentLayout(tmp_path).manifest_path.write_text(
+            json.dumps({"version": 1, "generation": 1}))
+        tmp_path.mkdir(exist_ok=True)
+        problems, _warnings = verify_store(tmp_path)
+        assert any("next_segment" in p for p in problems)
+
+    def test_missing_sealed_segment_is_a_problem(self, tmp_path):
+        cache = DiskSolverCache(tmp_path, seal_bytes=1,
+                                auto_compact=False)
+        cache.store(["d1"], True)
+        layout = SegmentLayout(tmp_path)
+        manifest = layout.load_manifest()
+        assert manifest.segments
+        (tmp_path / manifest.segments[0]).unlink()
+        problems, _warnings = verify_store(tmp_path)
+        assert any("missing on disk" in p for p in problems)
+
+    def test_segments_without_manifest_are_a_problem(self, tmp_path):
+        tmp_path.mkdir(exist_ok=True)
+        (tmp_path / "solver-cache.00001.jsonl").write_text(
+            _verdict({"a"}, True))
+        problems, _warnings = verify_store(tmp_path)
+        assert any("no manifest references" in p for p in problems)
+
+    def test_torn_tail_is_a_warning_not_a_problem(self, tmp_path):
+        cache = DiskSolverCache(tmp_path)
+        cache.store(["d1"], True)
+        with open(cache.path, "a", encoding="utf-8") as fh:
+            fh.write('{"k": ["torn"]')
+        problems, warnings = verify_store(tmp_path)
+        assert problems == []
+        assert any("torn tail" in w for w in warnings)
+
+    def test_legacy_store_without_manifest_is_ok(self, tmp_path):
+        cache = DiskSolverCache(tmp_path)
+        cache.store(["d1"], True)
+        assert not SegmentLayout(tmp_path).manifest_path.exists()
+        problems, warnings = verify_store(tmp_path)
+        assert problems == [] and warnings == []
+
+
+class TestStoreStats:
+    def test_composition_and_droppable_counts(self, tmp_path):
+        _build_duplicate_heavy(tmp_path)
+        stats = store_stats(tmp_path)
+        assert stats["total_entries"] == 5
+        assert stats["droppable_duplicates"] == 1
+        assert stats["droppable_subsumed"] == 1
+        assert stats["retained_after_compaction"] == 3

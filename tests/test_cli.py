@@ -342,6 +342,82 @@ class TestReproduceSharded:
             "solver.cache.disk_hits", 0) >= 1
 
 
+class TestCacheCommand:
+    """`repro cache stats|compact|merge|verify` against real stores."""
+
+    def _store(self, path, keys, feasible=False):
+        from repro.solver import DiskSolverCache
+        cache = DiskSolverCache(path)
+        for key in keys:
+            cache.store(key, feasible)
+        return cache
+
+    def test_stats_table(self, capsys, tmp_path):
+        self._store(tmp_path / "c", [["d1"], ["d2"]])
+        assert main(["cache", "stats", "--cache-dir",
+                     str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "Segments" in out and "2 entries" in out
+
+    def test_compact_drops_merged_duplicates(self, capsys, tmp_path):
+        keys = [[f"d{i}"] for i in range(10)]
+        self._store(tmp_path / "a", keys)
+        self._store(tmp_path / "b", keys)
+        assert main(["cache", "merge", str(tmp_path / "a"),
+                     str(tmp_path / "b"), "-o", str(tmp_path / "out"),
+                     "--no-compact", "--json"]) == 0
+        merged = json.loads(capsys.readouterr().out)
+        assert merged["entries_out"] == 20
+        assert main(["cache", "compact", "--cache-dir",
+                     str(tmp_path / "out"), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries_in"] == 20 and stats["entries_out"] == 10
+        assert stats["bytes_out"] < stats["bytes_in"]
+
+    def test_merged_store_serves_both_sources(self, capsys, tmp_path):
+        from repro.solver import DiskSolverCache
+        self._store(tmp_path / "a", [["d1"]])
+        self._store(tmp_path / "b", [["d2"]])
+        assert main(["cache", "merge", str(tmp_path / "a"),
+                     str(tmp_path / "b"), "-o",
+                     str(tmp_path / "out")]) == 0
+        merged = DiskSolverCache(tmp_path / "out")
+        assert merged.lookup(["d1"])[0] is False
+        assert merged.lookup(["d2"])[0] is False
+
+    def test_merge_into_nonempty_store_fails(self, capsys, tmp_path):
+        self._store(tmp_path / "a", [["d1"]])
+        self._store(tmp_path / "b", [["d2"]])
+        self._store(tmp_path / "out", [["d3"]])
+        assert main(["cache", "merge", str(tmp_path / "a"),
+                     str(tmp_path / "b"), "-o",
+                     str(tmp_path / "out")]) == 2
+        assert "already holds" in capsys.readouterr().err
+
+    def test_verify_ok(self, capsys, tmp_path):
+        self._store(tmp_path / "c", [["d1"]])
+        assert main(["cache", "verify", "--cache-dir",
+                     str(tmp_path / "c")]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_verify_corrupt_manifest_nonzero(self, capsys, tmp_path):
+        self._store(tmp_path / "c", [["d1"]])
+        (tmp_path / "c" / "solver-cache.manifest.json").write_text(
+            "{broken")
+        assert main(["cache", "verify", "--cache-dir",
+                     str(tmp_path / "c")]) == 1
+        assert "INCONSISTENT" in capsys.readouterr().out
+
+    def test_verify_json_reports_problems(self, capsys, tmp_path):
+        self._store(tmp_path / "c", [["d1"]])
+        (tmp_path / "c" / "solver-cache.manifest.json").write_text(
+            json.dumps({"version": 99}))
+        assert main(["cache", "verify", "--cache-dir",
+                     str(tmp_path / "c"), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False and report["problems"]
+
+
 class TestEirFixture:
     def test_sample_program_roundtrips(self):
         from repro.ir import parse_module, verify_module
